@@ -1,0 +1,147 @@
+"""Ablation: LRU vs the optimal static edge placement (Section 3).
+
+"Given that prior work (e.g., [39]) and our own experiments show that
+the LRU policy performs near-optimally in practical scenarios, we use
+LRU for the rest of this paper."
+
+We evaluate EDGE twice over the same workload: (1) LRU as in the paper,
+and (2) a *static* placement where every leaf cache is pre-filled with
+the most popular objects and never updated — the per-leaf optimum for
+an i.i.d. stream.  If LRU is near-optimal, the two improvements should
+be close.  We also run LFU, which under i.i.d. traffic converges to the
+top-B placement, to separate policy effects from placement effects.
+"""
+
+from conftest import emit, leaf_scaled_config
+from repro.analysis import format_table
+from repro.cache.budget import node_budgets
+from repro.core import EDGE, Simulator, improvements, simulate_no_cache
+from repro.core.experiment import build_network, build_workload
+
+
+def test_ablation_lru_vs_optimal_static(once):
+    def run():
+        config = leaf_scaled_config("abilene")
+        network = build_network(config)
+        workload = build_workload(config, network)
+        budgets = node_budgets(network, config.budget_fraction,
+                               config.num_objects, config.budget_split)
+        baseline = simulate_no_cache(
+            network, workload, warmup_fraction=config.warmup_fraction
+        )
+        lru = Simulator(
+            network, EDGE, workload, budgets,
+            warmup_fraction=config.warmup_fraction,
+        ).run()
+        lfu = Simulator(
+            network, EDGE, workload, budgets, policy="lfu",
+            warmup_fraction=config.warmup_fraction,
+        ).run()
+        # Optimal static placement: each leaf holds the top-B objects
+        # (object ids are global popularity ranks in our workloads).
+        preload = {}
+        for pop in range(network.num_pops):
+            for local in EDGE.cache_locals(network.tree):
+                node = network.gid(pop, local)
+                preload[node] = list(range(int(budgets[node])))
+        static = Simulator(
+            network, EDGE, workload, budgets,
+            warmup_fraction=config.warmup_fraction,
+            preload=preload, frozen_caches=True,
+        ).run()
+        return (
+            improvements(lru, baseline),
+            improvements(lfu, baseline),
+            improvements(static, baseline),
+        )
+
+    lru_imp, lfu_imp, static_imp = once(run)
+    rows = [
+        ["EDGE / LRU", lru_imp.latency, lru_imp.congestion,
+         lru_imp.origin_load],
+        ["EDGE / LFU", lfu_imp.latency, lfu_imp.congestion,
+         lfu_imp.origin_load],
+        ["EDGE / optimal static", static_imp.latency, static_imp.congestion,
+         static_imp.origin_load],
+        ["LRU shortfall vs optimal", static_imp.latency - lru_imp.latency,
+         static_imp.congestion - lru_imp.congestion,
+         static_imp.origin_load - lru_imp.origin_load],
+    ]
+    emit(
+        "ablation_optimal_static",
+        format_table(
+            ["placement", "latency +%", "congestion +%", "origin load +%"],
+            rows,
+            title="Ablation: LRU vs optimal static edge placement "
+                  "(paper: LRU is near-optimal)",
+        ),
+    )
+    # Reproduction note (EXPERIMENTS.md): under *i.i.d.* Zipf the static
+    # optimum beats LRU by ~10-13 points at these cache sizes — the
+    # paper's "near-optimal" claim leans on real-trace temporal locality
+    # that i.i.d. sampling removes.  LFU, which converges to the top-B
+    # set under i.i.d. traffic, closes most of that shortfall.
+    assert static_imp.latency >= lru_imp.latency - 1.0
+    assert static_imp.latency - lru_imp.latency < 20.0
+    assert abs(static_imp.latency - lfu_imp.latency) < abs(
+        static_imp.latency - lru_imp.latency
+    ) + 1.0
+
+
+def test_ablation_lru_recovers_under_temporal_locality(once):
+    """With PoP-local request bursts (as in real CDN logs), LRU closes
+    most of its shortfall against the static optimum — supporting the
+    paper's claim for *practical* scenarios."""
+    from repro.workload import generate_temporal_workload
+    import numpy as np
+
+    def run():
+        config = leaf_scaled_config("abilene")
+        network = build_network(config)
+        rows = []
+        for locality in (0.0, 0.6):
+            workload = generate_temporal_workload(
+                network, config.num_objects, config.num_requests,
+                config.alpha, np.random.default_rng(config.seed),
+                locality=locality, window=300,
+            )
+            budgets = node_budgets(network, config.budget_fraction,
+                                   config.num_objects, config.budget_split)
+            baseline = simulate_no_cache(
+                network, workload, warmup_fraction=config.warmup_fraction
+            )
+            lru = Simulator(
+                network, EDGE, workload, budgets,
+                warmup_fraction=config.warmup_fraction,
+            ).run()
+            preload = {}
+            for pop in range(network.num_pops):
+                for local in EDGE.cache_locals(network.tree):
+                    node = network.gid(pop, local)
+                    preload[node] = list(range(int(budgets[node])))
+            static = Simulator(
+                network, EDGE, workload, budgets,
+                warmup_fraction=config.warmup_fraction,
+                preload=preload, frozen_caches=True,
+            ).run()
+            lru_imp = improvements(lru, baseline)
+            static_imp = improvements(static, baseline)
+            rows.append([locality, lru_imp.latency, static_imp.latency,
+                         static_imp.latency - lru_imp.latency])
+        return rows
+
+    rows = once(run)
+    emit(
+        "ablation_temporal_locality",
+        format_table(
+            ["locality", "LRU latency +%", "static-opt latency +%",
+             "LRU shortfall"],
+            rows,
+            title="Ablation: temporal locality restores LRU's "
+                  "near-optimality (paper Section 3)",
+        ),
+    )
+    iid_shortfall = rows[0][3]
+    bursty_shortfall = rows[1][3]
+    # Locality shrinks (or eliminates) LRU's gap to the static optimum.
+    assert bursty_shortfall < iid_shortfall - 3.0

@@ -1,0 +1,97 @@
+"""Figure 2: utility of cache levels on a binary tree (Section 2.2).
+
+Regenerates the fraction of requests served at each level of a 6-level
+binary distribution tree under the optimal static placement, for
+alpha in {0.7, 1.1, 1.5}, plus the paper's alpha = 0.7 walkthrough
+("the latency improvement attributed to universal caching is only 25%")
+and the budget-allocation extension (majority of budget at the leaves).
+"""
+
+from conftest import emit
+from repro.analysis import format_series, format_table
+from repro.treeopt import (
+    TreeModel,
+    budget_share_per_level,
+    expected_hops,
+    expected_hops_edge_only,
+    lp_expected_hops,
+    optimize_level_allocation,
+    universal_caching_latency_gain,
+)
+
+NUM_OBJECTS = 1000
+CACHE_SIZE = 60  # sized so alpha=0.7 serves ~40% at the edge, as in §2.2
+
+
+def test_figure2_fraction_served_per_level(once):
+    def run():
+        series = {}
+        gains = {}
+        for alpha in (0.7, 1.1, 1.5):
+            model = TreeModel(levels=6, cache_size=CACHE_SIZE,
+                              num_objects=NUM_OBJECTS, alpha=alpha)
+            from repro.treeopt import fraction_served_per_level
+
+            series[f"alpha={alpha}"] = list(fraction_served_per_level(model))
+            gains[alpha] = (
+                expected_hops(model),
+                expected_hops_edge_only(model),
+                universal_caching_latency_gain(model),
+                lp_expected_hops(model),
+            )
+        return series, gains
+
+    series, gains = once(run)
+    text = format_series(
+        "cache level (6=origin)", [1, 2, 3, 4, 5, 6], series,
+        title="Figure 2: fraction of requests served per tree level "
+              "(optimal static placement)",
+        )
+    rows = [
+        [alpha, hops, edge_only, gain, lp]
+        for alpha, (hops, edge_only, gain, lp) in gains.items()
+    ]
+    text += "\n\n" + format_table(
+        ["alpha", "E[hops] all levels", "E[hops] edge-only",
+         "universal caching gain %", "LP bound"],
+        rows,
+        title="Section 2.2 walkthrough (paper: ~3 vs ~4 hops, ~25% gain "
+              "at alpha=0.7)",
+    )
+    emit("figure2_treeopt", text)
+
+    # Shape checks from the paper.
+    for label, fractions in series.items():
+        assert fractions[0] == max(fractions[:5]), (
+            "the edge level must dominate all intermediate levels"
+        )
+        assert sum(fractions[1:5]) < 0.45
+    edge_07 = series["alpha=0.7"][0]
+    assert 0.30 < edge_07 < 0.50
+    hops, edge_only, gain, lp = gains[0.7]
+    assert abs(hops - lp) < 1e-6, "LP relaxation must match the greedy"
+    assert 10.0 < gain < 35.0
+
+
+def test_figure2_extension_budget_allocation(once):
+    def run():
+        model = TreeModel(levels=6, cache_size=0, num_objects=NUM_OBJECTS,
+                          alpha=1.1)
+        allocation = optimize_level_allocation(model, total_budget=16_000)
+        return allocation, budget_share_per_level(model, allocation)
+
+    allocation, shares = once(run)
+    rows = [
+        [level, allocation.sizes[level - 1], shares[level - 1] * 100]
+        for level in range(1, 6)
+    ]
+    emit(
+        "figure2_budget_allocation",
+        format_table(
+            ["level (1=leaves)", "per-node slots", "budget share %"],
+            rows,
+            title="Section 2.2 extension: optimal budget split across "
+                  "levels (paper: majority at the leaves)",
+        ),
+    )
+    assert shares[0] > 0.5

@@ -1,0 +1,39 @@
+"""Figure 7: the Figure 6 comparison under uniform budgets.
+
+"Figure 7 shows the latency improvements for the case of uniform budget
+assignment across PoPs.  We see no major change in the relative
+performances of the different architectures."
+"""
+
+from conftest import emit
+from harness import improvement_table, max_pairwise_gap, run_topologies
+from repro.core import BASELINE_ARCHITECTURES
+
+
+def test_figure7_uniform_budgets(once):
+    outcomes = once(
+        run_topologies,
+        BASELINE_ARCHITECTURES,
+        budget_split="uniform",
+        origin_mode="uniform",
+    )
+    panels = {
+        "latency": "(a) query latency improvement %",
+        "congestion": "(b) congestion improvement %",
+        "origin_load": "(c) origin server load improvement %",
+    }
+    text = "\n\n".join(
+        improvement_table(outcomes, metric, f"Figure 7{title}")
+        for metric, title in panels.items()
+    )
+    text += (
+        f"\n\nMax architecture gap: {max_pairwise_gap(outcomes):.2f}%"
+    )
+    emit("figure7_uniform", text)
+
+    # The paper's claim: provisioning does not change relative ordering.
+    for topology, outcome in outcomes.items():
+        imp = outcome.improvements
+        assert imp["ICN-NR"].latency >= imp["EDGE"].latency - 0.5, topology
+        assert imp["ICN-SP"].latency >= imp["EDGE"].latency - 0.5, topology
+        assert imp["EDGE-Coop"].latency >= imp["EDGE"].latency - 0.5, topology

@@ -1,0 +1,96 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and emits the
+same rows/series the paper reports — both to the terminal (bypassing
+pytest capture) and to ``benchmarks/results/<name>.txt`` so the numbers
+can be diffed across runs.
+
+Scale knob: set ``REPRO_BENCH_SCALE`` (default 1.0) to shrink or grow
+every workload; 0.2 gives a quick smoke run, 1.0 the reported numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import ExperimentConfig
+
+#: Workload scale multiplier for every bench.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Baseline request volume and catalog size at SCALE = 1.  The ratio is
+#: calibrated (see DESIGN.md) so per-leaf request volumes resemble the
+#: paper's daily-trace regime.
+BASE_REQUESTS = 400_000
+BASE_OBJECTS = 2_000
+
+#: Requests per access-tree leaf at SCALE = 1.  The paper replays one
+#: 1.8M-request trace against every topology; normalizing by leaf count
+#: keeps every topology in the same cache-warmth regime (ATT has 4x the
+#: leaves of Abilene, so a fixed request count would leave its edge
+#: caches cold and overstate ICN's advantage).
+PER_LEAF_REQUESTS = 400
+
+#: Requests per catalog object (sets the cold-miss mass).
+REQUESTS_PER_OBJECT = 200
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_config(**overrides) -> ExperimentConfig:
+    """The benches' shared baseline configuration (paper Section 4.1)."""
+    params = dict(
+        num_requests=max(1000, int(BASE_REQUESTS * SCALE)),
+        num_objects=max(100, int(BASE_OBJECTS * SCALE)),
+        warmup_fraction=0.2,
+        seed=2013,
+    )
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+def leaf_scaled_config(
+    topology_name: str,
+    per_leaf: float = PER_LEAF_REQUESTS,
+    requests_per_object: float = REQUESTS_PER_OBJECT,
+    **overrides,
+) -> ExperimentConfig:
+    """A config whose workload size tracks the topology's leaf count."""
+    from repro.topology import topology as load_topology
+
+    arity = overrides.get("arity", 2)
+    depth = overrides.get("tree_depth", 5)
+    leaves = load_topology(topology_name).num_pops * arity**depth
+    num_requests = max(1000, int(leaves * per_leaf * SCALE))
+    num_objects = max(100, int(num_requests / requests_per_object))
+    return bench_config(
+        topology=topology_name,
+        num_requests=num_requests,
+        num_objects=num_objects,
+        **overrides,
+    )
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table to the real stdout and persist it."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
+    sys.__stdout__.write(banner)
+    sys.__stdout__.flush()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (simulations are slow and
+    deterministic; repeated rounds add nothing)."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,94 @@
+"""Shared runners for the simulation benches (Figures 6-10, Tables 3-4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import bench_config, leaf_scaled_config
+from repro.analysis import format_table
+from repro.core import ExperimentConfig, ExperimentResult, run_experiment
+from repro.core.metrics import METRIC_NAMES
+from repro.topology import TOPOLOGY_NAMES
+from repro.workload import region_object_stream
+
+#: Full-size Asia trace request count (Table 2) for scale conversion.
+ASIA_REQUESTS = 1_800_000
+
+
+def asia_trace_objects(config: ExperimentConfig) -> np.ndarray:
+    """The paper's baseline workload: the Asia CDN log, scaled down.
+
+    Returns the object-id sequence of a synthetic Asia log with the
+    bench catalog size, so trace-driven runs consume exactly
+    ``config.num_requests`` requests over ``config.num_objects`` objects.
+    """
+    rng = np.random.default_rng(config.seed + 1)
+    objects, _ = region_object_stream(
+        "asia",
+        rng,
+        scale=config.num_requests / ASIA_REQUESTS,
+        num_objects=config.num_objects,
+    )
+    return objects
+
+
+def run_topologies(
+    architectures,
+    topologies=TOPOLOGY_NAMES,
+    trace_driven: bool = True,
+    **config_overrides,
+) -> dict[str, ExperimentResult]:
+    """Run the architecture line-up on each topology over one workload."""
+    outcomes = {}
+    for name in topologies:
+        config = leaf_scaled_config(name, **config_overrides)
+        objects = asia_trace_objects(config) if trace_driven else None
+        outcomes[name] = run_experiment(config, architectures,
+                                        objects=objects)
+    return outcomes
+
+
+def improvement_table(
+    outcomes: dict[str, ExperimentResult], metric: str, title: str
+) -> str:
+    """One Figure 6/7 panel: topologies x architectures for one metric."""
+    architectures = list(next(iter(outcomes.values())).improvements)
+    rows = []
+    for topology, outcome in outcomes.items():
+        rows.append(
+            [topology]
+            + [getattr(outcome.improvements[a], metric) for a in architectures]
+        )
+    return format_table(["topology", *architectures], rows, title=title)
+
+
+def gap_table(
+    outcomes: dict[str, ExperimentResult],
+    arch_a: str,
+    arch_b: str,
+    title: str,
+) -> str:
+    """Per-topology per-metric gap rows (Table 3 / Table 4 style)."""
+    rows = []
+    for topology, outcome in outcomes.items():
+        gap = outcome.gap(arch_a, arch_b)
+        rows.append([topology, gap.latency, gap.congestion, gap.origin_load])
+    return format_table(
+        ["topology", "latency gap %", "congestion gap %",
+         "origin-load gap %"],
+        rows,
+        title=title,
+    )
+
+
+def max_pairwise_gap(outcomes: dict[str, ExperimentResult]) -> float:
+    """The paper's headline number: the largest architecture gap on any
+    metric over any topology."""
+    worst = 0.0
+    for outcome in outcomes.values():
+        for metric in METRIC_NAMES:
+            values = [
+                getattr(imp, metric) for imp in outcome.improvements.values()
+            ]
+            worst = max(worst, max(values) - min(values))
+    return worst

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Sensitivity sweep: when does full ICN beat edge caching, and by how
+much? (the Section 5 analysis, scaled for a quick interactive run)
+
+Sweeps the two parameters the paper identifies as mattering most — the
+Zipf exponent and the spatial popularity skew — and prints the
+ICN-NR-over-EDGE gap per metric.
+
+Run:  python examples/sensitivity_sweep.py [topology]
+"""
+
+import sys
+
+from repro.analysis import format_series, sweep_gap
+from repro.core import EDGE, ICN_NR, ExperimentConfig
+
+
+def main() -> None:
+    topology = sys.argv[1] if len(sys.argv) > 1 else "geant"
+
+    def make_config(**overrides):
+        params = dict(
+            topology=topology,
+            num_objects=1_000,
+            num_requests=120_000,
+            warmup_fraction=0.2,
+            seed=7,
+        )
+        params.update(overrides)
+        return ExperimentConfig(**params)
+
+    print(f"Sweeping Zipf alpha on {topology!r} (Figure 8a) ...")
+    alpha_sweep = sweep_gap(
+        "alpha", (0.4, 0.8, 1.2, 1.6),
+        lambda a: make_config(alpha=a), ICN_NR, EDGE,
+    )
+    print(format_series(
+        "alpha", alpha_sweep.values, alpha_sweep.gaps,
+        title="ICN-NR gain over EDGE (%) vs Zipf alpha",
+    ))
+
+    print(f"\nSweeping spatial skew on {topology!r} (Figure 8c) ...")
+    skew_sweep = sweep_gap(
+        "skew", (0.0, 0.5, 1.0),
+        lambda s: make_config(spatial_skew=s), ICN_NR, EDGE,
+    )
+    print(format_series(
+        "spatial skew", skew_sweep.values, skew_sweep.gaps,
+        title="ICN-NR gain over EDGE (%) vs spatial skew",
+    ))
+
+    print(
+        "\nReading the shape: higher alpha concentrates requests on a "
+        "small head that edge caches already capture (gap shrinks); "
+        "spatial skew moves popular objects around the network, which "
+        "only nearest-replica routing can chase (gap grows)."
+    )
+
+
+if __name__ == "__main__":
+    main()

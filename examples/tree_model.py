@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""The Section 2.2 back-of-the-envelope tree analysis, interactive.
+
+Why does the paper doubt pervasive caching before running a single
+simulation?  Because on a distribution tree under a Zipf workload, the
+*optimal static placement* already serves most cacheable requests at
+the edge.  This example reproduces Figure 2, the expected-hops
+walkthrough, and the budget-allocation extension.
+
+Run:  python examples/tree_model.py [alpha ...]
+"""
+
+import sys
+
+from repro.analysis import format_series, format_table
+from repro.treeopt import (
+    TreeModel,
+    budget_share_per_level,
+    expected_hops,
+    expected_hops_edge_only,
+    fraction_served_per_level,
+    optimize_level_allocation,
+    universal_caching_latency_gain,
+)
+
+
+def main() -> None:
+    alphas = [float(a) for a in sys.argv[1:]] or [0.7, 1.1, 1.5]
+    series = {}
+    walkthrough = []
+    for alpha in alphas:
+        model = TreeModel(levels=6, cache_size=60, num_objects=1000,
+                          alpha=alpha)
+        series[f"alpha={alpha}"] = list(fraction_served_per_level(model))
+        walkthrough.append([
+            alpha,
+            expected_hops(model),
+            expected_hops_edge_only(model),
+            universal_caching_latency_gain(model),
+        ])
+
+    print(format_series(
+        "level (6=origin)", [1, 2, 3, 4, 5, 6], series,
+        title="Figure 2: fraction of requests served per level "
+              "(optimal placement, binary tree)",
+    ))
+    print()
+    print(format_table(
+        ["alpha", "E[hops], all caches", "E[hops], edge only",
+         "universal caching gain %"],
+        walkthrough,
+        title="Section 2.2 walkthrough: what do the interior caches buy?",
+    ))
+
+    model = TreeModel(levels=6, cache_size=0, num_objects=1000, alpha=1.1)
+    allocation = optimize_level_allocation(model, total_budget=16_000)
+    shares = budget_share_per_level(model, allocation)
+    print()
+    print(format_table(
+        ["level (1=leaves)", "per-node slots", "budget share %"],
+        [
+            [level, allocation.sizes[level - 1], shares[level - 1] * 100]
+            for level in range(1, 6)
+        ],
+        title="Free the budget split, and the optimizer pushes it to "
+              "the leaves:",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Analysis helpers: table rendering and figure-data assembly."""
+
+from .che import characteristic_time, hit_ratio, per_object_hit_ratios
+from .figures import GapSweep, improvement_rows, loglog_popularity, sweep_gap
+from .prediction import (
+    predict_edge_hit_ratio,
+    predict_edge_origin_load_reduction,
+)
+from .tables import format_series, format_table
+
+__all__ = [
+    "GapSweep",
+    "characteristic_time",
+    "hit_ratio",
+    "per_object_hit_ratios",
+    "format_series",
+    "format_table",
+    "improvement_rows",
+    "loglog_popularity",
+    "predict_edge_hit_ratio",
+    "predict_edge_origin_load_reduction",
+    "sweep_gap",
+]

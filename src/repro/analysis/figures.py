@@ -1,0 +1,80 @@
+"""Figure-data assembly helpers shared by benchmarks and examples.
+
+Each helper returns plain dict/array data (no plotting — the repository
+is headless); benchmarks render the data with
+:mod:`repro.analysis.tables`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.architectures import Architecture
+from ..core.experiment import ExperimentConfig, run_experiment
+from ..core.metrics import METRIC_NAMES, Improvements
+
+
+@dataclass(frozen=True)
+class GapSweep:
+    """One sensitivity sweep: gap(ICN-NR, EDGE) per metric vs a parameter."""
+
+    parameter: str
+    values: tuple[float, ...]
+    gaps: dict[str, tuple[float, ...]]
+
+
+def improvement_rows(
+    improvements: dict[str, Improvements], metric: str
+) -> list[tuple[str, float]]:
+    """(architecture, improvement%) rows for one metric, legend order."""
+    if metric not in METRIC_NAMES:
+        raise ValueError(f"unknown metric {metric!r}; choose from {METRIC_NAMES}")
+    return [
+        (name, getattr(imp, metric)) for name, imp in improvements.items()
+    ]
+
+
+def sweep_gap(
+    parameter: str,
+    values: Iterable[float],
+    make_config: "callable",
+    arch_a: Architecture,
+    arch_b: Architecture,
+) -> GapSweep:
+    """Run (arch_a, arch_b) across configs and collect per-metric gaps.
+
+    ``make_config(value)`` must return the :class:`ExperimentConfig` for
+    one sweep point; the gap is ``RelImprov(a) - RelImprov(b)``.
+    """
+    values = tuple(values)
+    per_metric: dict[str, list[float]] = {m: [] for m in METRIC_NAMES}
+    for value in values:
+        config = make_config(value)
+        outcome = run_experiment(config, (arch_a, arch_b))
+        gap = outcome.gap(arch_a.name, arch_b.name)
+        for metric in METRIC_NAMES:
+            per_metric[metric].append(getattr(gap, metric))
+    return GapSweep(
+        parameter=parameter,
+        values=values,
+        gaps={m: tuple(v) for m, v in per_metric.items()},
+    )
+
+
+def loglog_popularity(counts: Sequence[int], points: int = 30) -> np.ndarray:
+    """Down-sample a rank-frequency curve to log-spaced points.
+
+    Returns an (n, 2) array of (rank, count) pairs suitable for a
+    log-log plot (Figure 1's visual check).
+    """
+    counts = np.asarray(counts)
+    if counts.size == 0:
+        return np.zeros((0, 2))
+    ranks = np.unique(
+        np.logspace(0, np.log10(counts.size), num=points).astype(np.int64)
+    )
+    ranks = ranks[ranks <= counts.size]
+    return np.column_stack([ranks, counts[ranks - 1]])

@@ -1,0 +1,47 @@
+"""Cache substrate: replacement policies and provisioning splits."""
+
+from .base import Cache
+from .budget import (
+    DEFAULT_BUDGET_FRACTION,
+    node_budgets,
+    proportional_node_budgets,
+    total_budget,
+    uniform_node_budgets,
+)
+from .fifo import FIFOCache
+from .infinite import InfiniteCache
+from .lfu import LFUCache
+from .lru import LRUCache
+
+POLICIES = {
+    "lru": LRUCache,
+    "lfu": LFUCache,
+    "fifo": FIFOCache,
+}
+
+
+def make_cache(policy: str, capacity: float) -> Cache:
+    """Instantiate a bounded cache by policy name ('lru', 'lfu', 'fifo')."""
+    try:
+        cls = POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {policy!r}; choose from {sorted(POLICIES)}"
+        ) from None
+    return cls(capacity)
+
+
+__all__ = [
+    "Cache",
+    "DEFAULT_BUDGET_FRACTION",
+    "FIFOCache",
+    "InfiniteCache",
+    "LFUCache",
+    "LRUCache",
+    "POLICIES",
+    "make_cache",
+    "node_budgets",
+    "proportional_node_budgets",
+    "total_budget",
+    "uniform_node_budgets",
+]

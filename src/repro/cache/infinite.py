@@ -1,0 +1,40 @@
+"""Unbounded cache, used for the Inf-Budget reference point of Figure 10
+and for the origin stores (a PoP "as an origin server ... has a very
+large cache to host all the objects it owns", Section 4.1).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterator
+
+from .base import Cache
+
+
+class InfiniteCache(Cache):
+    """A cache that never evicts."""
+
+    def __init__(self) -> None:
+        super().__init__(capacity=math.inf)
+        self._entries: dict[Hashable, float] = {}
+
+    def lookup(self, obj: Hashable) -> bool:
+        return self._record(obj in self._entries)
+
+    def insert(self, obj: Hashable, size: float = 1.0) -> list[Hashable]:
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        self._entries[obj] = size
+        return []
+
+    def __contains__(self, obj: Hashable) -> bool:
+        return obj in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the library's main entry points:
+
+* ``topologies`` — list the embedded PoP-level maps;
+* ``run`` — one experiment (architectures x metrics table);
+* ``sweep`` — a single-parameter sensitivity sweep of the
+  ICN-NR-over-EDGE gap;
+* ``treeopt`` — the Section 2.2 tree model (Figure 2 data).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import format_series, format_table, sweep_gap
+from .core import (
+    BASELINE_ARCHITECTURES,
+    EDGE,
+    ICN_NR,
+    ExperimentConfig,
+    run_experiment,
+)
+from .topology import TOPOLOGY_NAMES, topology
+from .treeopt import TreeModel, expected_hops, fraction_served_per_level
+
+_SWEEPABLE = {
+    "alpha": ("alpha", float),
+    "skew": ("spatial_skew", float),
+    "budget": ("budget_fraction", float),
+}
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", default="abilene",
+                        choices=TOPOLOGY_NAMES)
+    parser.add_argument("--requests", type=int, default=100_000)
+    parser.add_argument("--objects", type=int, default=1_000)
+    parser.add_argument("--alpha", type=float, default=1.04)
+    parser.add_argument("--skew", type=float, default=0.0)
+    parser.add_argument("--budget", type=float, default=0.05,
+                        help="per-router cache budget as a fraction of "
+                             "the catalog (paper baseline: 0.05)")
+    parser.add_argument("--budget-split", default="proportional",
+                        choices=("proportional", "uniform"))
+    parser.add_argument("--policy", default="lru",
+                        choices=("lru", "lfu", "fifo"))
+    parser.add_argument("--arity", type=int, default=2)
+    parser.add_argument("--depth", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=2013)
+
+
+def _config_from(args: argparse.Namespace, **overrides) -> ExperimentConfig:
+    params = dict(
+        topology=args.topology,
+        num_requests=args.requests,
+        num_objects=args.objects,
+        alpha=args.alpha,
+        spatial_skew=args.skew,
+        budget_fraction=args.budget,
+        budget_split=args.budget_split,
+        policy=args.policy,
+        arity=args.arity,
+        tree_depth=args.depth,
+        warmup_fraction=0.2,
+        seed=args.seed,
+    )
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+def _cmd_topologies(args: argparse.Namespace) -> int:
+    rows = []
+    for name in TOPOLOGY_NAMES:
+        topo = topology(name)
+        rows.append([
+            name, topo.num_pops, topo.num_edges,
+            f"{topo.total_population:,}",
+        ])
+    print(format_table(["topology", "PoPs", "core links", "population"],
+                       rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    outcome = run_experiment(config, BASELINE_ARCHITECTURES)
+    rows = [
+        [name, imp.latency, imp.congestion, imp.origin_load]
+        for name, imp in outcome.improvements.items()
+    ]
+    print(format_table(
+        ["architecture", "latency +%", "congestion +%", "origin load +%"],
+        rows,
+        title=f"Improvements over no caching on {config.topology!r} "
+              f"({config.num_requests:,} requests, "
+              f"{config.num_objects:,} objects)",
+    ))
+    gap = outcome.gap("ICN-NR", "EDGE")
+    print(f"\nICN-NR over EDGE: latency {gap.latency:+.2f}%, congestion "
+          f"{gap.congestion:+.2f}%, origin load {gap.origin_load:+.2f}%")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    field, cast = _SWEEPABLE[args.parameter]
+    values = [cast(v) for v in args.values]
+    sweep = sweep_gap(
+        args.parameter,
+        values,
+        lambda v: _config_from(args, **{field: v}),
+        ICN_NR,
+        EDGE,
+    )
+    print(format_series(
+        args.parameter, sweep.values, sweep.gaps,
+        title=f"ICN-NR gain over EDGE (%) vs {args.parameter} on "
+              f"{args.topology!r}",
+    ))
+    return 0
+
+
+def _cmd_treeopt(args: argparse.Namespace) -> int:
+    series = {}
+    for alpha in args.alphas:
+        model = TreeModel(levels=args.levels, cache_size=args.cache_size,
+                          num_objects=args.objects, alpha=alpha)
+        series[f"alpha={alpha}"] = list(fraction_served_per_level(model))
+        print(f"alpha={alpha}: expected hops "
+              f"{expected_hops(model):.2f}")
+    print(format_series(
+        "level", list(range(1, args.levels + 1)), series,
+        title="Fraction of requests served per tree level "
+              "(optimal placement)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Less Pain, Most of the Gain: "
+                    "Incrementally Deployable ICN' (SIGCOMM 2013)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("topologies", help="list embedded PoP maps")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    _add_config_arguments(run_parser)
+
+    sweep_parser = sub.add_parser("sweep", help="sensitivity sweep")
+    sweep_parser.add_argument("parameter", choices=sorted(_SWEEPABLE))
+    sweep_parser.add_argument("values", nargs="+")
+    _add_config_arguments(sweep_parser)
+
+    tree_parser = sub.add_parser("treeopt", help="Section 2.2 tree model")
+    tree_parser.add_argument("--levels", type=int, default=6)
+    tree_parser.add_argument("--cache-size", type=int, default=60)
+    tree_parser.add_argument("--objects", type=int, default=1000)
+    tree_parser.add_argument("--alphas", type=float, nargs="+",
+                             default=[0.7, 1.1, 1.5])
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "topologies": _cmd_topologies,
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "treeopt": _cmd_treeopt,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

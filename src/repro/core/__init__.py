@@ -1,0 +1,81 @@
+"""Simulation core: the caching design-space study (Sections 3-5)."""
+
+from .architectures import (
+    BASELINE_ARCHITECTURES,
+    EDGE,
+    EDGE_COOP,
+    EDGE_INF,
+    EDGE_NORM,
+    EDGE_VARIANTS,
+    ICN_NR,
+    ICN_NR_GLOBAL,
+    ICN_NR_INF,
+    ICN_SP,
+    Architecture,
+    architecture,
+)
+from .capacity import CapacityModel, CapacityTracker
+from .engine import Simulator, simulate_no_cache
+from .experiment import (
+    ASIA_ALPHA,
+    ExperimentConfig,
+    ExperimentResult,
+    build_network,
+    build_workload,
+    performance_gap,
+    run_experiment,
+)
+from .latency import (
+    LATENCY_MODELS,
+    arithmetic_hop_costs,
+    core_weighted_hop_costs,
+    hop_costs,
+    unit_hop_costs,
+)
+from .metrics import (
+    METRIC_NAMES,
+    Improvements,
+    MetricsCollector,
+    SimulationResult,
+    gap,
+    improvements,
+)
+from .routing import ReplicaDirectory
+
+__all__ = [
+    "ASIA_ALPHA",
+    "Architecture",
+    "BASELINE_ARCHITECTURES",
+    "CapacityModel",
+    "CapacityTracker",
+    "EDGE",
+    "EDGE_COOP",
+    "EDGE_INF",
+    "EDGE_NORM",
+    "EDGE_VARIANTS",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ICN_NR",
+    "ICN_NR_GLOBAL",
+    "ICN_NR_INF",
+    "ICN_SP",
+    "Improvements",
+    "LATENCY_MODELS",
+    "METRIC_NAMES",
+    "MetricsCollector",
+    "ReplicaDirectory",
+    "SimulationResult",
+    "Simulator",
+    "architecture",
+    "arithmetic_hop_costs",
+    "build_network",
+    "build_workload",
+    "core_weighted_hop_costs",
+    "gap",
+    "hop_costs",
+    "improvements",
+    "performance_gap",
+    "run_experiment",
+    "simulate_no_cache",
+    "unit_hop_costs",
+]

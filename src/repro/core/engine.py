@@ -1,0 +1,368 @@
+"""Request-level cache-network simulator (Section 4.1).
+
+"For reasons of scalability, we use a request-level simulator and thus
+we do not model packet-level, TCP, or router queueing effects."  Each
+request is (arrival PoP, arrival leaf, object); the engine
+
+1. finds the serving node under the architecture's routing —
+   shortest-path-to-origin with optional scoped sibling cooperation, or
+   the nearest-replica oracle;
+2. charges latency (hop costs from the serving node to the leaf),
+   congestion (one object transfer per response-path link), and origin
+   load when the origin store served;
+3. stores the object at every cache-enabled node on the response path
+   ("each node on the response path ... stores the object in addition
+   to forwarding it towards the client").
+
+Lookup/discovery is free for ICN designs, as the paper conservatively
+assumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache import Cache, InfiniteCache, make_cache
+from ..topology.network import HopCosts, Network
+from ..workload.generator import Workload
+from .architectures import Architecture
+from .capacity import CapacityModel, CapacityTracker
+from .metrics import MetricsCollector, SimulationResult
+from .routing import ReplicaDirectory
+
+
+class Simulator:
+    """Runs one architecture over one workload on one network."""
+
+    def __init__(
+        self,
+        network: Network,
+        architecture: Architecture,
+        workload: Workload,
+        budgets: list[float],
+        policy: str = "lru",
+        hop_costs: HopCosts | None = None,
+        capacity: CapacityModel | None = None,
+        warmup_fraction: float = 0.0,
+        preload: dict[int, list[int]] | None = None,
+        frozen_caches: bool = False,
+    ):
+        """See the module docstring for the simulation semantics.
+
+        ``preload`` maps global node ids to objects inserted before the
+        first request; with ``frozen_caches`` the response path performs
+        no insertions, turning the run into a *static placement*
+        evaluation (used by the LRU-vs-optimal ablation — Section 3's
+        "the LRU policy performs near-optimally").
+        """
+        if len(budgets) != network.num_nodes:
+            raise ValueError("budgets must have one entry per network node")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        self.network = network
+        self.architecture = architecture
+        self.workload = workload
+        self.costs = hop_costs if hop_costs is not None else network.unit_hop_costs()
+        self.warmup_fraction = warmup_fraction
+
+        tree = network.tree
+        self._tree_size = network.tree_size
+        cache_locals = architecture.cache_locals(tree)
+        self._cache_local_set = frozenset(cache_locals)
+        multiplier = architecture.effective_multiplier(tree)
+        self.caches: dict[int, Cache] = {}
+        for pop in range(network.num_pops):
+            base = pop * self._tree_size
+            for local in cache_locals:
+                node = base + local
+                if architecture.infinite:
+                    self.caches[node] = InfiniteCache()
+                else:
+                    self.caches[node] = make_cache(
+                        policy, budgets[node] * multiplier
+                    )
+        self.directory = (
+            ReplicaDirectory(network)
+            if architecture.routing == "nr-global"
+            else None
+        )
+        self._nr_scope_order = (
+            self._build_nr_scope_order() if architecture.routing == "nr" else None
+        )
+        # Cache-enabled siblings per tree-local index, for scoped cooperation.
+        self._coop_siblings: tuple[tuple[int, ...], ...] = tuple(
+            tuple(s for s in tree.siblings(local) if s in self._cache_local_set)
+            if architecture.cooperation
+            else ()
+            for local in range(tree.size)
+        )
+        self._capacity = (
+            CapacityTracker(capacity, network.num_nodes) if capacity else None
+        )
+        self._chains = network._chain  # tree-local path-to-root per local index
+        self.frozen_caches = frozen_caches
+        if preload:
+            sizes = workload.sizes
+            for node, objs in preload.items():
+                if node not in self.caches:
+                    raise ValueError(
+                        f"cannot preload node {node}: no cache placed there"
+                    )
+                for obj in objs:
+                    self._insert(node, int(obj), float(sizes[obj]))
+
+    def run(self) -> SimulationResult:
+        """Simulate the full request stream and return measured aggregates."""
+        network = self.network
+        workload = self.workload
+        tree_size = self._tree_size
+        pops = workload.pops
+        leaves = workload.leaves
+        objects = workload.objects
+        sizes = workload.sizes
+        origins = workload.origins
+        costs = self.costs
+        num_requests = len(objects)
+        first_measured = int(self.warmup_fraction * num_requests)
+        collector = MetricsCollector(network.num_links, network.num_pops)
+        if self.architecture.routing == "nr-global":
+            route = self._route_nr_global
+        elif self.architecture.routing == "nr":
+            route = self._route_nr_scoped
+        else:
+            route = self._route_sp
+        path_cost = network.path_cost
+        path_links = network.path_links
+        path_nodes = network.path_nodes
+        cache_local_set = self._cache_local_set
+        insert = self._insert
+        insertion = self.architecture.insertion
+        insert_probability = self.architecture.insertion_probability
+        insert_rng = np.random.default_rng(0xC0FFEE)
+
+        for i in range(num_requests):
+            pop = int(pops[i])
+            leaf_local = int(leaves[i])
+            obj = int(objects[i])
+            origin_pop = int(origins[obj])
+            serving, served_origin_pop, coop = route(
+                pop, leaf_local, obj, origin_pop, i
+            )
+            leaf_gid = pop * tree_size + leaf_local
+            if i >= first_measured:
+                if serving == leaf_gid:
+                    collector.record(0.0, [], sizes[obj], served_origin_pop, coop)
+                else:
+                    collector.record(
+                        path_cost(serving, leaf_gid, costs),
+                        path_links(serving, leaf_gid),
+                        sizes[obj],
+                        served_origin_pop,
+                        coop,
+                    )
+            if serving != leaf_gid and not self.frozen_caches:
+                size = sizes[obj]
+                if insertion == "everywhere":
+                    for node in path_nodes(serving, leaf_gid)[1:]:
+                        if node % tree_size in cache_local_set:
+                            insert(node, obj, size)
+                elif insertion == "lcd":
+                    # Leave-copy-down: only the first cache below the
+                    # serving node takes a copy, so popular objects
+                    # migrate toward the edge one level per request.
+                    for node in path_nodes(serving, leaf_gid)[1:]:
+                        if node % tree_size in cache_local_set:
+                            insert(node, obj, size)
+                            break
+                else:  # probabilistic
+                    for node in path_nodes(serving, leaf_gid)[1:]:
+                        if (
+                            node % tree_size in cache_local_set
+                            and insert_rng.random() < insert_probability
+                        ):
+                            insert(node, obj, size)
+        return collector.result(self.architecture.name)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route_sp(
+        self, pop: int, leaf_local: int, obj: int, origin_pop: int, i: int
+    ) -> tuple[int, int | None, bool]:
+        """Shortest path toward the origin; first cache on the path serves."""
+        tree_size = self._tree_size
+        caches = self.caches
+        cache_local_set = self._cache_local_set
+        capacity = self._capacity
+        cooperation = self.architecture.cooperation
+        base = pop * tree_size
+        for local in self._chains[leaf_local]:
+            if local == 0 and origin_pop == pop:
+                break  # reached the origin store
+            if local in cache_local_set:
+                node = base + local
+                if caches[node].lookup(obj):
+                    if capacity is None or capacity.try_serve(node, i):
+                        return node, None, False
+                elif cooperation:
+                    for sibling_local in self._coop_siblings[local]:
+                        sibling = base + sibling_local
+                        if caches[sibling].lookup(obj) and (
+                            capacity is None or capacity.try_serve(sibling, i)
+                        ):
+                            return sibling, None, True
+        if origin_pop != pop:
+            root_cached = 0 in cache_local_set
+            for transit_pop in self.network.core_path(pop, origin_pop)[1:]:
+                if transit_pop == origin_pop:
+                    break
+                if root_cached:
+                    node = transit_pop * tree_size
+                    if caches[node].lookup(obj) and (
+                        capacity is None or capacity.try_serve(node, i)
+                    ):
+                        return node, None, False
+        origin_root = origin_pop * tree_size
+        if capacity is not None:
+            capacity.force_serve(origin_root, i)
+        return origin_root, origin_pop, False
+
+    def _build_nr_scope_order(self) -> tuple[tuple[tuple[int, int], ...], ...]:
+        """Distance-ordered scoped-NR candidates per tree-local leaf.
+
+        The scope is every node on the leaf's path to the root plus each
+        path node's siblings; entries are (distance, local) sorted by
+        exact tree distance with on-path nodes winning ties.
+        """
+        tree = self.network.tree
+        orders: list[tuple[tuple[int, int], ...]] = []
+        for local in range(tree.size):
+            if not tree.is_leaf(local):
+                orders.append(())
+                continue
+            leaf_depth = tree.depth_of(local)
+            entries: list[tuple[int, int, int]] = []
+            for node in tree.path_to_root(local):
+                dist = leaf_depth - tree.depth_of(node)
+                entries.append((dist, 0, node))
+                for sibling in tree.siblings(node):
+                    entries.append((dist + 2, 1, sibling))
+            entries.sort()
+            orders.append(tuple((dist, node) for dist, _, node in entries))
+        return tuple(orders)
+
+    def _route_nr_scoped(
+        self, pop: int, leaf_local: int, obj: int, origin_pop: int, i: int
+    ) -> tuple[int, int | None, bool]:
+        """Nearest replica within the request path's scope.
+
+        Candidates are the path nodes and their siblings, visited in
+        exact distance order, then transit PoP roots along the core
+        path; the origin serves when no scoped replica is closer.
+        """
+        tree_size = self._tree_size
+        caches = self.caches
+        cache_local_set = self._cache_local_set
+        capacity = self._capacity
+        base = pop * tree_size
+        own_origin = origin_pop == pop
+        origin_tree_dist = self.network.tree.depth_of(leaf_local)
+        for dist, local in self._nr_scope_order[leaf_local]:
+            if own_origin and dist >= origin_tree_dist:
+                break  # the origin store (at the root) is at least as close
+            if local in cache_local_set:
+                node = base + local
+                if caches[node].lookup(obj) and (
+                    capacity is None or capacity.try_serve(node, i)
+                ):
+                    return node, None, False
+        if not own_origin and 0 in cache_local_set:
+            for transit_pop in self.network.core_path(pop, origin_pop)[1:]:
+                if transit_pop == origin_pop:
+                    break
+                node = transit_pop * tree_size
+                if caches[node].lookup(obj) and (
+                    capacity is None or capacity.try_serve(node, i)
+                ):
+                    return node, None, False
+        origin_root = origin_pop * tree_size
+        if capacity is not None:
+            capacity.force_serve(origin_root, i)
+        return origin_root, origin_pop, False
+
+    def _route_nr_global(
+        self, pop: int, leaf_local: int, obj: int, origin_pop: int, i: int
+    ) -> tuple[int, int | None, bool]:
+        """Nearest-replica oracle over every cache; falls back to the origin."""
+        tree_size = self._tree_size
+        leaf_gid = pop * tree_size + leaf_local
+        origin_root = origin_pop * tree_size
+        origin_dist = self.network.distance(leaf_gid, origin_root)
+        found = self.directory.nearest(obj, leaf_gid)
+        if found is not None:
+            node, dist = found
+            # Prefer the replica on ties: same latency, less origin load.
+            if dist <= origin_dist:
+                self.caches[node].lookup(obj)
+                capacity = self._capacity
+                if capacity is None or capacity.try_serve(node, i):
+                    return node, None, False
+        if self._capacity is not None:
+            self._capacity.force_serve(origin_root, i)
+        return origin_root, origin_pop, False
+
+    # ------------------------------------------------------------------
+    # Cache insertion
+    # ------------------------------------------------------------------
+    def _insert(self, node: int, obj: int, size: float) -> None:
+        cache = self.caches[node]
+        directory = self.directory
+        if directory is None:
+            cache.insert(obj, size)
+            return
+        was_cached = obj in cache
+        evicted = cache.insert(obj, size)
+        for victim in evicted:
+            directory.remove(victim, node)
+        if not was_cached and obj in cache:
+            directory.add(obj, node)
+
+    @property
+    def capacity_rejections(self) -> int:
+        """Requests redirected because a cache was overloaded."""
+        return self._capacity.rejections if self._capacity else 0
+
+
+def simulate_no_cache(
+    network: Network,
+    workload: Workload,
+    hop_costs: HopCosts | None = None,
+    warmup_fraction: float = 0.0,
+) -> SimulationResult:
+    """The normalization baseline: every request is served by its origin."""
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+    costs = hop_costs if hop_costs is not None else network.unit_hop_costs()
+    tree_size = network.tree_size
+    collector = MetricsCollector(network.num_links, network.num_pops)
+    pops = workload.pops
+    leaves = workload.leaves
+    objects = workload.objects
+    sizes = workload.sizes
+    origins = workload.origins
+    num_requests = len(objects)
+    first_measured = int(warmup_fraction * num_requests)
+    for i in range(first_measured, num_requests):
+        pop = int(pops[i])
+        obj = int(objects[i])
+        origin_pop = int(origins[obj])
+        leaf_gid = pop * tree_size + int(leaves[i])
+        origin_root = origin_pop * tree_size
+        collector.record(
+            network.path_cost(origin_root, leaf_gid, costs),
+            network.path_links(origin_root, leaf_gid),
+            sizes[obj],
+            origin_pop,
+            False,
+        )
+    return collector.result("NO-CACHE")

@@ -1,0 +1,163 @@
+"""Evaluation metrics (Section 4): latency, congestion, origin load.
+
+All figures in the paper report *percentage improvement over a network
+with no caching at all*, so a :class:`SimulationResult` carries raw
+aggregates and :func:`improvements` normalizes one result against the
+no-cache baseline of the same workload:
+
+* latency — mean hops (hop-cost units) from the serving node to the
+  request leaf, averaged over requests;
+* congestion — object transfers crossing the most-loaded link;
+* origin load — requests served by the most-loaded origin server.
+
+The sensitivity figures additionally report the *gap*
+``RelImprov(ICN-NR) - RelImprov(EDGE)`` via :func:`gap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+METRIC_NAMES = ("latency", "congestion", "origin_load")
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Raw aggregates from one simulation run (after warm-up)."""
+
+    architecture: str
+    num_requests: int
+    total_latency: float
+    max_link_transfers: float
+    total_transfers: float
+    max_origin_load: float
+    total_origin_load: float
+    cache_served: int
+    coop_served: int
+    link_transfers: np.ndarray
+    origin_serves: np.ndarray
+
+    @property
+    def mean_latency(self) -> float:
+        """Average hop-cost latency per measured request."""
+        return self.total_latency / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of measured requests served from some cache."""
+        if not self.num_requests:
+            return 0.0
+        return (self.cache_served + self.coop_served) / self.num_requests
+
+
+@dataclass(frozen=True)
+class Improvements:
+    """Percentage improvements over the no-cache baseline."""
+
+    latency: float
+    congestion: float
+    origin_load: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Metric-name → percentage mapping, in the paper's order."""
+        return {
+            "latency": self.latency,
+            "congestion": self.congestion,
+            "origin_load": self.origin_load,
+        }
+
+    def min(self) -> float:
+        """Worst (smallest) improvement across the three metrics."""
+        return min(self.latency, self.congestion, self.origin_load)
+
+    def max(self) -> float:
+        """Best (largest) improvement across the three metrics."""
+        return max(self.latency, self.congestion, self.origin_load)
+
+
+def _percent_reduction(baseline: float, value: float) -> float:
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - value) / baseline
+
+
+def improvements(result: SimulationResult, baseline: SimulationResult) -> Improvements:
+    """Normalize ``result`` against the no-cache ``baseline``."""
+    if result.num_requests != baseline.num_requests:
+        raise ValueError(
+            "result and baseline measured different request counts: "
+            f"{result.num_requests} vs {baseline.num_requests}"
+        )
+    return Improvements(
+        latency=_percent_reduction(baseline.mean_latency, result.mean_latency),
+        congestion=_percent_reduction(
+            baseline.max_link_transfers, result.max_link_transfers
+        ),
+        origin_load=_percent_reduction(
+            baseline.max_origin_load, result.max_origin_load
+        ),
+    )
+
+
+def gap(a: Improvements, b: Improvements) -> Improvements:
+    """Per-metric difference ``a - b`` (e.g. ICN-NR minus EDGE)."""
+    return Improvements(
+        latency=a.latency - b.latency,
+        congestion=a.congestion - b.congestion,
+        origin_load=a.origin_load - b.origin_load,
+    )
+
+
+class MetricsCollector:
+    """Accumulates per-request observations during a simulation run."""
+
+    def __init__(self, num_links: int, num_pops: int):
+        self.num_requests = 0
+        self.total_latency = 0.0
+        self.cache_served = 0
+        self.coop_served = 0
+        self.link_transfers = np.zeros(num_links, dtype=np.float64)
+        self.origin_serves = np.zeros(num_pops, dtype=np.float64)
+
+    def record(
+        self,
+        latency: float,
+        links: list[int],
+        size: float,
+        origin_pop: int | None,
+        coop: bool,
+    ) -> None:
+        """Record one measured request.
+
+        ``origin_pop`` is the serving origin (None for cache hits);
+        ``coop`` marks requests served via scoped sibling cooperation.
+        """
+        self.num_requests += 1
+        self.total_latency += latency
+        for link in links:
+            self.link_transfers[link] += size
+        if origin_pop is None:
+            if coop:
+                self.coop_served += 1
+            else:
+                self.cache_served += 1
+        else:
+            self.origin_serves[origin_pop] += 1
+
+    def result(self, architecture: str) -> SimulationResult:
+        """Freeze the accumulated counters into a result."""
+        return SimulationResult(
+            architecture=architecture,
+            num_requests=self.num_requests,
+            total_latency=self.total_latency,
+            max_link_transfers=float(self.link_transfers.max(initial=0.0)),
+            total_transfers=float(self.link_transfers.sum()),
+            max_origin_load=float(self.origin_serves.max(initial=0.0)),
+            total_origin_load=float(self.origin_serves.sum()),
+            cache_served=self.cache_served,
+            coop_served=self.coop_served,
+            link_transfers=self.link_transfers.copy(),
+            origin_serves=self.origin_serves.copy(),
+        )

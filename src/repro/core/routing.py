@@ -1,0 +1,115 @@
+"""Nearest-replica routing support (the ICN-NR design).
+
+The paper "conservatively assume[s] that we can find and route to the
+nearest replica with zero overhead" — so this directory is an oracle: it
+tracks every cached copy and answers exact nearest-replica queries, and
+the lookup itself is never charged any latency.
+
+Queries are pruned with a per-source ordering of PoPs by core distance:
+once the lower bound ``depth(leaf) + core_dist`` of the next PoP can no
+longer beat the best replica found, the scan stops.  Because popular
+objects are usually replicated near the requester, the typical query
+touches only a handful of PoPs.
+"""
+
+from __future__ import annotations
+
+from ..topology.network import Network
+
+
+class ReplicaDirectory:
+    """Exact, zero-cost index of which nodes currently cache each object."""
+
+    def __init__(self, network: Network):
+        self._network = network
+        self._tree = network.tree
+        self._tree_size = network.tree_size
+        self._depth = network.tree._depth_of  # depth by tree-local index
+        # object -> pop -> set of tree-local holder indices.
+        self._holders: dict[int, dict[int, set[int]]] = {}
+        # For each source PoP, other PoPs sorted by core distance.
+        dist = network._core_dist
+        self._pop_order = [
+            sorted(range(network.num_pops), key=lambda q: dist[p][q])
+            for p in range(network.num_pops)
+        ]
+        self._core_dist = dist
+
+    def add(self, obj: int, node: int) -> None:
+        """Record that ``node`` now caches ``obj``."""
+        pop, local = divmod(node, self._tree_size)
+        self._holders.setdefault(obj, {}).setdefault(pop, set()).add(local)
+
+    def remove(self, obj: int, node: int) -> None:
+        """Record that ``node`` evicted ``obj``."""
+        pop, local = divmod(node, self._tree_size)
+        by_pop = self._holders.get(obj)
+        if by_pop is None:
+            raise KeyError(f"object {obj} has no recorded replicas")
+        locals_ = by_pop[pop]
+        locals_.remove(local)
+        if not locals_:
+            del by_pop[pop]
+            if not by_pop:
+                del self._holders[obj]
+
+    def num_replicas(self, obj: int) -> int:
+        """Number of cached copies of ``obj`` across the network."""
+        by_pop = self._holders.get(obj)
+        if not by_pop:
+            return 0
+        return sum(len(locals_) for locals_ in by_pop.values())
+
+    def holders(self, obj: int) -> list[int]:
+        """Global node ids of every cache currently holding ``obj``."""
+        by_pop = self._holders.get(obj, {})
+        return [
+            pop * self._tree_size + local
+            for pop, locals_ in by_pop.items()
+            for local in locals_
+        ]
+
+    def nearest(self, obj: int, leaf: int) -> tuple[int, int] | None:
+        """Closest cached copy of ``obj`` to the request leaf.
+
+        Returns ``(node_gid, hop_distance)`` or ``None`` when the object
+        is not cached anywhere.  Distances are hops; the caller compares
+        against the origin's distance to pick the serving node.
+        """
+        by_pop = self._holders.get(obj)
+        if not by_pop:
+            return None
+        pop, leaf_local = divmod(leaf, self._tree_size)
+        depth = self._depth
+        leaf_depth = depth[leaf_local]
+        tree = self._tree
+        best_dist = -1
+        best_node = -1
+        # Same-PoP holders first: exact tree distances.
+        same = by_pop.get(pop)
+        if same:
+            for local in same:
+                d = tree.distance(leaf_local, local)
+                if best_dist == -1 or d < best_dist:
+                    best_dist, best_node = d, pop * self._tree_size + local
+                    if d == 0:
+                        return best_node, 0
+        core_dist = self._core_dist[pop]
+        for other in self._pop_order[pop]:
+            if other == pop:
+                continue
+            lower_bound = leaf_depth + core_dist[other]
+            if best_dist != -1 and lower_bound >= best_dist:
+                break  # PoPs are distance-sorted: nothing further can win.
+            locals_ = by_pop.get(other)
+            if not locals_:
+                continue
+            min_holder_depth = min(depth[local] for local in locals_)
+            d = lower_bound + min_holder_depth
+            if best_dist == -1 or d < best_dist:
+                best_dist = d
+                best_local = next(
+                    local for local in locals_ if depth[local] == min_holder_depth
+                )
+                best_node = other * self._tree_size + best_local
+        return (best_node, best_dist) if best_dist != -1 else None

@@ -1,0 +1,141 @@
+"""idICN: the incrementally deployable ICN design of Section 6.
+
+An application-layer ICN over HTTP: self-certifying names under
+``.idicn.org``, Metalink content metadata with publisher signatures,
+WPAD/PAC proxy auto-configuration, an SFR-style flat name resolution
+system, Zeroconf/mDNS ad hoc sharing, and dynamic-DNS mobility — all
+running on a deterministic simulated network (:mod:`repro.idicn.simnet`).
+"""
+
+from .adhoc import AdHocCacheProxy, join_adhoc_network
+from .client import Browser, VerificationError
+from .crypto import KeyPair, PublicKey, generate_keypair, sha256_hex, sign, verify
+from .deployment import ClientDomain, Deployment, Provider, build_deployment
+from .dns import DnsClient, DnsQuery, DnsServer, DnsUpdate
+from .http import HttpRequest, HttpResponse
+from .metalink import METALINK_HEADER, Metalink, build_metalink, verify_metalink
+from .mobility import DownloadResult, MobileServer, ResumingDownloader
+from .names import (
+    FINGERPRINT_CHARS,
+    IDICN_SUFFIX,
+    IcnName,
+    is_idicn_domain,
+    make_name,
+    name_matches_key,
+    parse_domain,
+    principal_of,
+)
+from .origin import OriginServer
+from .proxy import EdgeProxy
+from .resolution import (
+    NameResolutionSystem,
+    RegisterRequest,
+    ResolutionClient,
+    ResolveRequest,
+    make_registration,
+)
+from .reverse_proxy import ReverseProxy
+from .simnet import (
+    ARP_PORT,
+    DNS_PORT,
+    HTTP_PORT,
+    MDNS_PORT,
+    RESOLVER_PORT,
+    AddressInUseError,
+    Host,
+    HostDownError,
+    NoRouteError,
+    NoServiceError,
+    SimNet,
+    SimNetError,
+    Subnet,
+)
+from .wpad import (
+    DHCP_PAC_OPTION,
+    DIRECT,
+    PacFile,
+    PacRule,
+    autodiscover,
+    discover_pac_url,
+    fetch_pac,
+    proxy_address,
+)
+from .zeroconf import (
+    LINK_LOCAL_PREFIX,
+    MdnsResponder,
+    claim_link_local_address,
+    is_link_local,
+    mdns_resolve,
+)
+
+__all__ = [
+    "ARP_PORT",
+    "AdHocCacheProxy",
+    "AddressInUseError",
+    "Browser",
+    "ClientDomain",
+    "DHCP_PAC_OPTION",
+    "DIRECT",
+    "DNS_PORT",
+    "Deployment",
+    "DnsClient",
+    "DnsQuery",
+    "DnsServer",
+    "DnsUpdate",
+    "DownloadResult",
+    "EdgeProxy",
+    "FINGERPRINT_CHARS",
+    "HTTP_PORT",
+    "Host",
+    "HostDownError",
+    "HttpRequest",
+    "HttpResponse",
+    "IDICN_SUFFIX",
+    "IcnName",
+    "KeyPair",
+    "LINK_LOCAL_PREFIX",
+    "MDNS_PORT",
+    "METALINK_HEADER",
+    "MdnsResponder",
+    "Metalink",
+    "MobileServer",
+    "NameResolutionSystem",
+    "NoRouteError",
+    "NoServiceError",
+    "OriginServer",
+    "PacFile",
+    "PacRule",
+    "Provider",
+    "PublicKey",
+    "RESOLVER_PORT",
+    "RegisterRequest",
+    "ResolutionClient",
+    "ResolveRequest",
+    "ResumingDownloader",
+    "ReverseProxy",
+    "SimNet",
+    "SimNetError",
+    "Subnet",
+    "VerificationError",
+    "autodiscover",
+    "build_deployment",
+    "build_metalink",
+    "claim_link_local_address",
+    "discover_pac_url",
+    "fetch_pac",
+    "generate_keypair",
+    "is_idicn_domain",
+    "is_link_local",
+    "join_adhoc_network",
+    "make_name",
+    "make_registration",
+    "mdns_resolve",
+    "name_matches_key",
+    "parse_domain",
+    "principal_of",
+    "proxy_address",
+    "sha256_hex",
+    "sign",
+    "verify",
+    "verify_metalink",
+]

@@ -1,0 +1,76 @@
+"""Ad hoc content sharing (Section 6.2).
+
+The paper prototyped "a simple HTTP proxy (350 lines of Python code) to
+expose Chrome browser's cache over the network when the IP address is
+link-local": the sharer publishes an mDNS alias for every domain it has
+cached content for and serves GETs out of the browser cache.  Consumers
+need nothing beyond a Zeroconf stack with mDNS fallback resolution.
+
+:func:`share_scenario` wires up the paper's Alice-and-Bob walkthrough.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import http
+from .client import Browser
+from .simnet import HTTP_PORT, Host, SimNet
+from .zeroconf import MdnsResponder, claim_link_local_address, is_link_local
+
+
+class AdHocCacheProxy:
+    """Expose a browser's cache to an infrastructure-less subnet."""
+
+    def __init__(self, browser: Browser, subnet: str):
+        self.browser = browser
+        self.subnet = subnet
+        self.host = browser.host
+        address = self.host.addresses.get(subnet)
+        if address is None or not is_link_local(address):
+            raise ValueError(
+                "ad hoc sharing requires a link-local address on the subnet"
+            )
+        self.responder = MdnsResponder(self.host, subnet)
+        self.requests_served = 0
+        self.host.bind(HTTP_PORT, self._serve)
+        self.refresh()
+
+    def refresh(self) -> tuple[str, ...]:
+        """(Re)publish an mDNS alias per cached domain; returns them."""
+        published = set(self.responder.published_names)
+        current = set(self.browser.cached_domains())
+        for stale in published - current:
+            self.responder.withdraw(stale)
+        for domain in current - published:
+            self.responder.publish(domain)
+        return tuple(sorted(current))
+
+    def _serve(self, host: Host, src: str, payload: object) -> http.HttpResponse:
+        if not isinstance(payload, http.HttpRequest):
+            raise TypeError("ad hoc proxy only speaks HTTP")
+        if payload.method != "GET":
+            return http.HttpResponse(status=405, body=b"method not allowed")
+        body = self.browser.cache_lookup_by_path(payload.host, payload.path)
+        if body is None:
+            return http.not_found(
+                f"nothing cached for {payload.host}{payload.path}"
+            )
+        self.requests_served += 1
+        byte_range = payload.byte_range()
+        if byte_range is not None:
+            return http.apply_byte_range(body, byte_range)
+        return http.ok(body)
+
+
+def join_adhoc_network(
+    net: SimNet, name: str, subnet: str, rng: np.random.Generator
+) -> Host:
+    """Create a host and self-assign a link-local address on ``subnet``.
+
+    This is the airplane scenario: no DHCP, no DNS — the host claims a
+    169.254/16 address via conflict-probed self-assignment.
+    """
+    host = net.create_host(name)
+    claim_link_local_address(host, subnet, rng)
+    return host

@@ -1,0 +1,166 @@
+"""Browser client (Figure 11, steps 1-2 and 7).
+
+The client auto-configures its proxy via WPAD (step 1) and issues
+plain HTTP GETs (step 2) — "without even requiring the client to
+perform a name lookup or a per-request connection setup" when a proxy
+is configured.  Without a proxy it resolves names itself via DNS with
+an mDNS fallback (the ad hoc mode's name switching service) and fetches
+directly.  Responses land in a local browser cache, which the ad hoc
+proxy (:mod:`repro.idicn.adhoc`) can expose to nearby machines.
+Optionally the client verifies idICN content end-to-end instead of
+trusting the proxy.
+"""
+
+from __future__ import annotations
+
+from ..cache.lru import LRUCache
+from . import http
+from .dns import DnsClient
+from .metalink import METALINK_HEADER, Metalink, verify_metalink
+from .names import parse_domain, name_matches_key
+from .crypto import PublicKey
+from .simnet import HTTP_PORT, Host, SimNetError
+from .wpad import PacFile, autodiscover, proxy_address
+
+
+class VerificationError(Exception):
+    """Raised when end-host content verification fails."""
+
+
+class Browser:
+    """An HTTP client with WPAD auto-config, cookies, and a local cache."""
+
+    def __init__(
+        self,
+        host: Host,
+        subnet: str,
+        dns: DnsClient | None = None,
+        verify_content: bool = False,
+        cache_capacity: int = 256,
+    ):
+        self.host = host
+        self.subnet = subnet
+        self.dns = dns
+        self.verify_content = verify_content
+        self.pac: PacFile | None = None
+        self.cookies: dict[str, dict[str, str]] = {}
+        self._cache = LRUCache(capacity=cache_capacity)
+        self._store: dict[str, tuple[str, bytes, str | None]] = {}
+        self.requests_made = 0
+
+    # ------------------------------------------------------------------
+    # Configuration (step 1)
+    # ------------------------------------------------------------------
+    def configure(self) -> bool:
+        """Run WPAD; returns True when a PAC file was found and parsed."""
+        self.pac = autodiscover(self.host, self.subnet, self.dns)
+        return self.pac is not None
+
+    def proxy_for(self, url: str) -> str | None:
+        """The proxy address the PAC selects for ``url`` (None = DIRECT)."""
+        if self.pac is None:
+            return None
+        host, _ = http.split_url(url)
+        return proxy_address(self.pac.find_proxy_for_url(url, host))
+
+    # ------------------------------------------------------------------
+    # Fetching (steps 2 and 7)
+    # ------------------------------------------------------------------
+    def get(self, url: str, headers: dict[str, str] | None = None) -> http.HttpResponse:
+        """Fetch ``url``, via the configured proxy or directly."""
+        self.requests_made += 1
+        target_host, _ = http.split_url(url)
+        request = http.HttpRequest("GET", url, headers=headers or {})
+        request = self._attach_cookies(request, target_host)
+        proxy = self.proxy_for(url)
+        if proxy is not None:
+            response = self._call(proxy, request)
+        else:
+            address = self._resolve(target_host)
+            if address is None:
+                return http.bad_gateway(f"cannot resolve {target_host!r}")
+            response = self._call(address, request)
+        self._collect_cookies(response, target_host)
+        if response.ok:
+            self._verify(url, response)
+            self._remember(url, target_host, response)
+        return response
+
+    def cached(self, url: str) -> bytes | None:
+        """Body of a previously fetched URL from the browser cache."""
+        entry = self._store.get(url)
+        return entry[1] if entry is not None else None
+
+    def cached_domains(self) -> tuple[str, ...]:
+        """Domains with at least one object in the browser cache."""
+        return tuple(sorted({domain for domain, _, _ in self._store.values()}))
+
+    def cache_lookup_by_path(self, domain: str, path: str) -> bytes | None:
+        """Find a cached body by (domain, path) — the ad hoc proxy's view."""
+        for url, (cached_domain, body, _) in self._store.items():
+            if cached_domain == domain and http.split_url(url)[1] == path:
+                return body
+        return None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _call(self, address: str, request: http.HttpRequest) -> http.HttpResponse:
+        try:
+            return self.host.call(address, HTTP_PORT, request)
+        except SimNetError as exc:
+            return http.bad_gateway(str(exc))
+
+    def _resolve(self, domain: str) -> str | None:
+        if self.dns is not None:
+            return self.dns.resolve(domain)
+        return None
+
+    def _verify(self, url: str, response: http.HttpResponse) -> None:
+        if not self.verify_content:
+            return
+        domain, _ = http.split_url(url)
+        name = parse_domain(domain)
+        if name is None:
+            return  # legacy content: nothing to verify against
+        metalink_xml = response.header(METALINK_HEADER)
+        if metalink_xml is None:
+            raise VerificationError(f"no metadata for idICN content {url}")
+        try:
+            metalink = Metalink.from_xml(metalink_xml)
+            publisher = PublicKey.from_bytes(metalink.publisher_key.encode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise VerificationError(f"bad metadata for {url}: {exc}") from exc
+        if not name_matches_key(name, publisher):
+            raise VerificationError(f"publisher key does not bind to {domain}")
+        if not verify_metalink(metalink, response.body):
+            raise VerificationError(f"signature/hash check failed for {url}")
+
+    def _remember(self, url: str, domain: str, response: http.HttpResponse) -> None:
+        if response.status != 200:
+            return  # don't cache partial responses
+        for victim in self._cache.insert(url):
+            self._store.pop(victim, None)
+        if url in self._cache:
+            self._store[url] = (
+                domain,
+                response.body,
+                response.header(METALINK_HEADER),
+            )
+
+    def _attach_cookies(
+        self, request: http.HttpRequest, domain: str
+    ) -> http.HttpRequest:
+        jar = self.cookies.get(domain)
+        if not jar:
+            return request
+        encoded = "; ".join(f"{k}={v}" for k, v in sorted(jar.items()))
+        return request.with_header("cookie", encoded)
+
+    def _collect_cookies(self, response: http.HttpResponse, domain: str) -> None:
+        raw = response.header("set-cookie")
+        if raw is None:
+            return
+        name, _, value = raw.partition("=")
+        if name:
+            self.cookies.setdefault(domain, {})[name.strip()] = value.strip()

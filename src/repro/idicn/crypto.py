@@ -1,0 +1,139 @@
+"""Pure-Python RSA for idICN's content-oriented security (Section 6.1).
+
+idICN binds names to publishers by hashing the publisher's public key
+(self-certifying names) and shipping content signatures in Metalink
+metadata.  Only the sign/verify/self-certify semantics matter for the
+design, so we implement textbook RSA with SHA-256 hash-then-sign over
+Python integers: Miller-Rabin prime generation, e = 65537, and a
+deterministic keygen seeded through ``random.Random`` so tests are
+reproducible.  This is NOT hardened cryptography (no padding oracle
+defenses, small default modulus for speed) and must not be used outside
+the simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+_PUBLIC_EXPONENT = 65537
+# Deterministic bases are sufficient for < 3.3 * 10^24 (we also run
+# random rounds on top for larger moduli).
+_MILLER_RABIN_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def _is_probable_prime(n: int, rng: random.Random, extra_rounds: int = 8) -> bool:
+    if n < 2:
+        return False
+    for p in _MILLER_RABIN_BASES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    bases = list(_MILLER_RABIN_BASES)
+    bases.extend(rng.randrange(2, n - 1) for _ in range(extra_rounds))
+    for a in bases:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: random.Random) -> int:
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """RSA public key (modulus, exponent)."""
+
+    n: int
+    e: int
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialization used for self-certifying name hashes."""
+        return f"rsa:{self.n:x}:{self.e:x}".encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PublicKey":
+        """Parse the canonical serialization."""
+        kind, n_hex, e_hex = data.decode().split(":")
+        if kind != "rsa":
+            raise ValueError(f"unknown key type {kind!r}")
+        return cls(n=int(n_hex, 16), e=int(e_hex, 16))
+
+    def fingerprint(self) -> str:
+        """Hex SHA-256 of the serialized key (the ``P`` in ``L.P`` names)."""
+        return sha256_hex(self.to_bytes())
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """An RSA key pair; ``d`` is the private exponent."""
+
+    public: PublicKey
+    d: int
+
+    @property
+    def n(self) -> int:
+        """Modulus, shared with the public key."""
+        return self.public.n
+
+
+def generate_keypair(bits: int = 512, seed: int | None = None) -> KeyPair:
+    """Generate an RSA key pair (small default modulus — simulation only)."""
+    if bits < 128:
+        raise ValueError("modulus must be at least 128 bits")
+    rng = random.Random(seed)
+    while True:
+        p = _random_prime(bits // 2, rng)
+        q = _random_prime(bits - bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % _PUBLIC_EXPONENT == 0:
+            continue
+        d = pow(_PUBLIC_EXPONENT, -1, phi)
+        return KeyPair(public=PublicKey(n=n, e=_PUBLIC_EXPONENT), d=d)
+
+
+def _digest_int(data: bytes, n: int) -> int:
+    return int.from_bytes(hashlib.sha256(data).digest(), "big") % n
+
+
+def sign(data: bytes, keypair: KeyPair) -> str:
+    """Hex RSA signature over the SHA-256 digest of ``data``."""
+    digest = _digest_int(data, keypair.n)
+    return format(pow(digest, keypair.d, keypair.n), "x")
+
+
+def verify(data: bytes, signature: str, public: PublicKey) -> bool:
+    """Check ``signature`` against ``data`` under ``public``."""
+    try:
+        sig_int = int(signature, 16)
+    except (TypeError, ValueError):
+        return False
+    if not 0 <= sig_int < public.n:
+        return False
+    return pow(sig_int, public.e, public.n) == _digest_int(data, public.n)

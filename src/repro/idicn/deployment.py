@@ -1,0 +1,146 @@
+"""Turn-key idICN deployments for tests, examples, and benchmarks.
+
+Wires the full Figure 11 picture on a :class:`repro.idicn.simnet.SimNet`:
+a backbone subnet carrying the name resolution system, DNS, a content
+provider (origin + reverse proxy), one or more client ADs each with an
+edge proxy and a WPAD/PAC server, and auto-configured browsers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import http
+from .client import Browser
+from .crypto import KeyPair, generate_keypair
+from .dns import DnsClient, DnsServer
+from .origin import OriginServer
+from .proxy import EdgeProxy
+from .resolution import NameResolutionSystem, ResolutionClient
+from .reverse_proxy import ReverseProxy
+from .simnet import HTTP_PORT, Host, SimNet
+from .wpad import DHCP_PAC_OPTION
+
+
+@dataclass
+class Provider:
+    """One content provider: origin, reverse proxy, and its key pair."""
+
+    origin: OriginServer
+    reverse_proxy: ReverseProxy
+    keypair: KeyPair
+
+    def publish(self, label: str, content: bytes) -> str:
+        """Store content at the origin and publish it; returns the domain."""
+        self.origin.store(label, content)
+        return self.reverse_proxy.publish(label).domain
+
+
+@dataclass
+class ClientDomain:
+    """One administrative domain: edge proxy, PAC server, browsers."""
+
+    name: str
+    subnet: str
+    proxy: EdgeProxy
+    browsers: list[Browser] = field(default_factory=list)
+
+
+@dataclass
+class Deployment:
+    """A complete idICN deployment."""
+
+    net: SimNet
+    dns_server: DnsServer
+    resolver: NameResolutionSystem
+    providers: list[Provider] = field(default_factory=list)
+    domains: list[ClientDomain] = field(default_factory=list)
+
+    @property
+    def backbone(self) -> str:
+        """Name of the backbone subnet."""
+        return "backbone"
+
+    def dns_client(self, host: Host) -> DnsClient:
+        """A resolver stub pointed at the deployment's DNS server."""
+        return DnsClient(host, server_address=self.dns_server.host.address_on(
+            self.backbone))
+
+
+def _pac_body(proxy_addr: str) -> str:
+    return (
+        f"dnsDomainIs .idicn.org => PROXY {proxy_addr}:80\n"
+        f"shExpMatch http://* => PROXY {proxy_addr}:80\n"
+        "default => DIRECT\n"
+    )
+
+
+def build_deployment(
+    num_domains: int = 1,
+    browsers_per_domain: int = 1,
+    proxy_capacity: int = 1024,
+    key_bits: int = 256,
+    key_seed: int = 7,
+    verify_at_client: bool = False,
+) -> Deployment:
+    """Build the standard single-provider deployment of Figure 11."""
+    net = SimNet()
+    net.create_subnet("backbone", "10.0.0")
+
+    dns_host = net.create_host("dns", "backbone")
+    dns_server = DnsServer(dns_host)
+    resolver_host = net.create_host("resolver", "backbone")
+    resolver = NameResolutionSystem(resolver_host)
+    resolver_addr = resolver_host.address_on("backbone")
+
+    origin_host = net.create_host("origin", "backbone")
+    origin = OriginServer(origin_host)
+    rp_host = net.create_host("reverse-proxy", "backbone")
+    keypair = generate_keypair(bits=key_bits, seed=key_seed)
+    reverse_proxy = ReverseProxy(
+        rp_host,
+        origin_address=origin_host.address_on("backbone"),
+        keypair=keypair,
+        resolver=ResolutionClient(rp_host, resolver_addr),
+        dns_register=dns_server.add_record,
+    )
+    deployment = Deployment(
+        net=net,
+        dns_server=dns_server,
+        resolver=resolver,
+        providers=[Provider(origin=origin, reverse_proxy=reverse_proxy,
+                            keypair=keypair)],
+    )
+
+    for index in range(num_domains):
+        domain_name = f"ad{index}"
+        subnet = f"ad{index}"
+        net.create_subnet(subnet, f"10.{index + 1}.0")
+        proxy_host = net.create_host(f"{domain_name}-proxy", subnet)
+        # The proxy needs a backbone leg to reach resolver/reverse proxy.
+        net.attach(proxy_host, "backbone")
+        proxy = EdgeProxy(
+            proxy_host,
+            resolver=ResolutionClient(proxy_host, resolver_addr),
+            dns=deployment.dns_client(proxy_host),
+            capacity=proxy_capacity,
+        )
+        pac_host = net.create_host(f"{domain_name}-pac", subnet)
+        pac_body = _pac_body(proxy_host.address_on(subnet)).encode()
+        pac_host.bind(
+            HTTP_PORT,
+            lambda h, src, req, body=pac_body: http.ok(body),
+        )
+        net.subnets[subnet].dhcp_options[DHCP_PAC_OPTION] = (
+            f"http://{pac_host.address_on(subnet)}/wpad.dat"
+        )
+        client_domain = ClientDomain(name=domain_name, subnet=subnet, proxy=proxy)
+        for b in range(browsers_per_domain):
+            browser_host = net.create_host(f"{domain_name}-client{b}", subnet)
+            browser = Browser(
+                browser_host, subnet, verify_content=verify_at_client
+            )
+            browser.configure()
+            client_domain.browsers.append(browser)
+        deployment.domains.append(client_domain)
+    return deployment

@@ -1,0 +1,123 @@
+"""Simulated DNS with dynamic updates (Section 6.3 mobility support).
+
+A :class:`DnsServer` binds on :data:`repro.idicn.simnet.DNS_PORT` and
+answers name→address queries; authorized principals can push dynamic
+updates ("with dynamic DNS updates, mobile servers must announce their
+locations").  A :class:`DnsClient` queries a configured server and can
+fall back to mDNS when none is configured (the ad hoc mode's "name
+switching service").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .simnet import DNS_PORT, MDNS_PORT, Host, SimNetError
+
+
+@dataclass(frozen=True)
+class DnsQuery:
+    """A name-resolution question."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class DnsUpdate:
+    """A dynamic-DNS registration (token authenticates the owner)."""
+
+    name: str
+    address: str
+    token: str
+
+
+class DnsServer:
+    """Authoritative store of name→address records with dynamic updates."""
+
+    def __init__(self, host: Host):
+        self.host = host
+        self._records: dict[str, str] = {}
+        self._tokens: dict[str, str] = {}
+        self.queries = 0
+        self.updates = 0
+        host.bind(DNS_PORT, self._serve)
+
+    def add_record(self, name: str, address: str, token: str | None = None) -> None:
+        """Provision a record; ``token`` authorizes later dynamic updates."""
+        key = name.lower()
+        self._records[key] = address
+        if token is not None:
+            self._tokens[key] = token
+
+    def lookup(self, name: str) -> str | None:
+        """Local (non-network) record lookup."""
+        return self._records.get(name.lower())
+
+    def _serve(self, host: Host, src: str, payload: object) -> object:
+        if isinstance(payload, DnsQuery):
+            self.queries += 1
+            return self._records.get(payload.name.lower())
+        if isinstance(payload, DnsUpdate):
+            key = payload.name.lower()
+            expected = self._tokens.get(key)
+            if expected is not None and expected != payload.token:
+                return False
+            self.updates += 1
+            self._records[key] = payload.address
+            self._tokens.setdefault(key, payload.token)
+            return True
+        raise TypeError(f"unexpected DNS payload {type(payload).__name__}")
+
+
+class DnsClient:
+    """Resolver stub with an optional mDNS fallback.
+
+    This is the behaviour the ad hoc scenario relies on: "without a
+    configured DNS server to contact, Bob's name switching service sends
+    an mDNS query" (Section 6.2).
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        server_address: str | None = None,
+        mdns_subnet: str | None = None,
+    ):
+        self.host = host
+        self.server_address = server_address
+        self.mdns_subnet = mdns_subnet
+
+    def resolve(self, name: str) -> str | None:
+        """Resolve ``name`` to an address, or None."""
+        if self.server_address is not None:
+            try:
+                answer = self.host.call(
+                    self.server_address, DNS_PORT, DnsQuery(name=name)
+                )
+            except SimNetError:
+                answer = None
+            if answer is not None:
+                return answer
+        if self.mdns_subnet is not None:
+            replies = self.host.multicast(
+                self.mdns_subnet, MDNS_PORT, DnsQuery(name=name)
+            )
+            for _, answer in replies:
+                if answer is not None:
+                    return answer
+        return None
+
+    def update(self, name: str, address: str, token: str) -> bool:
+        """Push a dynamic-DNS update; False when refused or unreachable."""
+        if self.server_address is None:
+            return False
+        try:
+            return bool(
+                self.host.call(
+                    self.server_address,
+                    DNS_PORT,
+                    DnsUpdate(name=name, address=address, token=token),
+                )
+            )
+        except SimNetError:
+            return False

@@ -1,0 +1,156 @@
+"""Minimal HTTP message model for the idICN prototype.
+
+idICN "build[s] upon HTTP, as it already provides a fetch-by-name
+primitive" (Section 6).  Requests and responses are typed messages
+carried over :mod:`repro.idicn.simnet`; we model the subset the design
+needs: GET with Host routing, response caching metadata, byte ranges
+(stateless mobility/session resumption), and cookies (stateful
+sessions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """An HTTP request message."""
+
+    method: str
+    url: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "headers", {k.lower(): v for k, v in self.headers.items()}
+        )
+
+    @property
+    def host(self) -> str:
+        """The target host: the Host header, else the URL authority."""
+        if "host" in self.headers:
+            return self.headers["host"]
+        return split_url(self.url)[0]
+
+    @property
+    def path(self) -> str:
+        """The URL path component (always begins with '/')."""
+        return split_url(self.url)[1]
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        """Case-insensitive header lookup."""
+        return self.headers.get(name.lower(), default)
+
+    def with_header(self, name: str, value: str) -> "HttpRequest":
+        """Copy of the request with one header added/replaced."""
+        headers = dict(self.headers)
+        headers[name.lower()] = value
+        return replace(self, headers=headers)
+
+    def byte_range(self) -> tuple[int, int | None] | None:
+        """Parse a ``Range: bytes=start-[end]`` header (None if absent)."""
+        value = self.headers.get("range")
+        if value is None:
+            return None
+        return parse_byte_range(value)
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """An HTTP response message."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "headers", {k.lower(): v for k, v in self.headers.items()}
+        )
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx statuses."""
+        return 200 <= self.status < 300
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        """Case-insensitive header lookup."""
+        return self.headers.get(name.lower(), default)
+
+    def with_header(self, name: str, value: str) -> "HttpResponse":
+        """Copy of the response with one header added/replaced."""
+        headers = dict(self.headers)
+        headers[name.lower()] = value
+        return replace(self, headers=headers)
+
+
+def get(url: str, headers: dict[str, str] | None = None) -> HttpRequest:
+    """Convenience constructor for a GET request."""
+    return HttpRequest(method="GET", url=url, headers=headers or {})
+
+
+def ok(body: bytes, headers: dict[str, str] | None = None) -> HttpResponse:
+    """A 200 response with ``body``."""
+    return HttpResponse(status=200, headers=headers or {}, body=body)
+
+
+def not_found(message: str = "not found") -> HttpResponse:
+    """A 404 response."""
+    return HttpResponse(status=404, body=message.encode())
+
+
+def bad_gateway(message: str = "bad gateway") -> HttpResponse:
+    """A 502 response (upstream failure at a proxy)."""
+    return HttpResponse(status=502, body=message.encode())
+
+
+def split_url(url: str) -> tuple[str, str]:
+    """Split ``http://host/path`` into (host, path).
+
+    Bare domains get path '/'; a missing scheme is tolerated so proxy
+    code can handle ``cnn.example/index`` style inputs.
+    """
+    rest = url
+    if "://" in rest:
+        scheme, rest = rest.split("://", 1)
+        if scheme != "http":
+            raise ValueError(f"unsupported scheme {scheme!r}")
+    if "/" in rest:
+        host, path = rest.split("/", 1)
+        return host, "/" + path
+    return rest, "/"
+
+
+def parse_byte_range(value: str) -> tuple[int, int | None]:
+    """Parse ``bytes=start-[end]`` (inclusive end, None for open-ended)."""
+    if not value.startswith("bytes="):
+        raise ValueError(f"unsupported Range unit in {value!r}")
+    spec = value[len("bytes="):]
+    start_text, _, end_text = spec.partition("-")
+    if not start_text:
+        raise ValueError(f"suffix ranges not supported: {value!r}")
+    start = int(start_text)
+    end = int(end_text) if end_text else None
+    if end is not None and end < start:
+        raise ValueError(f"inverted range {value!r}")
+    return start, end
+
+
+def apply_byte_range(body: bytes, byte_range: tuple[int, int | None]) -> HttpResponse:
+    """Build a 206 Partial Content response for ``byte_range`` of ``body``.
+
+    An out-of-bounds start yields 416, as in real HTTP.
+    """
+    start, end = byte_range
+    if start >= len(body):
+        return HttpResponse(status=416, body=b"")
+    stop = len(body) if end is None else min(end + 1, len(body))
+    return HttpResponse(
+        status=206,
+        headers={
+            "content-range": f"bytes {start}-{stop - 1}/{len(body)}",
+        },
+        body=body[start:stop],
+    )

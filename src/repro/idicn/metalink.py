@@ -1,0 +1,127 @@
+"""Metalink metadata (Section 6.1, RFC 6249-style).
+
+The reverse proxy attaches a Metalink description to each response: the
+content hash, size, mirror locations, the publisher's public key, and an
+RSA signature over (name, hash).  Metalink-aware clients and proxies use
+it to verify authenticity/integrity and to discover mirrors; legacy
+clients ignore the extra headers.  We serialize to a small XML document
+(mirroring the Metalink download-description format) and also to HTTP
+headers.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+from .crypto import KeyPair, PublicKey, sha256_hex, sign, verify
+from .names import IcnName
+
+#: HTTP header carrying the serialized Metalink description.
+METALINK_HEADER = "x-metalink"
+
+
+@dataclass(frozen=True)
+class Metalink:
+    """A download description binding a name to content and mirrors."""
+
+    name: str
+    content_hash: str
+    size: int
+    publisher_key: str
+    signature: str
+    mirrors: tuple[str, ...] = field(default=())
+
+    def signed_payload(self) -> bytes:
+        """The byte string the signature covers (name + content hash)."""
+        return _signed_payload(self.name, self.content_hash)
+
+    def to_xml(self) -> str:
+        """Serialize as a Metalink-style XML document."""
+        root = ET.Element("metalink", {"xmlns": "urn:ietf:params:xml:ns:metalink"})
+        file_el = ET.SubElement(root, "file", {"name": self.name})
+        ET.SubElement(file_el, "size").text = str(self.size)
+        ET.SubElement(file_el, "hash", {"type": "sha-256"}).text = self.content_hash
+        ET.SubElement(file_el, "publisher-key").text = self.publisher_key
+        ET.SubElement(file_el, "signature", {"mediatype": "application/rsa"}).text = (
+            self.signature
+        )
+        for priority, mirror in enumerate(self.mirrors, start=1):
+            ET.SubElement(
+                file_el, "url", {"priority": str(priority)}
+            ).text = mirror
+        return ET.tostring(root, encoding="unicode")
+
+    @classmethod
+    def from_xml(cls, document: str) -> "Metalink":
+        """Parse the XML serialization (raises ``ValueError`` if malformed)."""
+        try:
+            root = ET.fromstring(document)
+        except ET.ParseError as exc:
+            raise ValueError(f"malformed metalink XML: {exc}") from exc
+        ns = "{urn:ietf:params:xml:ns:metalink}"
+        file_el = root.find(f"{ns}file")
+        if file_el is None:
+            raise ValueError("metalink XML has no <file> element")
+
+        def text(tag: str) -> str:
+            el = file_el.find(f"{ns}{tag}")
+            if el is None or el.text is None:
+                raise ValueError(f"metalink XML missing <{tag}>")
+            return el.text
+
+        mirrors = tuple(
+            el.text
+            for el in sorted(
+                file_el.findall(f"{ns}url"),
+                key=lambda el: int(el.get("priority", "0")),
+            )
+            if el.text
+        )
+        return cls(
+            name=file_el.get("name", ""),
+            content_hash=text("hash"),
+            size=int(text("size")),
+            publisher_key=text("publisher-key"),
+            signature=text("signature"),
+            mirrors=mirrors,
+        )
+
+
+def _signed_payload(name: str, content_hash: str) -> bytes:
+    return f"idicn-metalink:{name}:{content_hash}".encode()
+
+
+def build_metalink(
+    name: IcnName,
+    content: bytes,
+    keypair: KeyPair,
+    mirrors: tuple[str, ...] = (),
+) -> Metalink:
+    """Create and sign the Metalink description for ``content``."""
+    content_hash = sha256_hex(content)
+    return Metalink(
+        name=name.flat,
+        content_hash=content_hash,
+        size=len(content),
+        publisher_key=keypair.public.to_bytes().decode(),
+        signature=sign(_signed_payload(name.flat, content_hash), keypair),
+        mirrors=mirrors,
+    )
+
+
+def verify_metalink(metalink: Metalink, content: bytes) -> bool:
+    """Full content-oriented verification.
+
+    Checks (1) the content hash matches the bytes actually delivered and
+    (2) the signature over (name, hash) verifies under the embedded
+    publisher key.  Callers must separately check the key binds to the
+    name's ``P`` via :func:`repro.idicn.names.name_matches_key`.
+    """
+    if sha256_hex(content) != metalink.content_hash:
+        return False
+    try:
+        public = PublicKey.from_bytes(metalink.publisher_key.encode())
+    except (ValueError, UnicodeDecodeError):
+        return False
+    return verify(metalink.signed_payload(), metalink.signature, public)

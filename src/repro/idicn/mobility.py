@@ -1,0 +1,179 @@
+"""Mobility support (Section 6.3).
+
+Two ingredients, both standard HTTP-era machinery:
+
+* **session management** — HTTP cookies for stateful sessions, byte
+  ranges for stateless resumption, "so applications can seamlessly work
+  upon reconnection";
+* **dynamic DNS** — a mobile server announces its new address after
+  moving; the client's next lookup resolves to the new location.
+
+:class:`MobileServer` is an origin that can move between subnets;
+:class:`ResumingDownloader` is the client-side loop that survives the
+move by re-resolving and continuing from the last received byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import http
+from .dns import DnsClient
+from .simnet import HTTP_PORT, Host, SimNet, SimNetError
+
+
+class MobileServer:
+    """A content server that can change its network attachment point."""
+
+    def __init__(
+        self,
+        net: SimNet,
+        host: Host,
+        domain: str,
+        dns: DnsClient,
+        token: str,
+        subnet: str,
+    ):
+        self.net = net
+        self.host = host
+        self.domain = domain
+        self.dns = dns
+        self.token = token
+        self.subnet = subnet
+        self._content: dict[str, bytes] = {}
+        self._sessions: dict[str, int] = {}  # session id -> requests served
+        self._next_session = 1
+        host.bind(HTTP_PORT, self._serve)
+        self.announce()
+
+    def store(self, path: str, content: bytes) -> None:
+        """Host ``content`` at ``path`` (no leading slash needed)."""
+        self._content[path.lstrip("/")] = content
+
+    def announce(self) -> bool:
+        """Push the current address to dynamic DNS."""
+        return self.dns.update(
+            self.domain, self.host.address_on(self.subnet), self.token
+        )
+
+    def move(self, new_subnet: str) -> str:
+        """Reattach to ``new_subnet`` and announce the new address.
+
+        Returns the new address.  In-flight client transfers observe the
+        old address going dark and must re-resolve.
+        """
+        self.net.detach(self.host, self.subnet)
+        self.subnet = new_subnet
+        address = self.net.attach(self.host, new_subnet)
+        self.announce()
+        return address
+
+    def session_requests(self, session_id: str) -> int:
+        """How many requests a session has made (0 if unknown)."""
+        return self._sessions.get(session_id, 0)
+
+    def _serve(self, host: Host, src: str, payload: object) -> http.HttpResponse:
+        if not isinstance(payload, http.HttpRequest):
+            raise TypeError("mobile server only speaks HTTP")
+        session_id = self._session_of(payload)
+        body = self._content.get(payload.path.lstrip("/"))
+        if body is None:
+            return http.not_found(payload.path)
+        byte_range = payload.byte_range()
+        if byte_range is not None:
+            response = http.apply_byte_range(body, byte_range)
+        else:
+            response = http.ok(body)
+        return response.with_header("set-cookie", f"session={session_id}")
+
+    def _session_of(self, request: http.HttpRequest) -> str:
+        cookie = request.header("cookie", "") or ""
+        for part in cookie.split(";"):
+            name, _, value = part.strip().partition("=")
+            if name == "session" and value in self._sessions:
+                self._sessions[value] += 1
+                return value
+        session_id = f"s{self._next_session}"
+        self._next_session += 1
+        self._sessions[session_id] = 1
+        return session_id
+
+
+@dataclass(frozen=True)
+class DownloadResult:
+    """Outcome of a resumable download."""
+
+    body: bytes
+    attempts: int
+    interruptions: int
+
+
+class ResumingDownloader:
+    """Client-side mobility: re-resolve and resume with byte ranges."""
+
+    def __init__(self, host: Host, dns: DnsClient, chunk_size: int = 1024):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.host = host
+        self.dns = dns
+        self.chunk_size = chunk_size
+        self.session_cookie: str | None = None
+
+    def download(
+        self, domain: str, path: str, max_attempts: int = 10
+    ) -> DownloadResult:
+        """Fetch ``domain``/``path`` chunk by chunk, surviving moves.
+
+        Each chunk is requested with a Range header; on connectivity
+        failure the client re-resolves the domain (picking up dynamic
+        DNS updates) and continues from the last received byte.
+        """
+        received = bytearray()
+        attempts = 0
+        interruptions = 0
+        total: int | None = None
+        while max_attempts > attempts:
+            attempts += 1
+            address = self.dns.resolve(domain)
+            if address is None:
+                interruptions += 1
+                continue
+            try:
+                while total is None or len(received) < total:
+                    start = len(received)
+                    end = start + self.chunk_size - 1
+                    headers = {"range": f"bytes={start}-{end}"}
+                    if self.session_cookie is not None:
+                        headers["cookie"] = f"session={self.session_cookie}"
+                    response = self.host.call(
+                        address,
+                        HTTP_PORT,
+                        http.HttpRequest("GET", f"http://{domain}{path}",
+                                         headers=headers),
+                    )
+                    if response.status == 416 and total is None:
+                        total = len(received)
+                        break
+                    if response.status not in (200, 206):
+                        raise SimNetError(f"bad status {response.status}")
+                    self._collect_session(response)
+                    received.extend(response.body)
+                    content_range = response.header("content-range")
+                    if content_range is not None:
+                        total = int(content_range.rsplit("/", 1)[1])
+                if total is not None and len(received) >= total:
+                    return DownloadResult(
+                        body=bytes(received),
+                        attempts=attempts,
+                        interruptions=interruptions,
+                    )
+            except SimNetError:
+                interruptions += 1
+        raise SimNetError(
+            f"download of {domain}{path} failed after {attempts} attempts"
+        )
+
+    def _collect_session(self, response: http.HttpResponse) -> None:
+        raw = response.header("set-cookie")
+        if raw and raw.startswith("session="):
+            self.session_cookie = raw[len("session="):]

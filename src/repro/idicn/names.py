@@ -1,0 +1,103 @@
+"""Self-certifying idICN names (Section 6.1).
+
+Names have the form ``L.P`` where ``P`` is a cryptographic hash of the
+publisher's public key and ``L`` is a label the publisher assigned.  For
+DNS backward compatibility a name is encoded as the domain
+``<L>.<P>.idicn.org``; DNS limits labels to 63 characters, which is why
+the paper notes digests longer than 63 hex characters (e.g. SHA-512)
+cannot be used — we truncate SHA-256 fingerprints to
+:data:`FINGERPRINT_CHARS` hex characters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .crypto import PublicKey
+
+#: DNS suffix anchoring the idICN namespace.
+IDICN_SUFFIX = "idicn.org"
+
+#: Hex characters of the key fingerprint kept in ``P`` (<= 63 for DNS).
+FINGERPRINT_CHARS = 40
+
+_LABEL_RE = re.compile(r"^[a-z0-9]([a-z0-9-]{0,61}[a-z0-9])?$")
+
+
+class NameError_(ValueError):
+    """Raised for malformed idICN names or labels."""
+
+
+def check_label(label: str) -> str:
+    """Validate a DNS label (lowercase LDH, 1-63 chars); returns it."""
+    if not _LABEL_RE.match(label):
+        raise NameError_(f"invalid DNS label {label!r}")
+    return label
+
+
+@dataclass(frozen=True)
+class IcnName:
+    """A parsed ``L.P`` name."""
+
+    label: str
+    principal: str
+
+    def __post_init__(self) -> None:
+        check_label(self.label)
+        if not re.fullmatch(r"[0-9a-f]{%d}" % FINGERPRINT_CHARS, self.principal):
+            raise NameError_(
+                f"principal must be {FINGERPRINT_CHARS} hex chars, "
+                f"got {self.principal!r}"
+            )
+
+    @property
+    def domain(self) -> str:
+        """DNS-compatible encoding ``<L>.<P>.idicn.org``."""
+        return f"{self.label}.{self.principal}.{IDICN_SUFFIX}"
+
+    @property
+    def flat(self) -> str:
+        """The flat ``L.P`` form used by the resolution system."""
+        return f"{self.label}.{self.principal}"
+
+    def __str__(self) -> str:
+        return self.domain
+
+
+def principal_of(public_key: PublicKey) -> str:
+    """The ``P`` component for a publisher key (truncated fingerprint)."""
+    return public_key.fingerprint()[:FINGERPRINT_CHARS]
+
+
+def make_name(label: str, public_key: PublicKey) -> IcnName:
+    """Build the self-certifying name for ``label`` under ``public_key``."""
+    return IcnName(label=label, principal=principal_of(public_key))
+
+
+def parse_domain(domain: str) -> IcnName | None:
+    """Parse ``<L>.<P>.idicn.org``; None when not an idICN domain."""
+    parts = domain.lower().rstrip(".").split(".")
+    if len(parts) < 4 or ".".join(parts[-2:]) != IDICN_SUFFIX:
+        return None
+    principal = parts[-3]
+    label = ".".join(parts[:-3])
+    try:
+        return IcnName(label=label, principal=principal)
+    except NameError_:
+        return None
+
+
+def is_idicn_domain(domain: str) -> bool:
+    """Whether ``domain`` encodes a valid idICN name."""
+    return parse_domain(domain) is not None
+
+
+def name_matches_key(name: IcnName, public_key: PublicKey) -> bool:
+    """Self-certification check: does ``P`` bind to this public key?
+
+    This is the core of the security model — anyone holding the content,
+    its signature, and the publisher key can validate the binding
+    without trusting the party that delivered it.
+    """
+    return name.principal == principal_of(public_key)

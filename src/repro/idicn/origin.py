@@ -1,0 +1,48 @@
+"""Origin server: the content provider's HTTP server (Figure 11).
+
+Stores content by label, serves it over HTTP (step 5 of the request
+flow), and publishes new content through its reverse proxy (step P1) —
+the reverse proxy handles naming, signing, and registration (step P2).
+"""
+
+from __future__ import annotations
+
+from . import http
+from .simnet import HTTP_PORT, Host
+
+
+class OriginServer:
+    """A content provider's origin."""
+
+    def __init__(self, host: Host):
+        self.host = host
+        self._content: dict[str, bytes] = {}
+        self.requests_served = 0
+        host.bind(HTTP_PORT, self._serve)
+
+    def store(self, label: str, content: bytes) -> None:
+        """Add (or update) a content object under ``label``."""
+        self._content[label] = content
+
+    def labels(self) -> tuple[str, ...]:
+        """All stored content labels."""
+        return tuple(sorted(self._content))
+
+    def content(self, label: str) -> bytes | None:
+        """Raw bytes for ``label`` (None when absent)."""
+        return self._content.get(label)
+
+    def _serve(self, host: Host, src: str, payload: object) -> http.HttpResponse:
+        if not isinstance(payload, http.HttpRequest):
+            raise TypeError("origin server only speaks HTTP")
+        if payload.method != "GET":
+            return http.HttpResponse(status=405, body=b"method not allowed")
+        label = payload.path.lstrip("/")
+        body = self._content.get(label)
+        if body is None:
+            return http.not_found(f"no content for label {label!r}")
+        self.requests_served += 1
+        byte_range = payload.byte_range()
+        if byte_range is not None:
+            return http.apply_byte_range(body, byte_range)
+        return http.ok(body)

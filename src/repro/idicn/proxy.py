@@ -1,0 +1,293 @@
+"""Edge proxy: the AD-deployed caching proxy (Figure 11, steps 2-4, 7).
+
+Clients are auto-configured (WPAD) to send HTTP requests through this
+proxy.  For idICN names the proxy serves a *fresh* cached copy
+immediately ("the cache responds immediately if it has a fresh copy of
+the requested object"), otherwise resolves the name (step 3), fetches
+from the reverse proxy or a mirror (step 4), **authenticates the content
+using the enclosed signatures** (step 7), caches it, and responds.
+Legacy (non-idICN) domains are proxied via DNS with plain LRU caching
+and no verification.
+
+Freshness follows HTTP semantics: upstream responses may carry
+``cache-control: max-age=N`` and an ``etag``; a stale entry is
+revalidated with a conditional GET (``if-none-match``), where a 304
+renews the entry without a body transfer.  Revalidation failures fall
+back to serving the stale copy — an AD losing backbone connectivity
+keeps serving what it has.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+
+from ..cache.lru import LRUCache
+from . import http
+from .dns import DnsClient
+from .metalink import METALINK_HEADER, Metalink, verify_metalink
+from .names import IcnName, name_matches_key, parse_domain
+from .crypto import PublicKey
+from .resolution import ResolutionClient
+from .simnet import HTTP_PORT, Host, SimNetError
+
+_MAX_AGE_RE = re.compile(r"max-age=([0-9.]+)")
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached object with its verification and freshness metadata."""
+
+    body: bytes
+    metalink_xml: str | None
+    etag: str | None
+    fetched_at: float
+    max_age: float | None
+    location: str | None  # upstream URL for revalidation
+
+    def is_fresh(self, now: float) -> bool:
+        """Whether the entry is still within its freshness lifetime."""
+        if self.max_age is None:
+            return True
+        return (now - self.fetched_at) <= self.max_age
+
+
+def _parse_max_age(response: http.HttpResponse) -> float | None:
+    value = response.header("cache-control")
+    if value is None:
+        return None
+    match = _MAX_AGE_RE.search(value)
+    return float(match.group(1)) if match else None
+
+
+class EdgeProxy:
+    """A caching, verifying HTTP proxy for one administrative domain."""
+
+    def __init__(
+        self,
+        host: Host,
+        resolver: ResolutionClient | None = None,
+        dns: DnsClient | None = None,
+        capacity: int = 1024,
+    ):
+        self.host = host
+        self.resolver = resolver
+        self.dns = dns
+        self._cache = LRUCache(capacity=capacity)
+        self._store: dict[str, CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.revalidations = 0
+        self.revalidations_304 = 0
+        self.verification_failures = 0
+        host.bind(HTTP_PORT, self._serve)
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _serve(self, host: Host, src: str, payload: object) -> http.HttpResponse:
+        if not isinstance(payload, http.HttpRequest):
+            raise TypeError("edge proxy only speaks HTTP")
+        if payload.method != "GET":
+            return http.HttpResponse(status=405, body=b"method not allowed")
+        name = parse_domain(payload.host)
+        if name is not None:
+            return self._serve_idicn(name, payload)
+        return self._serve_legacy(payload)
+
+    def _serve_idicn(
+        self, name: IcnName, request: http.HttpRequest
+    ) -> http.HttpResponse:
+        key = f"icn:{name.flat}"
+        cached = self._lookup(key, name)
+        if cached is not None:
+            return self._respond(cached, request)
+        if self.resolver is None:
+            return http.bad_gateway("no resolver configured")
+        locations = self.resolver.resolve(name)
+        tried: list[str] = list(locations)
+        index = 0
+        while index < len(tried):
+            location = tried[index]
+            index += 1
+            entry = self._fetch_and_verify(name, location)
+            if entry is None:
+                continue
+            # Discover additional mirrors from the metadata itself.
+            if entry.metalink_xml is not None:
+                try:
+                    mirrors = Metalink.from_xml(entry.metalink_xml).mirrors
+                except ValueError:
+                    mirrors = ()
+                for mirror in mirrors:
+                    if mirror not in tried:
+                        tried.append(mirror)
+            self._insert(key, entry)
+            return self._respond(entry, request)
+        return http.bad_gateway(f"no verifiable copy of {name.flat}")
+
+    def _serve_legacy(self, request: http.HttpRequest) -> http.HttpResponse:
+        key = f"url:{request.host}{request.path}"
+        cached = self._lookup(key, None)
+        if cached is not None:
+            return self._respond(cached, request)
+        if self.dns is None:
+            return http.bad_gateway("no DNS configured")
+        address = self.dns.resolve(request.host)
+        if address is None:
+            return http.bad_gateway(f"cannot resolve {request.host!r}")
+        try:
+            upstream = self.host.call(
+                address, HTTP_PORT, http.HttpRequest("GET", request.url)
+            )
+        except SimNetError:
+            return http.bad_gateway(f"upstream {request.host!r} unreachable")
+        if not upstream.ok:
+            return upstream
+        entry = CacheEntry(
+            body=upstream.body,
+            metalink_xml=upstream.header(METALINK_HEADER),
+            etag=upstream.header("etag"),
+            fetched_at=self.host.net.clock,
+            max_age=_parse_max_age(upstream),
+            location=f"http://{address}{request.path}",
+        )
+        self._insert(key, entry)
+        return self._respond(entry, request)
+
+    # ------------------------------------------------------------------
+    # Fetch + verify (steps 4 and 7)
+    # ------------------------------------------------------------------
+    def _fetch_and_verify(
+        self, name: IcnName, location: str,
+        conditional_etag: str | None = None,
+    ) -> CacheEntry | None:
+        try:
+            server, path = http.split_url(location)
+        except ValueError:
+            return None
+        request = http.get(f"http://{server}{path}")
+        if conditional_etag is not None:
+            request = request.with_header("if-none-match", conditional_etag)
+        try:
+            response = self.host.call(server, HTTP_PORT, request)
+        except SimNetError:
+            return None
+        if response.status == 304:
+            # Caller renews the existing entry; signal with a marker.
+            return CacheEntry(
+                body=b"", metalink_xml=None, etag=conditional_etag,
+                fetched_at=self.host.net.clock,
+                max_age=_parse_max_age(response), location=location,
+            )
+        if not response.ok:
+            return None
+        metalink_xml = response.header(METALINK_HEADER)
+        if metalink_xml is None:
+            self.verification_failures += 1
+            return None
+        try:
+            metalink = Metalink.from_xml(metalink_xml)
+            publisher = PublicKey.from_bytes(metalink.publisher_key.encode())
+        except (ValueError, UnicodeDecodeError):
+            self.verification_failures += 1
+            return None
+        if (
+            metalink.name != name.flat
+            or not name_matches_key(name, publisher)
+            or not verify_metalink(metalink, response.body)
+        ):
+            self.verification_failures += 1
+            return None
+        return CacheEntry(
+            body=response.body,
+            metalink_xml=metalink_xml,
+            etag=response.header("etag", metalink.content_hash),
+            fetched_at=self.host.net.clock,
+            max_age=_parse_max_age(response),
+            location=location,
+        )
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _lookup(self, key: str, name: IcnName | None) -> CacheEntry | None:
+        if not self._cache.lookup(key):
+            self.misses += 1
+            return None
+        entry = self._store[key]
+        now = self.host.net.clock
+        if entry.is_fresh(now):
+            self.hits += 1
+            return entry
+        # Stale: revalidate with a conditional GET where possible.
+        self.revalidations += 1
+        renewed = None
+        if entry.location is not None and name is not None:
+            renewed = self._fetch_and_verify(
+                name, entry.location, conditional_etag=entry.etag
+            )
+        elif entry.location is not None:
+            renewed = self._revalidate_legacy(entry)
+        if renewed is None:
+            # Upstream unreachable: serve the stale copy rather than fail.
+            self.hits += 1
+            return entry
+        if renewed.body == b"" and renewed.etag == entry.etag:
+            self.revalidations_304 += 1
+            entry = replace(entry, fetched_at=renewed.fetched_at)
+        else:
+            entry = renewed
+        self._store[key] = entry
+        self.hits += 1
+        return entry
+
+    def _revalidate_legacy(self, entry: CacheEntry) -> CacheEntry | None:
+        try:
+            server, path = http.split_url(entry.location)
+            request = http.get(entry.location)
+            if entry.etag is not None:
+                request = request.with_header("if-none-match", entry.etag)
+            response = self.host.call(server, HTTP_PORT, request)
+        except (ValueError, SimNetError):
+            return None
+        if response.status == 304:
+            return CacheEntry(
+                body=b"", metalink_xml=None, etag=entry.etag,
+                fetched_at=self.host.net.clock,
+                max_age=_parse_max_age(response), location=entry.location,
+            )
+        if not response.ok:
+            return None
+        return CacheEntry(
+            body=response.body,
+            metalink_xml=response.header(METALINK_HEADER),
+            etag=response.header("etag"),
+            fetched_at=self.host.net.clock,
+            max_age=_parse_max_age(response),
+            location=entry.location,
+        )
+
+    def _insert(self, key: str, entry: CacheEntry) -> None:
+        for victim in self._cache.insert(key):
+            self._store.pop(victim, None)
+        if key in self._cache:
+            self._store[key] = entry
+
+    def _respond(
+        self, entry: CacheEntry, request: http.HttpRequest
+    ) -> http.HttpResponse:
+        byte_range = request.byte_range()
+        if byte_range is not None:
+            response = http.apply_byte_range(entry.body, byte_range)
+        else:
+            response = http.ok(entry.body)
+        if entry.metalink_xml is not None:
+            response = response.with_header(METALINK_HEADER,
+                                            entry.metalink_xml)
+        return response
+
+    @property
+    def cached_objects(self) -> int:
+        """Number of objects currently cached."""
+        return len(self._cache)

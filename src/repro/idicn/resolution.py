@@ -1,0 +1,157 @@
+"""The idICN name resolution system (Section 6.1).
+
+An SFR-style flat resolver for ``L.P`` names.  Registration is open to
+anyone who can produce a signature with ``P``'s private key — the
+resolvers "need only check for cryptographic correctness (rather than
+rely on any other form of trust)".  Resolution first looks for an exact
+``L.P`` match and, failing that, for a ``P`` match; ``P``-level entries
+may delegate to a finer-grained resolver (``resolver:<address>``
+locations), which the client follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .crypto import KeyPair, PublicKey, sign, verify
+from .names import IcnName, principal_of
+from .simnet import RESOLVER_PORT, Host, SimNetError
+
+#: Prefix marking a delegation to another resolver instead of content.
+DELEGATION_PREFIX = "resolver:"
+
+
+@dataclass(frozen=True)
+class RegisterRequest:
+    """A signed registration of locations for a name (or a bare ``P``)."""
+
+    name: str  # flat "L.P", or just "P" for principal-level entries
+    locations: tuple[str, ...]
+    public_key: str
+    signature: str
+
+
+@dataclass(frozen=True)
+class ResolveRequest:
+    """A resolution question for a flat ``L.P`` name."""
+
+    name: str
+
+
+def _registration_payload(name: str, locations: tuple[str, ...]) -> bytes:
+    return f"idicn-register:{name}:{','.join(locations)}".encode()
+
+
+def make_registration(
+    name: str, locations: tuple[str, ...], keypair: KeyPair
+) -> RegisterRequest:
+    """Build a correctly signed registration request."""
+    return RegisterRequest(
+        name=name,
+        locations=locations,
+        public_key=keypair.public.to_bytes().decode(),
+        signature=sign(_registration_payload(name, locations), keypair),
+    )
+
+
+class NameResolutionSystem:
+    """One resolver node of the consortium-hosted ``.idicn.org`` service."""
+
+    def __init__(self, host: Host):
+        self.host = host
+        self._exact: dict[str, tuple[str, ...]] = {}
+        self._principal: dict[str, tuple[str, ...]] = {}
+        self.registrations = 0
+        self.rejected = 0
+        self.resolutions = 0
+        host.bind(RESOLVER_PORT, self._serve)
+
+    def _serve(self, host: Host, src: str, payload: object) -> object:
+        if isinstance(payload, RegisterRequest):
+            return self._register(payload)
+        if isinstance(payload, ResolveRequest):
+            self.resolutions += 1
+            return self.lookup(payload.name)
+        raise TypeError(f"unexpected resolver payload {type(payload).__name__}")
+
+    def _register(self, request: RegisterRequest) -> bool:
+        try:
+            public = PublicKey.from_bytes(request.public_key.encode())
+        except (ValueError, UnicodeDecodeError):
+            self.rejected += 1
+            return False
+        principal = request.name.rsplit(".", 1)[-1]
+        # Cryptographic correctness: the key must hash to the name's P
+        # and the signature must verify under it.
+        if principal_of(public) != principal or not verify(
+            _registration_payload(request.name, request.locations),
+            request.signature,
+            public,
+        ):
+            self.rejected += 1
+            return False
+        self.registrations += 1
+        if "." in request.name:
+            self._exact[request.name] = request.locations
+        else:
+            self._principal[request.name] = request.locations
+        return True
+
+    def lookup(self, name: str) -> tuple[str, ...] | None:
+        """Exact ``L.P`` match first, then the ``P`` fallback."""
+        exact = self._exact.get(name)
+        if exact is not None:
+            return exact
+        principal = name.rsplit(".", 1)[-1]
+        return self._principal.get(principal)
+
+
+class ResolutionClient:
+    """Client-side stub: registration plus delegation-following resolve."""
+
+    def __init__(self, host: Host, resolver_address: str):
+        self.host = host
+        self.resolver_address = resolver_address
+
+    def register(
+        self, name: IcnName, locations: tuple[str, ...], keypair: KeyPair
+    ) -> bool:
+        """Register content locations for ``name`` (signed with ``keypair``)."""
+        request = make_registration(name.flat, locations, keypair)
+        return self._send(self.resolver_address, request)
+
+    def register_principal(
+        self, keypair: KeyPair, locations: tuple[str, ...]
+    ) -> bool:
+        """Register a ``P``-level entry (e.g. a delegation pointer)."""
+        request = make_registration(
+            principal_of(keypair.public), locations, keypair
+        )
+        return self._send(self.resolver_address, request)
+
+    def resolve(self, name: IcnName, max_hops: int = 2) -> tuple[str, ...]:
+        """Resolve to content locations, following up to ``max_hops``
+        resolver delegations; returns () when unresolvable."""
+        address = self.resolver_address
+        for _ in range(max_hops + 1):
+            try:
+                answer = self.host.call(
+                    address, RESOLVER_PORT, ResolveRequest(name=name.flat)
+                )
+            except SimNetError:
+                return ()
+            if not answer:
+                return ()
+            delegations = [
+                loc for loc in answer if loc.startswith(DELEGATION_PREFIX)
+            ]
+            if not delegations:
+                return tuple(answer)
+            address = delegations[0][len(DELEGATION_PREFIX):]
+        return ()
+
+    def _send(self, address: str, request: RegisterRequest) -> bool:
+        try:
+            return bool(self.host.call(address, RESOLVER_PORT, request))
+        except SimNetError:
+            return False

@@ -1,0 +1,158 @@
+"""Reverse proxy: the content provider's idICN front end (Section 6).
+
+The reverse proxy (the paper prototyped it as a Metalink plugin for
+Apache Traffic Server) does three jobs:
+
+* **publishing** (steps P1/P2): when the origin publishes a label, the
+  reverse proxy mints the self-certifying name, builds and signs the
+  Metalink description, registers the name with the idICN resolution
+  system, and adds a backward-compatibility record to DNS;
+* **serving** (steps 4-6): answers requests for ``L.P`` names from its
+  cache, fetching from the origin on a miss, and attaches the Metalink
+  metadata to every response;
+* **mirrors**: advertises configured mirror locations in the metadata.
+"""
+
+from __future__ import annotations
+
+from . import http
+from .crypto import KeyPair
+from .metalink import METALINK_HEADER, Metalink, build_metalink
+from .names import IcnName, make_name, parse_domain
+from .origin import OriginServer  # noqa: F401  (documented collaborator)
+from .resolution import ResolutionClient
+from .simnet import HTTP_PORT, Host, SimNetError
+
+
+class ReverseProxy:
+    """The provider-side proxy that makes an origin idICN-capable."""
+
+    def __init__(
+        self,
+        host: Host,
+        origin_address: str,
+        keypair: KeyPair,
+        resolver: ResolutionClient | None = None,
+        dns_register: "callable | None" = None,
+        mirrors: tuple[str, ...] = (),
+        max_age: float | None = None,
+    ):
+        self.host = host
+        self.origin_address = origin_address
+        self.keypair = keypair
+        self.resolver = resolver
+        self.dns_register = dns_register
+        self.mirrors = mirrors
+        #: Freshness lifetime advertised via Cache-Control (None = no
+        #: expiry; downstream proxies may serve the copy forever).
+        self.max_age = max_age
+        # flat name -> (content, metalink); the paper's "fresh copy".
+        self._cache: dict[str, tuple[bytes, Metalink]] = {}
+        self._labels: dict[str, str] = {}  # flat name -> origin label
+        self.published: dict[str, IcnName] = {}
+        self.origin_fetches = 0
+        self.requests_served = 0
+        host.bind(HTTP_PORT, self._serve)
+
+    # ------------------------------------------------------------------
+    # Publishing (steps P1 and P2)
+    # ------------------------------------------------------------------
+    def publish(self, label: str) -> IcnName:
+        """Publish the origin's ``label`` into the idICN namespace.
+
+        Fetches the content, signs it, registers ``L.P`` with the name
+        resolution system and (for backward compatibility) DNS, and
+        caches the signed copy.  Returns the minted name.
+        """
+        content = self._fetch_origin(label)
+        if content is None:
+            raise LookupError(f"origin has no content for label {label!r}")
+        name = make_name(label, self.keypair.public)
+        metalink = build_metalink(name, content, self.keypair, mirrors=self.mirrors)
+        self._cache[name.flat] = (content, metalink)
+        self._labels[name.flat] = label
+        self.published[label] = name
+        location = f"http://{self.host.address}/{name.flat}"
+        if self.resolver is not None:
+            registered = self.resolver.register(name, (location,), self.keypair)
+            if not registered:
+                raise RuntimeError(f"name registration rejected for {name}")
+        if self.dns_register is not None:
+            self.dns_register(name.domain, self.host.address)
+        return name
+
+    # ------------------------------------------------------------------
+    # Serving (steps 4-6)
+    # ------------------------------------------------------------------
+    def _serve(self, host: Host, src: str, payload: object) -> http.HttpResponse:
+        if not isinstance(payload, http.HttpRequest):
+            raise TypeError("reverse proxy only speaks HTTP")
+        if payload.method != "GET":
+            return http.HttpResponse(status=405, body=b"method not allowed")
+        flat = payload.path.lstrip("/")
+        if not flat:
+            # DNS backward compatibility (Section 6.1): legacy clients
+            # resolve <L>.<P>.idicn.org straight to this proxy and GET
+            # "/"; recover the flat name from the Host header.
+            name = parse_domain(payload.host)
+            if name is not None:
+                flat = name.flat
+        entry = self._cache.get(flat)
+        if entry is None:
+            # Cache miss: route to the origin (step 5) if we know the label.
+            label = self._labels.get(flat)
+            if label is None:
+                return http.not_found(f"unknown name {flat!r}")
+            content = self._fetch_origin(label)
+            if content is None:
+                return http.bad_gateway(f"origin lost label {label!r}")
+            name = make_name(label, self.keypair.public)
+            metalink = build_metalink(
+                name, content, self.keypair, mirrors=self.mirrors
+            )
+            entry = (content, metalink)
+            self._cache[flat] = entry
+        content, metalink = entry
+        self.requests_served += 1
+        # Conditional revalidation: a proxy holding a stale copy asks
+        # "has <etag> changed?" and gets a cheap 304 when it has not.
+        etag = metalink.content_hash
+        if payload.header("if-none-match") == etag:
+            return self._decorate(
+                http.HttpResponse(status=304), metalink, etag
+            )
+        byte_range = payload.byte_range()
+        if byte_range is not None:
+            response = http.apply_byte_range(content, byte_range)
+        else:
+            response = http.ok(content)
+        return self._decorate(response, metalink, etag)
+
+    def _decorate(
+        self, response: http.HttpResponse, metalink: Metalink, etag: str
+    ) -> http.HttpResponse:
+        response = response.with_header(METALINK_HEADER, metalink.to_xml())
+        response = response.with_header("etag", etag)
+        if self.max_age is not None:
+            response = response.with_header(
+                "cache-control", f"max-age={self.max_age:g}"
+            )
+        return response
+
+    def invalidate(self, label: str) -> None:
+        """Drop the cached copy of ``label`` (forces an origin re-fetch)."""
+        name = self.published.get(label)
+        if name is not None:
+            self._cache.pop(name.flat, None)
+
+    def _fetch_origin(self, label: str) -> bytes | None:
+        try:
+            response = self.host.call(
+                self.origin_address, HTTP_PORT, http.get(f"http://origin/{label}")
+            )
+        except SimNetError:
+            return None
+        if not response.ok:
+            return None
+        self.origin_fetches += 1
+        return response.body

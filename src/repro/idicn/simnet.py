@@ -1,0 +1,290 @@
+"""Deterministic in-process network for the idICN prototype.
+
+The paper's Section 6 prototype runs over real HTTP/DNS/mDNS; we
+substitute a simulated network so the protocol logic (WPAD discovery,
+name resolution, signature verification, mDNS fallback, mobility) can be
+exercised deterministically and offline (see DESIGN.md).
+
+The model is deliberately simple: hosts attach to *subnets*, get an
+address per subnet, and expose services on numbered ports.  Delivery is
+synchronous — ``call`` invokes the destination handler and returns its
+response — plus subnet-scoped ``multicast`` for the Zeroconf machinery.
+Hosts can be partitioned to inject failures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+Handler = Callable[["Host", str, Any], Any]
+
+
+class SimNetError(Exception):
+    """Base class for simulated-network failures."""
+
+
+class NoRouteError(SimNetError):
+    """No reachable host owns the destination address."""
+
+
+class HostDownError(SimNetError):
+    """The destination host is partitioned/offline."""
+
+
+class NoServiceError(SimNetError):
+    """The destination host has nothing bound on that port."""
+
+
+class AddressInUseError(SimNetError):
+    """Another host already claimed the address on this subnet."""
+
+
+@dataclass
+class Subnet:
+    """One broadcast domain with optional DHCP-style options.
+
+    ``routed`` subnets are globally reachable from any other routed
+    subnet (ordinary Internet routing); unrouted subnets model
+    link-local scopes (169.254/16) that only same-subnet hosts reach.
+    """
+
+    name: str
+    prefix: str
+    dhcp_options: dict[str, str] = field(default_factory=dict)
+    hosts: dict[str, "Host"] = field(default_factory=dict)
+    next_suffix: int = 1
+    routed: bool = True
+
+    def allocate_address(self) -> str:
+        """Next DHCP-style address on this subnet."""
+        address = f"{self.prefix}.{self.next_suffix}"
+        self.next_suffix += 1
+        return address
+
+
+class Host:
+    """A network endpoint with per-subnet addresses and port handlers."""
+
+    def __init__(self, net: "SimNet", name: str):
+        self.net = net
+        self.name = name
+        self.addresses: dict[str, str] = {}
+        self.services: dict[int, Handler] = {}
+        self.online = True
+
+    def bind(self, port: int, handler: Handler) -> None:
+        """Expose ``handler(host, src_address, payload)`` on ``port``."""
+        self.services[port] = handler
+
+    def unbind(self, port: int) -> None:
+        """Stop serving ``port`` (missing port is a no-op)."""
+        self.services.pop(port, None)
+
+    def address_on(self, subnet: str) -> str:
+        """This host's address on ``subnet`` (raises if not attached)."""
+        try:
+            return self.addresses[subnet]
+        except KeyError:
+            raise SimNetError(
+                f"host {self.name!r} is not attached to subnet {subnet!r}"
+            ) from None
+
+    @property
+    def address(self) -> str:
+        """The host's only address (raises unless exactly one)."""
+        if len(self.addresses) != 1:
+            raise SimNetError(
+                f"host {self.name!r} has {len(self.addresses)} addresses; "
+                "use address_on(subnet)"
+            )
+        return next(iter(self.addresses.values()))
+
+    def call(self, dst_address: str, port: int, payload: Any) -> Any:
+        """Send a request to ``dst_address:port`` and return the response."""
+        return self.net.call(self, dst_address, port, payload)
+
+    def multicast(self, subnet: str, port: int, payload: Any) -> list[tuple[str, Any]]:
+        """Query every other host on ``subnet``; collect non-None replies."""
+        return self.net.multicast(self, subnet, port, payload)
+
+    def __repr__(self) -> str:
+        return f"Host({self.name!r}, addresses={self.addresses})"
+
+
+class SimNet:
+    """The network fabric: subnets, hosts, and message accounting."""
+
+    def __init__(self) -> None:
+        self.subnets: dict[str, Subnet] = {}
+        self.hosts: dict[str, Host] = {}
+        self.messages_sent = 0
+        self.multicasts_sent = 0
+        #: Logical wall clock in seconds, advanced explicitly by tests
+        #: and scenarios; used for HTTP cache freshness.
+        self.clock = 0.0
+
+    def advance(self, seconds: float) -> float:
+        """Advance the logical clock (e.g. to age cached content)."""
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self.clock += seconds
+        return self.clock
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def create_subnet(
+        self,
+        name: str,
+        prefix: str,
+        dhcp_options: dict[str, str] | None = None,
+        routed: bool = True,
+    ) -> Subnet:
+        """Add a broadcast domain (prefix like ``10.0.0``).
+
+        Pass ``routed=False`` for link-local scopes that must not be
+        reachable from other subnets (the ad hoc mode).
+        """
+        if name in self.subnets:
+            raise ValueError(f"subnet {name!r} already exists")
+        subnet = Subnet(
+            name=name,
+            prefix=prefix,
+            dhcp_options=dhcp_options or {},
+            routed=routed,
+        )
+        self.subnets[name] = subnet
+        return subnet
+
+    def create_host(self, name: str, subnet: str | None = None) -> Host:
+        """Add a host, optionally attaching it to ``subnet`` via DHCP."""
+        if name in self.hosts:
+            raise ValueError(f"host {name!r} already exists")
+        host = Host(self, name)
+        self.hosts[name] = host
+        if subnet is not None:
+            self.attach(host, subnet)
+        return host
+
+    def attach(self, host: Host, subnet: str, address: str | None = None) -> str:
+        """Attach ``host`` to ``subnet``; DHCP-allocate unless given.
+
+        Self-assigned addresses (Zeroconf link-local) raise
+        :class:`AddressInUseError` on conflict, mimicking an ARP-probe
+        failure.
+        """
+        net = self._subnet(subnet)
+        if address is None:
+            address = net.allocate_address()
+        elif address in net.hosts:
+            raise AddressInUseError(f"{address} already claimed on {subnet}")
+        net.hosts[address] = host
+        host.addresses[subnet] = address
+        return address
+
+    def detach(self, host: Host, subnet: str) -> None:
+        """Remove ``host`` from ``subnet`` (e.g. the laptop left the cafe)."""
+        net = self._subnet(subnet)
+        address = host.addresses.pop(subnet, None)
+        if address is not None:
+            net.hosts.pop(address, None)
+
+    def set_online(self, host: Host, online: bool) -> None:
+        """Partition or heal a host."""
+        host.online = online
+
+    def dhcp_options(self, subnet: str) -> dict[str, str]:
+        """DHCP options announced on ``subnet`` (e.g. the WPAD PAC URL)."""
+        return dict(self._subnet(subnet).dhcp_options)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def call(self, src: Host, dst_address: str, port: int, payload: Any) -> Any:
+        """Synchronous unicast request/response."""
+        if not src.online:
+            raise HostDownError(f"source host {src.name!r} is offline")
+        self.messages_sent += 1
+        dst, subnet = self._locate(dst_address)
+        if subnet in src.addresses:
+            src_address = src.addresses[subnet]
+        elif self.subnets[subnet].routed:
+            # Ordinary inter-subnet routing: any routed interface of the
+            # source can reach a routed destination address.
+            src_address = next(
+                (
+                    address
+                    for sub, address in src.addresses.items()
+                    if self.subnets[sub].routed
+                ),
+                None,
+            )
+            if src_address is None:
+                raise NoRouteError(
+                    f"{src.name!r} has no routed interface to reach "
+                    f"{dst_address}"
+                )
+        else:
+            raise NoRouteError(
+                f"{dst_address} is link-local on {subnet!r}; "
+                f"{src.name!r} is not attached"
+            )
+        if not dst.online:
+            raise HostDownError(f"destination {dst.name!r} is offline")
+        handler = dst.services.get(port)
+        if handler is None:
+            raise NoServiceError(f"{dst.name!r} has no service on port {port}")
+        return handler(dst, src_address, payload)
+
+    def multicast(
+        self, src: Host, subnet: str, port: int, payload: Any
+    ) -> list[tuple[str, Any]]:
+        """Subnet-scoped query; returns ``(address, response)`` replies.
+
+        Hosts without the service, offline hosts, and ``None`` responses
+        are silently skipped — multicast queries are best-effort, like
+        mDNS.
+        """
+        if not src.online:
+            raise HostDownError(f"source host {src.name!r} is offline")
+        if subnet not in src.addresses:
+            raise NoRouteError(f"{src.name!r} is not attached to {subnet!r}")
+        self.multicasts_sent += 1
+        src_address = src.addresses[subnet]
+        replies = []
+        for address, host in sorted(self._subnet(subnet).hosts.items()):
+            if host is src or not host.online:
+                continue
+            handler = host.services.get(port)
+            if handler is None:
+                continue
+            response = handler(host, src_address, payload)
+            if response is not None:
+                replies.append((address, response))
+        return replies
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _subnet(self, name: str) -> Subnet:
+        try:
+            return self.subnets[name]
+        except KeyError:
+            raise SimNetError(f"unknown subnet {name!r}") from None
+
+    def _locate(self, address: str) -> tuple[Host, str]:
+        for subnet_name, subnet in self.subnets.items():
+            host = subnet.hosts.get(address)
+            if host is not None:
+                return host, subnet_name
+        raise NoRouteError(f"no host owns address {address}")
+
+
+#: Well-known ports used by the idICN components.
+HTTP_PORT = 80
+DNS_PORT = 53
+MDNS_PORT = 5353
+ARP_PORT = 2054
+RESOLVER_PORT = 8053

@@ -1,0 +1,161 @@
+"""Automatic proxy configuration: WPAD + PAC (Section 6.2).
+
+Hosts locate a Proxy Auto-Config file via the Web Proxy Autodiscovery
+Protocol — first the DHCP option, then the well-known ``wpad.<domain>``
+DNS name — fetch it over HTTP, and evaluate
+``FindProxyForURL(url, host)`` per request.
+
+Real PAC files are JavaScript; a JS interpreter adds nothing to the
+design, so the PAC body here is a mini-DSL with the classic predicate
+library (``dnsDomainIs``, ``shExpMatch``, ``isInNet``) serialized as a
+line-oriented text format (see DESIGN.md's substitution table):
+
+    # comment
+    dnsDomainIs .idicn.org => PROXY 10.0.0.2:80
+    shExpMatch *.cdn.example/* => PROXY 10.0.0.2:80
+    default => DIRECT
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import ipaddress
+from dataclasses import dataclass
+
+from . import http
+from .dns import DnsClient
+from .simnet import HTTP_PORT, Host, SimNetError
+
+#: DHCP option key announcing the PAC URL (option 252 in real DHCP).
+DHCP_PAC_OPTION = "pac_url"
+
+#: Decision returned when no rule matches and no default is given.
+DIRECT = "DIRECT"
+
+
+@dataclass(frozen=True)
+class PacRule:
+    """One predicate → decision line of the PAC mini-DSL."""
+
+    predicate: str  # dnsDomainIs | shExpMatch | isInNet | default
+    argument: str
+    decision: str
+
+    def matches(self, url: str, host: str) -> bool:
+        """Evaluate the predicate against a request."""
+        if self.predicate == "default":
+            return True
+        if self.predicate == "dnsDomainIs":
+            suffix = self.argument.lower()
+            return host.lower().endswith(suffix)
+        if self.predicate == "shExpMatch":
+            return fnmatch.fnmatch(url.lower(), self.argument.lower())
+        if self.predicate == "isInNet":
+            try:
+                network = ipaddress.ip_network(self.argument, strict=False)
+                return ipaddress.ip_address(host) in network
+            except ValueError:
+                return False
+        raise ValueError(f"unknown PAC predicate {self.predicate!r}")
+
+
+@dataclass(frozen=True)
+class PacFile:
+    """A parsed PAC document: first matching rule wins."""
+
+    rules: tuple[PacRule, ...]
+
+    def find_proxy_for_url(self, url: str, host: str) -> str:
+        """The PAC entry point: a decision like ``PROXY addr:port``."""
+        for rule in self.rules:
+            if rule.matches(url, host):
+                return rule.decision
+        return DIRECT
+
+    def serialize(self) -> str:
+        """Render back to the line-oriented DSL."""
+        lines = [
+            f"{rule.predicate} {rule.argument} => {rule.decision}".replace("  ", " ")
+            for rule in self.rules
+        ]
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def parse(cls, text: str) -> "PacFile":
+        """Parse the DSL (raises ``ValueError`` on malformed lines)."""
+        rules = []
+        for line_number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            head, sep, decision = line.partition("=>")
+            if not sep:
+                raise ValueError(f"PAC line {line_number}: missing '=>'")
+            parts = head.split(None, 1)
+            predicate = parts[0]
+            argument = parts[1].strip() if len(parts) > 1 else ""
+            if predicate not in ("dnsDomainIs", "shExpMatch", "isInNet", "default"):
+                raise ValueError(
+                    f"PAC line {line_number}: unknown predicate {predicate!r}"
+                )
+            rules.append(
+                PacRule(
+                    predicate=predicate,
+                    argument=argument,
+                    decision=decision.strip(),
+                )
+            )
+        return cls(rules=tuple(rules))
+
+
+def proxy_address(decision: str) -> str | None:
+    """Extract the proxy address from a PAC decision (None for DIRECT).
+
+    Decisions look like ``PROXY 10.0.0.2:80`` or ``PROXY 10.0.0.2``;
+    fallback lists (``PROXY a; PROXY b``) yield the first entry.
+    """
+    first = decision.split(";")[0].strip()
+    if first.upper() == DIRECT:
+        return None
+    kind, _, target = first.partition(" ")
+    if kind.upper() != "PROXY" or not target.strip():
+        raise ValueError(f"unparseable PAC decision {decision!r}")
+    return target.strip().split(":")[0]
+
+
+def discover_pac_url(host: Host, subnet: str, dns: DnsClient | None = None) -> str | None:
+    """WPAD discovery: DHCP option first, then the ``wpad`` DNS name."""
+    options = host.net.dhcp_options(subnet)
+    url = options.get(DHCP_PAC_OPTION)
+    if url:
+        return url
+    if dns is not None:
+        address = dns.resolve("wpad")
+        if address is not None:
+            return f"http://{address}/wpad.dat"
+    return None
+
+
+def fetch_pac(host: Host, pac_url: str) -> PacFile | None:
+    """Fetch and parse the PAC file; None on any failure."""
+    server, _ = http.split_url(pac_url)
+    try:
+        response = host.call(server, HTTP_PORT, http.get(pac_url))
+    except SimNetError:
+        return None
+    if not response.ok:
+        return None
+    try:
+        return PacFile.parse(response.body.decode())
+    except (ValueError, UnicodeDecodeError):
+        return None
+
+
+def autodiscover(
+    host: Host, subnet: str, dns: DnsClient | None = None
+) -> PacFile | None:
+    """Full WPAD flow: discover the PAC URL, fetch it, parse it."""
+    pac_url = discover_pac_url(host, subnet, dns)
+    if pac_url is None:
+        return None
+    return fetch_pac(host, pac_url)

@@ -1,0 +1,124 @@
+"""Zero Configuration Networking (Section 6.2, ad hoc mode).
+
+Two pieces, mirroring the Zeroconf stack the paper leans on:
+
+* **link-local addressing** — a host on an infrastructure-less subnet
+  self-assigns a random ``169.254.x.y`` address, probing for conflicts
+  (the ARP probe of RFC 3927) and retrying on collision;
+* **mDNS** — distributed name publishing and resolution over subnet
+  multicast using the familiar DNS query interface, used when no
+  unicast DNS server is configured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dns import DnsQuery
+from .simnet import ARP_PORT, MDNS_PORT, AddressInUseError, Host
+
+#: RFC 3927 link-local prefix.
+LINK_LOCAL_PREFIX = "169.254"
+
+
+def is_link_local(address: str) -> bool:
+    """Whether an address is in the 169.254/16 link-local range."""
+    return address.startswith(LINK_LOCAL_PREFIX + ".")
+
+
+def _probe_in_use(host: Host, subnet: str, address: str) -> bool:
+    """ARP-style probe: does any host on the subnet claim ``address``?"""
+    replies = host.multicast(subnet, ARP_PORT, address)
+    return any(answer for _, answer in replies)
+
+
+def _arp_responder(host: Host, subnet: str) -> None:
+    """Answer ARP probes for our own addresses."""
+
+    def responder(h: Host, src: str, probed: object) -> bool | None:
+        return True if h.addresses.get(subnet) == probed else None
+
+    host.bind(ARP_PORT, responder)
+
+
+def claim_link_local_address(
+    host: Host,
+    subnet: str,
+    rng: np.random.Generator,
+    max_attempts: int = 10,
+) -> str:
+    """Self-assign a link-local address with conflict probing.
+
+    Picks random ``169.254.x.y`` candidates (x in 1..254, y in 1..254),
+    probes the subnet, and claims the first free one; raises
+    :class:`AddressInUseError` after ``max_attempts`` collisions.
+    """
+    for _ in range(max_attempts):
+        x = int(rng.integers(1, 255))
+        y = int(rng.integers(1, 255))
+        candidate = f"{LINK_LOCAL_PREFIX}.{x}.{y}"
+        if subnet in host.addresses:
+            host.net.detach(host, subnet)
+        # Temporarily attach with no address claim to allow probing.
+        host.net.attach(host, subnet, address=f"probe-{host.name}")
+        in_use = _probe_in_use(host, subnet, candidate)
+        host.net.detach(host, subnet)
+        if in_use:
+            continue
+        try:
+            host.net.attach(host, subnet, address=candidate)
+        except AddressInUseError:
+            continue
+        _arp_responder(host, subnet)
+        return candidate
+    raise AddressInUseError(
+        f"{host.name!r} could not claim a link-local address on {subnet!r}"
+    )
+
+
+class MdnsResponder:
+    """Publishes names over subnet multicast (the mDNS answering side)."""
+
+    def __init__(self, host: Host, subnet: str):
+        self.host = host
+        self.subnet = subnet
+        self._names: dict[str, str] = {}
+        self.answered = 0
+        host.bind(MDNS_PORT, self._serve)
+
+    def publish(self, name: str, address: str | None = None) -> None:
+        """Announce ``name`` as resolving to this host (or ``address``)."""
+        if address is None:
+            address = self.host.address_on(self.subnet)
+        self._names[name.lower()] = address
+
+    def withdraw(self, name: str) -> None:
+        """Stop answering for ``name``."""
+        self._names.pop(name.lower(), None)
+
+    @property
+    def published_names(self) -> tuple[str, ...]:
+        """Currently announced names."""
+        return tuple(sorted(self._names))
+
+    def _serve(self, host: Host, src: str, payload: object) -> str | None:
+        if isinstance(payload, DnsQuery):
+            answer = self._names.get(payload.name.lower())
+            if answer is not None:
+                self.answered += 1
+            return answer
+        return None
+
+
+def mdns_resolve(host: Host, subnet: str, name: str) -> str | None:
+    """One-shot mDNS query: the first positive answer on the subnet.
+
+    A known mDNS limitation the paper calls out: "if different machines
+    have content for the same domain, only one of them will be able to
+    publish it" — the first responder (lowest address) wins here.
+    """
+    replies = host.multicast(subnet, MDNS_PORT, DnsQuery(name=name))
+    for _, answer in replies:
+        if answer is not None:
+            return answer
+    return None

@@ -1,0 +1,31 @@
+"""Topology substrate: PoP maps, access trees, and the composite network.
+
+See Section 4.1 of the paper: each PoP of a backbone map is the root of a
+complete k-ary access tree; requests arrive at tree leaves and PoP roots
+double as origin servers.
+"""
+
+from .access_tree import AccessTree, arity_for_leaf_count
+from .datasets import TOPOLOGY_NAMES, all_topologies, topology
+from .generators import (
+    preferential_attachment_edges,
+    synthetic_isp,
+    zipf_city_populations,
+)
+from .network import HopCosts, Network
+from .pop import Pop, PopTopology
+
+__all__ = [
+    "AccessTree",
+    "HopCosts",
+    "Network",
+    "Pop",
+    "PopTopology",
+    "TOPOLOGY_NAMES",
+    "all_topologies",
+    "arity_for_leaf_count",
+    "preferential_attachment_edges",
+    "synthetic_isp",
+    "topology",
+    "zipf_city_populations",
+]

@@ -1,0 +1,185 @@
+"""Complete k-ary access trees.
+
+The paper builds a router-level topology by rooting a complete k-ary tree
+(the *access tree*) at every PoP of a PoP-level map (Section 4.1).  This
+module provides the index arithmetic for such trees: nodes are numbered
+0..size-1 in breadth-first order with the root at index 0, so parent,
+children, depth, ancestors, and pairwise tree distance are all O(depth)
+integer computations with no graph search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AccessTree:
+    """A complete ``arity``-ary tree of the given ``depth``.
+
+    ``depth`` is the number of edges from the root to a leaf; a tree of
+    depth 0 is a single node.  Nodes are numbered in BFS order: the root
+    is 0 and the children of node ``i`` are ``arity * i + 1`` through
+    ``arity * i + arity``.
+    """
+
+    arity: int
+    depth: int
+    _depth_of: tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _level_start: tuple[int, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.arity < 1:
+            raise ValueError(f"arity must be >= 1, got {self.arity}")
+        if self.depth < 0:
+            raise ValueError(f"depth must be >= 0, got {self.depth}")
+        level_start = [0]
+        count = 1
+        total = 0
+        for _ in range(self.depth + 1):
+            total += count
+            level_start.append(total)
+            count *= self.arity
+        depth_of: list[int] = []
+        for d in range(self.depth + 1):
+            depth_of.extend([d] * (level_start[d + 1] - level_start[d]))
+        object.__setattr__(self, "_level_start", tuple(level_start))
+        object.__setattr__(self, "_depth_of", tuple(depth_of))
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes in the tree."""
+        return self._level_start[self.depth + 1]
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaf nodes (nodes at maximum depth)."""
+        return self._level_start[self.depth + 1] - self._level_start[self.depth]
+
+    @property
+    def leaves(self) -> range:
+        """Indices of the leaf nodes."""
+        return range(self._level_start[self.depth], self.size)
+
+    def level_nodes(self, depth: int) -> range:
+        """Indices of all nodes at the given depth (0 = root)."""
+        self._check_depth(depth)
+        return range(self._level_start[depth], self._level_start[depth + 1])
+
+    def depth_of(self, node: int) -> int:
+        """Depth of ``node`` (root is 0)."""
+        self._check_node(node)
+        return self._depth_of[node]
+
+    def parent(self, node: int) -> int:
+        """Parent index of ``node``; raises for the root."""
+        self._check_node(node)
+        if node == 0:
+            raise ValueError("the root has no parent")
+        return (node - 1) // self.arity
+
+    def children(self, node: int) -> range:
+        """Child indices of ``node`` (empty for leaves)."""
+        self._check_node(node)
+        if self._depth_of[node] == self.depth:
+            return range(0, 0)
+        first = self.arity * node + 1
+        return range(first, first + self.arity)
+
+    def siblings(self, node: int) -> list[int]:
+        """All other children of ``node``'s parent (empty for the root)."""
+        self._check_node(node)
+        if node == 0:
+            return []
+        parent = (node - 1) // self.arity
+        first = self.arity * parent + 1
+        return [c for c in range(first, first + self.arity) if c != node]
+
+    def is_leaf(self, node: int) -> bool:
+        """Whether ``node`` is at maximum depth."""
+        self._check_node(node)
+        return self._depth_of[node] == self.depth
+
+    def ancestors(self, node: int) -> list[int]:
+        """Path from ``node``'s parent up to and including the root."""
+        self._check_node(node)
+        path = []
+        while node != 0:
+            node = (node - 1) // self.arity
+            path.append(node)
+        return path
+
+    def path_to_root(self, node: int) -> list[int]:
+        """Path from ``node`` (inclusive) up to and including the root."""
+        return [node, *self.ancestors(node)]
+
+    def lca(self, a: int, b: int) -> int:
+        """Lowest common ancestor of nodes ``a`` and ``b``."""
+        self._check_node(a)
+        self._check_node(b)
+        while self._depth_of[a] > self._depth_of[b]:
+            a = (a - 1) // self.arity
+        while self._depth_of[b] > self._depth_of[a]:
+            b = (b - 1) // self.arity
+        while a != b:
+            a = (a - 1) // self.arity
+            b = (b - 1) // self.arity
+        return a
+
+    def distance(self, a: int, b: int) -> int:
+        """Number of tree edges between nodes ``a`` and ``b``."""
+        lca = self.lca(a, b)
+        lca_depth = self._depth_of[lca]
+        return (self._depth_of[a] - lca_depth) + (self._depth_of[b] - lca_depth)
+
+    def path(self, a: int, b: int) -> list[int]:
+        """Node sequence from ``a`` to ``b`` along tree edges (inclusive)."""
+        lca = self.lca(a, b)
+        up: list[int] = []
+        node = a
+        while node != lca:
+            up.append(node)
+            node = (node - 1) // self.arity
+        down: list[int] = []
+        node = b
+        while node != lca:
+            down.append(node)
+            node = (node - 1) // self.arity
+        return [*up, lca, *reversed(down)]
+
+    def subtree_leaves(self, node: int) -> range:
+        """Leaf indices in the subtree rooted at ``node``."""
+        self._check_node(node)
+        lo, hi = node, node
+        for _ in range(self.depth - self._depth_of[node]):
+            lo = self.arity * lo + 1
+            hi = self.arity * hi + self.arity
+        return range(lo, hi + 1)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.size:
+            raise ValueError(f"node {node} out of range [0, {self.size})")
+
+    def _check_depth(self, depth: int) -> None:
+        if not 0 <= depth <= self.depth:
+            raise ValueError(f"depth {depth} out of range [0, {self.depth}]")
+
+
+def arity_for_leaf_count(leaves: int, arity: int) -> int:
+    """Tree depth such that a complete ``arity``-ary tree has ``leaves`` leaves.
+
+    Used by the Table 4 arity experiment, which changes arity "while
+    adjusting the height of the access trees to keep the total number of
+    leaves per tree fixed".  Raises ``ValueError`` if ``leaves`` is not an
+    exact power of ``arity``.
+    """
+    if leaves < 1 or arity < 2:
+        raise ValueError("need leaves >= 1 and arity >= 2")
+    depth = 0
+    count = 1
+    while count < leaves:
+        count *= arity
+        depth += 1
+    if count != leaves:
+        raise ValueError(f"{leaves} is not a power of {arity}")
+    return depth

@@ -1,0 +1,220 @@
+"""The eight PoP-level topologies used in the paper's evaluation.
+
+Figures 6 and 7 run over Abilene, Geant, Telstra, Sprint, Verio, Tiscali,
+Level3, and AT&T.  Abilene and Geant are the published research-backbone
+PoP maps with rough 2010 metro populations.  The six commercial ISP maps
+come from Rocketfuel, which is not redistributable, so we substitute
+deterministic Rocketfuel-style synthetic maps (see
+:mod:`repro.topology.generators` and DESIGN.md): same regions, realistic
+PoP counts and hub-and-stub degree structure, Zipf city populations, and
+AT&T as the largest topology — the properties the paper's relative
+comparisons actually depend on.
+"""
+
+from __future__ import annotations
+
+from .generators import synthetic_isp
+from .pop import Pop, PopTopology
+
+#: Canonical evaluation order, matching the x-axis of Figures 6 and 7.
+TOPOLOGY_NAMES: tuple[str, ...] = (
+    "abilene",
+    "geant",
+    "telstra",
+    "sprint",
+    "verio",
+    "tiscali",
+    "level3",
+    "att",
+)
+
+_ABILENE_POPS = (
+    ("Seattle", 3_440_000),
+    ("Sunnyvale", 1_840_000),
+    ("Los Angeles", 12_830_000),
+    ("Denver", 2_540_000),
+    ("Kansas City", 2_040_000),
+    ("Houston", 5_950_000),
+    ("Chicago", 9_460_000),
+    ("Indianapolis", 1_760_000),
+    ("Atlanta", 5_280_000),
+    ("Washington DC", 5_580_000),
+    ("New York", 18_900_000),
+)
+
+_ABILENE_EDGES = (
+    ("Seattle", "Sunnyvale"),
+    ("Seattle", "Denver"),
+    ("Sunnyvale", "Los Angeles"),
+    ("Sunnyvale", "Denver"),
+    ("Los Angeles", "Houston"),
+    ("Denver", "Kansas City"),
+    ("Kansas City", "Houston"),
+    ("Kansas City", "Indianapolis"),
+    ("Houston", "Atlanta"),
+    ("Indianapolis", "Chicago"),
+    ("Indianapolis", "Atlanta"),
+    ("Chicago", "New York"),
+    ("Atlanta", "Washington DC"),
+    ("New York", "Washington DC"),
+)
+
+_GEANT_POPS = (
+    ("London", 13_600_000),
+    ("Paris", 12_200_000),
+    ("Madrid", 6_500_000),
+    ("Milan", 7_400_000),
+    ("Geneva", 1_200_000),
+    ("Frankfurt", 5_600_000),
+    ("Amsterdam", 2_400_000),
+    ("Brussels", 2_600_000),
+    ("Vienna", 2_800_000),
+    ("Prague", 2_200_000),
+    ("Warsaw", 3_100_000),
+    ("Budapest", 3_000_000),
+    ("Zagreb", 1_100_000),
+    ("Bucharest", 2_300_000),
+    ("Sofia", 1_500_000),
+    ("Athens", 3_800_000),
+    ("Lisbon", 2_800_000),
+    ("Dublin", 1_900_000),
+    ("Copenhagen", 2_000_000),
+    ("Stockholm", 2_200_000),
+    ("Helsinki", 1_500_000),
+    ("Tallinn", 600_000),
+)
+
+_GEANT_EDGES = (
+    ("London", "Paris"),
+    ("London", "Amsterdam"),
+    ("London", "Dublin"),
+    ("London", "Madrid"),
+    ("Paris", "Geneva"),
+    ("Paris", "Madrid"),
+    ("Paris", "Brussels"),
+    ("Madrid", "Lisbon"),
+    ("Milan", "Geneva"),
+    ("Milan", "Vienna"),
+    ("Milan", "Athens"),
+    ("Geneva", "Frankfurt"),
+    ("Frankfurt", "Amsterdam"),
+    ("Frankfurt", "Prague"),
+    ("Frankfurt", "Copenhagen"),
+    ("Frankfurt", "Vienna"),
+    ("Amsterdam", "Brussels"),
+    ("Vienna", "Budapest"),
+    ("Vienna", "Zagreb"),
+    ("Prague", "Warsaw"),
+    ("Warsaw", "Stockholm"),
+    ("Budapest", "Bucharest"),
+    ("Zagreb", "Sofia"),
+    ("Bucharest", "Sofia"),
+    ("Sofia", "Athens"),
+    ("Copenhagen", "Stockholm"),
+    ("Stockholm", "Helsinki"),
+    ("Helsinki", "Tallinn"),
+    ("Lisbon", "Dublin"),
+)
+
+_TELSTRA_CITIES = [
+    "Sydney", "Melbourne", "Brisbane", "Perth", "Adelaide", "Gold Coast",
+    "Newcastle", "Canberra", "Wollongong", "Hobart", "Geelong", "Townsville",
+    "Cairns", "Darwin", "Toowoomba", "Ballarat", "Bendigo", "Launceston",
+    "Mackay", "Rockhampton", "Bundaberg", "Coffs Harbour", "Wagga Wagga",
+    "Albury", "Port Macquarie", "Tamworth", "Orange", "Dubbo",
+]
+
+_SPRINT_CITIES = [
+    "New York", "Los Angeles", "Chicago", "Dallas", "Houston", "Washington DC",
+    "Philadelphia", "Miami", "Atlanta", "Boston", "Phoenix", "San Francisco",
+    "Riverside", "Detroit", "Seattle", "Minneapolis", "San Diego", "Tampa",
+    "Denver", "Baltimore", "St Louis", "Charlotte", "Orlando", "San Antonio",
+    "Portland", "Sacramento", "Pittsburgh", "Las Vegas", "Austin",
+    "Cincinnati", "Kansas City", "Columbus",
+]
+
+_VERIO_CITIES = [
+    "Tokyo", "San Jose", "Ashburn", "Dallas", "Chicago", "New York",
+    "Los Angeles", "Seattle", "Denver", "Atlanta", "Miami", "Boston",
+    "Osaka", "Singapore", "Hong Kong", "Sydney", "London", "Frankfurt",
+    "Amsterdam", "Paris", "Toronto", "Phoenix", "Houston", "Portland",
+    "Salt Lake City", "Minneapolis",
+]
+
+_TISCALI_CITIES = [
+    "London", "Paris", "Madrid", "Milan", "Rome", "Berlin", "Frankfurt",
+    "Amsterdam", "Brussels", "Vienna", "Munich", "Hamburg", "Barcelona",
+    "Lisbon", "Zurich", "Geneva", "Prague", "Warsaw", "Stockholm",
+    "Copenhagen", "Oslo", "Helsinki", "Dublin", "Budapest",
+]
+
+_LEVEL3_CITIES = [
+    "New York", "London", "Los Angeles", "Chicago", "Dallas", "Washington DC",
+    "San Jose", "Atlanta", "Denver", "Seattle", "Miami", "Boston",
+    "Frankfurt", "Paris", "Amsterdam", "Houston", "Phoenix", "Detroit",
+    "Philadelphia", "Minneapolis", "St Louis", "Tampa", "Portland",
+    "San Diego", "Baltimore", "Charlotte", "Orlando", "Sacramento",
+    "Las Vegas", "Austin", "Cleveland", "Pittsburgh", "Cincinnati",
+    "Kansas City", "Nashville", "Indianapolis",
+]
+
+_ATT_CITIES = [
+    "New York", "Los Angeles", "Chicago", "Dallas", "Houston", "Washington DC",
+    "Philadelphia", "Miami", "Atlanta", "Boston", "Phoenix", "San Francisco",
+    "Riverside", "Detroit", "Seattle", "Minneapolis", "San Diego", "Tampa",
+    "Denver", "Baltimore", "St Louis", "Charlotte", "Orlando", "San Antonio",
+    "Portland", "Sacramento", "Pittsburgh", "Las Vegas", "Austin",
+    "Cincinnati", "Kansas City", "Columbus", "Indianapolis", "Cleveland",
+    "Nashville", "Virginia Beach", "Providence", "Milwaukee", "Jacksonville",
+    "Memphis", "Oklahoma City", "Louisville", "Hartford", "Richmond",
+    "New Orleans", "Buffalo", "Raleigh", "Birmingham",
+]
+
+
+def _named_topology(
+    name: str,
+    pops: tuple[tuple[str, int], ...],
+    edges: tuple[tuple[str, str], ...],
+) -> PopTopology:
+    index = {city: i for i, (city, _) in enumerate(pops)}
+    return PopTopology(
+        name=name,
+        pops=tuple(
+            Pop(index=i, name=city, population=population)
+            for i, (city, population) in enumerate(pops)
+        ),
+        edges=tuple((index[a], index[b]) for a, b in edges),
+    )
+
+
+def topology(name: str) -> PopTopology:
+    """Return one of the eight evaluation topologies by (lowercase) name."""
+    key = name.lower()
+    if key == "abilene":
+        return _named_topology("abilene", _ABILENE_POPS, _ABILENE_EDGES)
+    if key == "geant":
+        return _named_topology("geant", _GEANT_POPS, _GEANT_EDGES)
+    if key == "telstra":
+        return synthetic_isp("telstra", _TELSTRA_CITIES, seed=1221,
+                             largest_population=5_300_000)
+    if key == "sprint":
+        return synthetic_isp("sprint", _SPRINT_CITIES, seed=1239,
+                             largest_population=18_900_000)
+    if key == "verio":
+        return synthetic_isp("verio", _VERIO_CITIES, seed=2914,
+                             largest_population=13_500_000)
+    if key == "tiscali":
+        return synthetic_isp("tiscali", _TISCALI_CITIES, seed=3257,
+                             largest_population=13_600_000)
+    if key == "level3":
+        return synthetic_isp("level3", _LEVEL3_CITIES, seed=3356,
+                             largest_population=18_900_000)
+    if key == "att":
+        return synthetic_isp("att", _ATT_CITIES, seed=7018,
+                             largest_population=18_900_000)
+    raise KeyError(f"unknown topology {name!r}; choose from {TOPOLOGY_NAMES}")
+
+
+def all_topologies() -> list[PopTopology]:
+    """All eight evaluation topologies, in the paper's figure order."""
+    return [topology(name) for name in TOPOLOGY_NAMES]

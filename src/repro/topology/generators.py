@@ -1,0 +1,78 @@
+"""Synthetic PoP-level topology generators.
+
+Rocketfuel's router-level ISP maps are not redistributable, so the six
+commercial ISP topologies in :mod:`repro.topology.datasets` are generated
+here with a deterministic preferential-attachment process that yields the
+skewed degree distributions Rocketfuel measured (a few highly connected
+hub PoPs, many low-degree stubs).  Populations follow a Zipf-like
+city-size law, matching the paper's population-proportional demand model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pop import Pop, PopTopology
+
+
+def preferential_attachment_edges(
+    num_nodes: int, links_per_node: int, rng: np.random.Generator
+) -> list[tuple[int, int]]:
+    """Barabási–Albert style edge list with an explicit RNG.
+
+    Node 0..links_per_node form an initial clique; every later node
+    attaches to ``links_per_node`` distinct existing nodes chosen with
+    probability proportional to their current degree.
+    """
+    if num_nodes < links_per_node + 1:
+        raise ValueError("need num_nodes > links_per_node")
+    edges: list[tuple[int, int]] = []
+    # Degree-weighted target pool: each endpoint appearance is one entry.
+    pool: list[int] = []
+    clique = range(links_per_node + 1)
+    for a in clique:
+        for b in clique:
+            if a < b:
+                edges.append((a, b))
+                pool.extend((a, b))
+    for node in range(links_per_node + 1, num_nodes):
+        targets: set[int] = set()
+        while len(targets) < links_per_node:
+            targets.add(pool[int(rng.integers(len(pool)))])
+        for target in sorted(targets):
+            edges.append((target, node))
+            pool.extend((target, node))
+    return edges
+
+
+def zipf_city_populations(
+    num_cities: int, largest: int, exponent: float = 1.0
+) -> list[int]:
+    """Deterministic Zipf's-law city sizes: ``largest / rank**exponent``."""
+    if num_cities < 1 or largest < num_cities:
+        raise ValueError("need num_cities >= 1 and largest >= num_cities")
+    return [max(1, int(largest / (rank**exponent))) for rank in range(1, num_cities + 1)]
+
+
+def synthetic_isp(
+    name: str,
+    city_names: list[str],
+    seed: int,
+    links_per_node: int = 2,
+    largest_population: int = 12_000_000,
+) -> PopTopology:
+    """Build a named synthetic ISP PoP map.
+
+    The most-populous city is placed at the best-connected position
+    (node 0 of the preferential-attachment process), mimicking real ISPs
+    whose hub PoPs sit in the largest metros.
+    """
+    rng = np.random.default_rng(seed)
+    n = len(city_names)
+    populations = zipf_city_populations(n, largest_population)
+    pops = tuple(
+        Pop(index=i, name=city, population=populations[i])
+        for i, city in enumerate(city_names)
+    )
+    edges = tuple(preferential_attachment_edges(n, links_per_node, rng))
+    return PopTopology(name=name, pops=pops, edges=edges)

@@ -1,0 +1,29 @@
+"""The Section 2.2 analytical tree model (Figure 2 and its extensions)."""
+
+from .allocation import (
+    LevelAllocation,
+    budget_share_per_level,
+    optimize_level_allocation,
+)
+from .lp import lp_expected_hops
+from .model import (
+    TreeModel,
+    expected_hops,
+    expected_hops_edge_only,
+    fraction_served_per_level,
+    optimal_levels,
+    universal_caching_latency_gain,
+)
+
+__all__ = [
+    "LevelAllocation",
+    "TreeModel",
+    "budget_share_per_level",
+    "expected_hops",
+    "expected_hops_edge_only",
+    "fraction_served_per_level",
+    "lp_expected_hops",
+    "optimal_levels",
+    "optimize_level_allocation",
+    "universal_caching_latency_gain",
+]

@@ -1,0 +1,108 @@
+"""Optimal cache-budget allocation across tree levels.
+
+Section 2.2's second analysis: "we also extended this optimization-
+driven analysis with another degree of freedom, where we also vary the
+sizes of the cache allocated to different locations.  The results showed
+that the optimal solution under a Zipf workload involves assigning a
+majority of the total caching budget to the leaves of the tree."
+
+Given a total slot budget for the whole tree (a slot at level ``l`` of
+an arity-``a`` tree with ``L`` levels costs ``a**(L-l)`` slots because
+every node of the level must hold the copy), greedily assign one
+per-node slot at a time to the level with the best marginal reduction in
+expected hops per unit of budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workload.zipf import ZipfDistribution
+from .model import TreeModel
+
+
+@dataclass(frozen=True)
+class LevelAllocation:
+    """Per-level cache sizes chosen by the allocator."""
+
+    sizes: tuple[int, ...]
+    expected_hops: float
+    budget_used: int
+
+
+def _expected_hops_for_sizes(
+    probs: np.ndarray, sizes: list[int], total_levels: int
+) -> float:
+    cumulative = np.concatenate([[0.0], np.cumsum(probs)])
+    total = 0.0
+    start = 0
+    for level, size in enumerate(sizes, start=1):
+        stop = min(start + size, len(probs))
+        total += level * (cumulative[stop] - cumulative[start])
+        start = stop
+    total += total_levels * (cumulative[-1] - cumulative[start])
+    return total
+
+
+def optimize_level_allocation(
+    model: TreeModel, total_budget: int
+) -> LevelAllocation:
+    """Greedy marginal allocation of a tree-wide slot budget to levels.
+
+    Returns per-node sizes for levels 1..L-1 (leaf level first).  The
+    greedy step adds one per-node slot to the level with the largest
+    hop-reduction per budget unit; the budget cost of a per-node slot at
+    level ``l`` is the node count of that level.
+    """
+    if total_budget < 0:
+        raise ValueError("total_budget must be >= 0")
+    zipf = ZipfDistribution(model.alpha, model.num_objects)
+    probs = zipf.probabilities
+    num_levels = model.cache_levels
+    level_cost = [model.nodes_at_level(level) for level in range(1, num_levels + 1)]
+    sizes = [0] * num_levels
+    remaining = total_budget
+    current = _expected_hops_for_sizes(probs, sizes, model.levels)
+    while True:
+        best_gain_rate = 0.0
+        best_level = -1
+        best_hops = current
+        for level in range(num_levels):
+            cost = level_cost[level]
+            if cost > remaining:
+                continue
+            sizes[level] += 1
+            hops = _expected_hops_for_sizes(probs, sizes, model.levels)
+            sizes[level] -= 1
+            gain_rate = (current - hops) / cost
+            if gain_rate > best_gain_rate + 1e-15:
+                best_gain_rate = gain_rate
+                best_level = level
+                best_hops = hops
+        if best_level < 0:
+            break
+        sizes[best_level] += 1
+        remaining -= level_cost[best_level]
+        current = best_hops
+    return LevelAllocation(
+        sizes=tuple(sizes),
+        expected_hops=current,
+        budget_used=total_budget - remaining,
+    )
+
+
+def budget_share_per_level(
+    model: TreeModel, allocation: LevelAllocation
+) -> np.ndarray:
+    """Fraction of the used budget spent at each level (leaves first)."""
+    costs = np.array(
+        [
+            allocation.sizes[level - 1] * model.nodes_at_level(level)
+            for level in range(1, model.cache_levels + 1)
+        ],
+        dtype=np.float64,
+    )
+    total = costs.sum()
+    return costs / total if total > 0 else costs

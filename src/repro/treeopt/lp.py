@@ -1,0 +1,70 @@
+"""LP cross-check for the tree-placement model.
+
+The paper solves the placement/assignment problem "as an integer linear
+program".  We verify our closed-form greedy optimum
+(:func:`repro.treeopt.model.optimal_levels`) against the LP relaxation:
+
+    maximize   sum_{o,l} p_o * (L - l) * y[o,l]        (hops saved)
+    subject to sum_o  y[o,l] <= B      for each caching level l
+               sum_l  y[o,l] <= 1      for each object o
+               0 <= y <= 1
+
+where ``y[o,l]`` is the fraction of object ``o``'s requests served at
+level ``l``.  The relaxation bounds the integral optimum from above
+(in savings), and the greedy layering attains it exactly, which the
+tests assert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize, sparse
+
+from ..workload.zipf import ZipfDistribution
+from .model import TreeModel
+
+
+def lp_expected_hops(model: TreeModel) -> float:
+    """Optimal expected hops according to the LP relaxation."""
+    num_objects = model.num_objects
+    num_levels = model.cache_levels
+    zipf = ZipfDistribution(model.alpha, num_objects)
+    probs = zipf.probabilities
+    total_levels = model.levels
+
+    # Variable y[o, l] flattened as o * num_levels + l.
+    savings = np.empty(num_objects * num_levels)
+    for level in range(num_levels):
+        savings[level::num_levels] = probs * (total_levels - (level + 1))
+
+    rows, cols, data = [], [], []
+    # Per-level capacity rows.
+    for level in range(num_levels):
+        for obj in range(num_objects):
+            rows.append(level)
+            cols.append(obj * num_levels + level)
+            data.append(1.0)
+    # Per-object single-copy rows.
+    for obj in range(num_objects):
+        for level in range(num_levels):
+            rows.append(num_levels + obj)
+            cols.append(obj * num_levels + level)
+            data.append(1.0)
+    a_ub = sparse.coo_matrix(
+        (data, (rows, cols)),
+        shape=(num_levels + num_objects, num_objects * num_levels),
+    )
+    b_ub = np.concatenate(
+        [np.full(num_levels, float(model.cache_size)), np.ones(num_objects)]
+    )
+    result = optimize.linprog(
+        c=-savings,
+        A_ub=a_ub.tocsr(),
+        b_ub=b_ub,
+        bounds=(0.0, 1.0),
+        method="highs",
+    )
+    if not result.success:
+        raise RuntimeError(f"LP solve failed: {result.message}")
+    saved = -float(result.fun)
+    return float(total_levels - saved)

@@ -1,0 +1,129 @@
+"""The Section 2.2 analytical model: optimal static placement on a tree.
+
+A complete binary distribution tree with ``levels`` levels (Figure 2 uses
+6: leaves are level 1, the origin is level 6).  Requests follow a Zipf
+distribution and arrive at a uniformly random leaf; a request walks up
+the tree until some cache holds the object; the root/origin holds
+everything.  All caches have the same size.  The question: which objects
+should each cache statically hold to minimize expected latency (hops,
+where being served at level L costs L)?
+
+Because a request for an object only ever visits the ancestors of its
+arrival leaf, a copy placed at a level-L node serves exactly the
+requests arriving in that node's subtree.  For identical cache sizes the
+optimum is *symmetric* (every node of a level stores the same set) and
+greedy: the most popular objects go as low as possible.  We prove the
+symmetric claim in tests against the LP relaxation
+(:mod:`repro.treeopt.lp`), which attains the same objective value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workload.zipf import ZipfDistribution
+
+
+@dataclass(frozen=True)
+class TreeModel:
+    """A symmetric binary-tree caching instance.
+
+    ``levels`` counts levels inclusive of the origin (Figure 2: 6);
+    ``cache_size`` is the per-node capacity in objects at levels
+    1..levels-1 (the origin stores everything); ``arity`` is the tree
+    fan-out (2 in the paper).
+    """
+
+    levels: int
+    cache_size: int
+    num_objects: int
+    alpha: float
+    arity: int = 2
+
+    def __post_init__(self) -> None:
+        if self.levels < 2:
+            raise ValueError("need at least a leaf level and an origin level")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if self.num_objects < 1:
+            raise ValueError("num_objects must be >= 1")
+        if self.arity < 2:
+            raise ValueError("arity must be >= 2")
+
+    @property
+    def cache_levels(self) -> int:
+        """Number of caching levels (everything below the origin)."""
+        return self.levels - 1
+
+    def nodes_at_level(self, level: int) -> int:
+        """Node count at a level (level 1 = leaves, ``levels`` = origin)."""
+        if not 1 <= level <= self.levels:
+            raise ValueError(f"level {level} out of range [1, {self.levels}]")
+        return self.arity ** (self.levels - level)
+
+
+def optimal_levels(model: TreeModel) -> np.ndarray:
+    """Optimal symmetric placement: serving level for each object rank.
+
+    Returns an array ``level[rank]`` in 1..levels: the most popular
+    ``cache_size`` objects are served at the leaves (level 1), the next
+    ``cache_size`` one level up, and so on; the remainder is served by
+    the origin.  This greedy layering is optimal among symmetric
+    placements because expected cost is ``sum_o p_o * level_o`` and any
+    swap of a more popular object to a higher level increases it.
+    """
+    levels = np.full(model.num_objects, model.levels, dtype=np.int64)
+    for level in range(1, model.levels):
+        lo = (level - 1) * model.cache_size
+        hi = min(level * model.cache_size, model.num_objects)
+        if lo >= model.num_objects:
+            break
+        levels[lo:hi] = level
+    return levels
+
+
+def fraction_served_per_level(model: TreeModel) -> np.ndarray:
+    """Figure 2's y-axis: fraction of requests served at each level.
+
+    Index 0 is level 1 (the edge); the last index is the origin.
+    """
+    zipf = ZipfDistribution(model.alpha, model.num_objects)
+    probs = zipf.probabilities
+    levels = optimal_levels(model)
+    fractions = np.zeros(model.levels, dtype=np.float64)
+    for level in range(1, model.levels + 1):
+        fractions[level - 1] = probs[levels == level].sum()
+    return fractions
+
+
+def expected_hops(model: TreeModel) -> float:
+    """Expected serving level (the paper counts level L as L hops)."""
+    fractions = fraction_served_per_level(model)
+    levels = np.arange(1, model.levels + 1, dtype=np.float64)
+    return float(np.dot(fractions, levels))
+
+
+def expected_hops_edge_only(model: TreeModel) -> float:
+    """Expected hops with intermediate caches removed (Section 2.2).
+
+    "Let us look at an extreme scenario where we have no caches at the
+    intermediate levels; i.e., all of the requests currently assigned to
+    levels 2..L-1 will be served at the origin."
+    """
+    fractions = fraction_served_per_level(model)
+    edge = fractions[0]
+    return float(edge * 1 + (1.0 - edge) * model.levels)
+
+
+def universal_caching_latency_gain(model: TreeModel) -> float:
+    """The paper's "latency improvement attributed to universal caching".
+
+    For alpha = 0.7 the paper computes 3 vs 4 expected hops, i.e. 25%.
+    """
+    with_all = expected_hops(model)
+    edge_only = expected_hops_edge_only(model)
+    if edge_only == 0:
+        return 0.0
+    return 100.0 * (edge_only - with_all) / edge_only

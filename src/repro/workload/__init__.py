@@ -1,0 +1,75 @@
+"""Workload substrate: Zipf popularity, spatial skew, traces, CDN logs."""
+
+from .cdn import (
+    OBJECTS_PER_REQUEST,
+    REGIONS,
+    RegionProfile,
+    region_object_stream,
+    region_profile,
+    synthetic_cdn_trace,
+)
+from .fitting import (
+    RegressionFit,
+    fit_zipf_mle,
+    fit_zipf_regression,
+    rank_frequency,
+)
+from .generator import (
+    Workload,
+    assign_origins,
+    generate_workload,
+    workload_from_objects,
+)
+from .sizes import (
+    DEFAULT_MEDIAN_BYTES,
+    lognormal_sizes,
+    normalized_sizes,
+    unit_sizes,
+)
+from .spatial import measured_skew, ranks_from_rankings, skewed_rankings
+from .temporal import (
+    generate_temporal_workload,
+    repeat_distance_profile,
+    temporal_objects,
+)
+from .trace import (
+    TraceRecord,
+    anonymize,
+    object_ids_by_popularity,
+    read_trace,
+    write_trace,
+)
+from .zipf import ZipfDistribution
+
+__all__ = [
+    "DEFAULT_MEDIAN_BYTES",
+    "OBJECTS_PER_REQUEST",
+    "REGIONS",
+    "RegionProfile",
+    "RegressionFit",
+    "TraceRecord",
+    "Workload",
+    "ZipfDistribution",
+    "anonymize",
+    "assign_origins",
+    "fit_zipf_mle",
+    "fit_zipf_regression",
+    "generate_temporal_workload",
+    "generate_workload",
+    "lognormal_sizes",
+    "measured_skew",
+    "normalized_sizes",
+    "object_ids_by_popularity",
+    "rank_frequency",
+    "ranks_from_rankings",
+    "read_trace",
+    "repeat_distance_profile",
+    "region_object_stream",
+    "region_profile",
+    "skewed_rankings",
+    "synthetic_cdn_trace",
+    "temporal_objects",
+    "unit_sizes",
+    "workload_from_objects",
+    "write_trace",
+]

@@ -1,0 +1,121 @@
+"""Synthetic stand-ins for the paper's proprietary CDN request logs.
+
+The paper uses daily logs from three CDN cache clusters (Table 2): US
+(1.1M requests, best-fit Zipf 0.99), Europe (3.1M, 0.92), and Asia
+(1.8M, 1.04).  Those logs are proprietary, so this module generates
+synthetic logs with the *published* marginals: the fitted Zipf exponent,
+the request volume (scaled by a single factor so experiments stay
+laptop-sized), heavy-tailed object sizes spanning the CDN's mixed
+content types, and the four log fields of Section 2.2.  The paper itself
+validates this substitution: Table 3 shows best-fit-Zipf synthetic logs
+reproduce trace-driven results to within ~1.7%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cache.lru import LRUCache
+from .sizes import lognormal_sizes
+from .trace import TraceRecord, anonymize
+from .zipf import ZipfDistribution
+
+#: Ratio of distinct objects to requests in the generated catalogs.
+OBJECTS_PER_REQUEST = 0.05
+
+_CONTENT_TYPES = ("text", "image", "video", "software", "misc")
+
+
+@dataclass(frozen=True)
+class RegionProfile:
+    """Published per-region statistics from Table 2."""
+
+    name: str
+    alpha: float
+    num_requests: int
+
+
+REGIONS: dict[str, RegionProfile] = {
+    "us": RegionProfile("us", alpha=0.99, num_requests=1_100_000),
+    "europe": RegionProfile("europe", alpha=0.92, num_requests=3_100_000),
+    "asia": RegionProfile("asia", alpha=1.04, num_requests=1_800_000),
+}
+
+
+def region_profile(region: str) -> RegionProfile:
+    """Look up a region profile by name ('us', 'europe', 'asia')."""
+    try:
+        return REGIONS[region.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown region {region!r}; choose from {sorted(REGIONS)}"
+        ) from None
+
+
+def region_object_stream(
+    region: str,
+    rng: np.random.Generator,
+    scale: float = 1.0,
+    num_objects: int | None = None,
+) -> tuple[np.ndarray, int]:
+    """Just the object-id sequence of a region's log (the simulator input).
+
+    Returns ``(objects, num_objects)`` where ids are global popularity
+    ranks (0 = most popular).  ``scale`` multiplies the region's request
+    count; the catalog size defaults to ``OBJECTS_PER_REQUEST`` of it.
+    """
+    profile = region_profile(region)
+    num_requests = max(1, int(profile.num_requests * scale))
+    if num_objects is None:
+        num_objects = max(1, int(num_requests * OBJECTS_PER_REQUEST))
+    zipf = ZipfDistribution(profile.alpha, num_objects)
+    return zipf.sample(rng, num_requests), num_objects
+
+
+def synthetic_cdn_trace(
+    region: str,
+    rng: np.random.Generator,
+    scale: float = 1.0,
+    num_objects: int | None = None,
+    local_cache_fraction: float = 0.05,
+    requests_per_second: float = 50.0,
+) -> list[TraceRecord]:
+    """A full synthetic CDN log with all four fields of Section 2.2.
+
+    The served-locally flag is produced by replaying the stream through
+    an LRU sized to ``local_cache_fraction`` of the catalog, mimicking
+    the cluster's own cache.
+    """
+    objects, num_objects = region_object_stream(
+        region, rng, scale=scale, num_objects=num_objects
+    )
+    num_requests = len(objects)
+    sizes = np.maximum(1, lognormal_sizes(num_objects, rng)).astype(np.int64)
+    content_type = rng.integers(0, len(_CONTENT_TYPES), size=num_objects)
+    num_clients = max(1, num_requests // 50)
+    clients = rng.integers(0, num_clients, size=num_requests)
+    gaps = rng.exponential(1.0 / requests_per_second, size=num_requests)
+    timestamps = np.cumsum(gaps)
+    cluster_cache = LRUCache(capacity=max(1.0, local_cache_fraction * num_objects))
+    records = []
+    for i in range(num_requests):
+        obj = int(objects[i])
+        served_locally = cluster_cache.lookup(obj)
+        if not served_locally:
+            cluster_cache.insert(obj)
+        url = (
+            f"https://cdn.example/{_CONTENT_TYPES[content_type[obj]]}/"
+            f"{anonymize(f'{region}-object-{obj}')}"
+        )
+        records.append(
+            TraceRecord(
+                timestamp=float(timestamps[i]),
+                client=anonymize(f"{region}-client-{int(clients[i])}"),
+                url=url,
+                size=int(sizes[obj]),
+                served_locally=served_locally,
+            )
+        )
+    return records

@@ -1,0 +1,155 @@
+"""Synthetic request-stream generation (Section 4.1 setup).
+
+A :class:`Workload` is everything the simulator consumes: one array row
+per request (arrival PoP, arrival leaf, object id) plus per-object sizes
+and the object→origin-PoP assignment.  Requests arrive at PoPs with
+probability proportional to metro population and uniformly at random
+among that PoP's access-tree leaves; object popularity is Zipf with
+optional spatial skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..topology.network import Network
+from .sizes import unit_sizes
+from .spatial import skewed_rankings
+from .zipf import ZipfDistribution
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A fully materialized request stream over a network.
+
+    ``leaves`` holds tree-*local* leaf indices; combine with ``pops`` via
+    ``Network.gid`` to get global node ids.  ``origins`` maps each object
+    id to the PoP hosting it.  ``sizes`` is per-object (mean 1 keeps
+    budgets comparable across size models).
+    """
+
+    num_objects: int
+    pops: np.ndarray
+    leaves: np.ndarray
+    objects: np.ndarray
+    sizes: np.ndarray
+    origins: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.pops)
+        if not (len(self.leaves) == len(self.objects) == n):
+            raise ValueError("pops, leaves, and objects must be equally long")
+        if len(self.sizes) != self.num_objects:
+            raise ValueError("sizes must have one entry per object")
+        if len(self.origins) != self.num_objects:
+            raise ValueError("origins must have one entry per object")
+
+    @property
+    def num_requests(self) -> int:
+        """Number of requests in the stream."""
+        return len(self.objects)
+
+
+def assign_origins(
+    network: Network,
+    num_objects: int,
+    rng: np.random.Generator,
+    mode: str = "proportional",
+) -> np.ndarray:
+    """Assign each object's origin PoP.
+
+    ``proportional`` (the paper's baseline) hosts a population-
+    proportional share of the catalog at each PoP; ``uniform`` spreads it
+    evenly ("we also experimented with ... uniform origin assignment and
+    found consistent results").
+    """
+    if mode == "proportional":
+        weights = np.asarray(network.pop_topology.population_weights())
+    elif mode == "uniform":
+        weights = np.full(network.num_pops, 1.0 / network.num_pops)
+    else:
+        raise ValueError(f"unknown origin assignment mode {mode!r}")
+    return rng.choice(network.num_pops, size=num_objects, p=weights).astype(np.int64)
+
+
+def generate_workload(
+    network: Network,
+    num_objects: int,
+    num_requests: int,
+    alpha: float,
+    rng: np.random.Generator,
+    spatial_skew: float = 0.0,
+    sizes: np.ndarray | None = None,
+    origin_mode: str = "proportional",
+) -> Workload:
+    """Generate a synthetic Zipf workload over ``network``."""
+    if num_requests < 0:
+        raise ValueError(f"num_requests must be >= 0, got {num_requests}")
+    zipf = ZipfDistribution(alpha, num_objects)
+    pop_weights = np.asarray(network.pop_topology.population_weights())
+    pops = rng.choice(network.num_pops, size=num_requests, p=pop_weights).astype(
+        np.int64
+    )
+    leaves_range = network.tree.leaves
+    leaves = rng.integers(
+        leaves_range.start, leaves_range.stop, size=num_requests, dtype=np.int64
+    )
+    ranks = zipf.sample(rng, num_requests)
+    if spatial_skew > 0.0:
+        rankings = skewed_rankings(num_objects, network.num_pops, spatial_skew, rng)
+        objects = rankings[pops, ranks]
+    else:
+        objects = ranks
+    if sizes is None:
+        sizes = unit_sizes(num_objects)
+    origins = assign_origins(network, num_objects, rng, mode=origin_mode)
+    return Workload(
+        num_objects=num_objects,
+        pops=pops,
+        leaves=leaves,
+        objects=objects,
+        sizes=np.asarray(sizes, dtype=np.float64),
+        origins=origins,
+    )
+
+
+def workload_from_objects(
+    network: Network,
+    objects: np.ndarray,
+    num_objects: int,
+    rng: np.random.Generator,
+    sizes: np.ndarray | None = None,
+    origin_mode: str = "proportional",
+) -> Workload:
+    """Wrap a trace-derived object sequence in arrival and origin models.
+
+    This is the paper's trace-driven mode: the object sequence comes from
+    a request log ("we assume that this trace is the universe of all
+    requests"), while arrival PoP (population-weighted), arrival leaf
+    (uniform), and origins follow the standard setup.
+    """
+    objects = np.asarray(objects, dtype=np.int64)
+    if objects.size and (objects.min() < 0 or objects.max() >= num_objects):
+        raise ValueError("object ids out of range")
+    num_requests = len(objects)
+    pop_weights = np.asarray(network.pop_topology.population_weights())
+    pops = rng.choice(network.num_pops, size=num_requests, p=pop_weights).astype(
+        np.int64
+    )
+    leaves_range = network.tree.leaves
+    leaves = rng.integers(
+        leaves_range.start, leaves_range.stop, size=num_requests, dtype=np.int64
+    )
+    if sizes is None:
+        sizes = unit_sizes(num_objects)
+    origins = assign_origins(network, num_objects, rng, mode=origin_mode)
+    return Workload(
+        num_objects=num_objects,
+        pops=pops,
+        leaves=leaves,
+        objects=objects,
+        sizes=np.asarray(sizes, dtype=np.float64),
+        origins=origins,
+    )

@@ -1,0 +1,108 @@
+"""CDN request-log format (Section 2.2, "Dataset").
+
+Each log entry carries the four fields the paper uses: an anonymized
+client IP, an anonymized request URL, the object size, and whether the
+request was served locally or forwarded.  We serialize one record per
+line as tab-separated values with a ``#``-comment header.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+_FIELDS = ("timestamp", "client", "url", "size", "served_locally")
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One CDN log entry."""
+
+    timestamp: float
+    client: str
+    url: str
+    size: int
+    served_locally: bool
+
+    def to_line(self) -> str:
+        """Serialize as one TSV line."""
+        return "\t".join(
+            (
+                f"{self.timestamp:.3f}",
+                self.client,
+                self.url,
+                str(self.size),
+                "1" if self.served_locally else "0",
+            )
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> TraceRecord:
+        """Parse one TSV line (raises ``ValueError`` on malformed input)."""
+        parts = line.rstrip("\n").split("\t")
+        if len(parts) != len(_FIELDS):
+            raise ValueError(f"expected {len(_FIELDS)} fields, got {len(parts)}")
+        timestamp, client, url, size, served = parts
+        return cls(
+            timestamp=float(timestamp),
+            client=client,
+            url=url,
+            size=int(size),
+            served_locally=served == "1",
+        )
+
+
+def anonymize(value: str, salt: str = "repro") -> str:
+    """Deterministic anonymization: the truncated SHA-256 of salt+value."""
+    return hashlib.sha256(f"{salt}:{value}".encode()).hexdigest()[:16]
+
+
+def write_trace(path: str | Path, records: Iterable[TraceRecord]) -> int:
+    """Write records to ``path``; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# " + "\t".join(_FIELDS) + "\n")
+        for record in records:
+            fh.write(record.to_line() + "\n")
+            count += 1
+    return count
+
+
+def read_trace(path: str | Path) -> Iterator[TraceRecord]:
+    """Stream records from ``path``, skipping comments and blank lines."""
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            if not line.strip() or line.startswith("#"):
+                continue
+            yield TraceRecord.from_line(line)
+
+
+def object_ids_by_popularity(
+    records: Iterable[TraceRecord],
+) -> tuple[np.ndarray, dict[str, int], np.ndarray]:
+    """Densify trace URLs into popularity-ranked object ids.
+
+    Returns ``(objects, url_to_id, sizes)`` where id 0 is the most
+    requested URL (so ids double as global popularity ranks, matching
+    :func:`repro.workload.generator.workload_from_objects`), ``objects``
+    is the per-request id sequence in log order, and ``sizes`` holds the
+    last observed size per object.
+    """
+    records = list(records)
+    counts = Counter(record.url for record in records)
+    ordered = [url for url, _ in counts.most_common()]
+    url_to_id = {url: i for i, url in enumerate(ordered)}
+    objects = np.fromiter(
+        (url_to_id[record.url] for record in records),
+        dtype=np.int64,
+        count=len(records),
+    )
+    sizes = np.ones(len(ordered), dtype=np.float64)
+    for record in records:
+        sizes[url_to_id[record.url]] = record.size
+    return objects, url_to_id, sizes

@@ -1,0 +1,60 @@
+"""Truncated Zipf popularity distributions (Section 2.2).
+
+The paper models request popularity as Zipfian: the i-th most popular of
+``n`` objects is requested with probability proportional to ``1 / i**alpha``.
+Ranks here are **0-indexed** (rank 0 is the most popular object).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZipfDistribution:
+    """A Zipf(alpha) distribution truncated to ``num_objects`` ranks."""
+
+    def __init__(self, alpha: float, num_objects: int):
+        if num_objects < 1:
+            raise ValueError(f"num_objects must be >= 1, got {num_objects}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = alpha
+        self.num_objects = num_objects
+        weights = np.arange(1, num_objects + 1, dtype=np.float64) ** -alpha
+        self._probs = weights / weights.sum()
+        self._cdf = np.cumsum(self._probs)
+        # Guard against float round-off so searchsorted never overflows.
+        self._cdf[-1] = 1.0
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Probability of each rank, most popular first (sums to 1)."""
+        return self._probs.copy()
+
+    def pmf(self, rank: int) -> float:
+        """Request probability of the 0-indexed ``rank``."""
+        if not 0 <= rank < self.num_objects:
+            raise ValueError(f"rank {rank} out of range [0, {self.num_objects})")
+        return float(self._probs[rank])
+
+    def head_mass(self, top_k: int) -> float:
+        """Total probability of the ``top_k`` most popular ranks."""
+        if top_k <= 0:
+            return 0.0
+        top_k = min(top_k, self.num_objects)
+        return float(self._cdf[top_k - 1])
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` ranks by inverse-CDF sampling."""
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        return np.searchsorted(self._cdf, rng.random(size), side="right").astype(
+            np.int64
+        )
+
+    def expected_unique(self, num_requests: int) -> float:
+        """Expected number of distinct objects in ``num_requests`` draws."""
+        return float(np.sum(1.0 - (1.0 - self._probs) ** num_requests))
+
+    def __repr__(self) -> str:
+        return f"ZipfDistribution(alpha={self.alpha}, num_objects={self.num_objects})"

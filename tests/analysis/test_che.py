@@ -1,0 +1,64 @@
+"""Tests for Che's LRU approximation, validated against the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import characteristic_time, hit_ratio, per_object_hit_ratios
+from repro.cache import LRUCache
+from repro.workload import ZipfDistribution
+
+
+class TestCharacteristicTime:
+    def test_zero_cache(self):
+        assert characteristic_time(np.array([0.5, 0.5]), 0) == 0.0
+
+    def test_whole_catalog_is_infinite(self):
+        assert characteristic_time(np.array([0.5, 0.5]), 2) == float("inf")
+
+    def test_occupancy_identity(self):
+        zipf = ZipfDistribution(1.0, 200)
+        t = characteristic_time(zipf.probabilities, 30)
+        occupancy = np.sum(1 - np.exp(-zipf.probabilities * t))
+        assert occupancy == pytest.approx(30, rel=1e-6)
+
+    def test_monotone_in_cache_size(self):
+        zipf = ZipfDistribution(1.0, 100)
+        times = [characteristic_time(zipf.probabilities, b)
+                 for b in (5, 20, 50)]
+        assert times == sorted(times)
+
+
+class TestHitRatio:
+    def test_bounds(self):
+        zipf = ZipfDistribution(1.0, 100)
+        assert hit_ratio(zipf.probabilities, 0) == 0.0
+        assert hit_ratio(zipf.probabilities, 100) == 1.0
+        assert 0 < hit_ratio(zipf.probabilities, 10) < 1
+
+    def test_per_object_ordering(self):
+        zipf = ZipfDistribution(1.2, 100)
+        per_object = per_object_hit_ratios(zipf.probabilities, 10)
+        # Popular objects hit more.
+        assert np.all(np.diff(per_object) <= 1e-12)
+
+    @pytest.mark.parametrize("alpha,cache_size", [(0.8, 20), (1.0, 50),
+                                                  (1.3, 10)])
+    def test_matches_simulated_lru(self, alpha, cache_size, rng):
+        """Che's formula predicts the simulator's single-cache LRU hit
+        ratio within a couple of points."""
+        num_objects = 500
+        zipf = ZipfDistribution(alpha, num_objects)
+        cache = LRUCache(capacity=cache_size)
+        stream = zipf.sample(rng, 150_000)
+        warmup = 20_000
+        hits = total = 0
+        for i, obj in enumerate(stream):
+            hit = cache.lookup(int(obj))
+            if not hit:
+                cache.insert(int(obj))
+            if i >= warmup:
+                hits += hit
+                total += 1
+        simulated = hits / total
+        predicted = hit_ratio(zipf.probabilities, cache_size)
+        assert simulated == pytest.approx(predicted, abs=0.02)

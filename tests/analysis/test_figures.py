@@ -1,0 +1,58 @@
+"""Tests for figure-data assembly."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    improvement_rows,
+    loglog_popularity,
+    sweep_gap,
+)
+from repro.core import EDGE, ICN_NR, ExperimentConfig, Improvements
+
+
+class TestImprovementRows:
+    def test_rows_in_legend_order(self):
+        improvements = {
+            "ICN-NR": Improvements(10.0, 20.0, 30.0),
+            "EDGE": Improvements(1.0, 2.0, 3.0),
+        }
+        rows = improvement_rows(improvements, "congestion")
+        assert rows == [("ICN-NR", 20.0), ("EDGE", 2.0)]
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            improvement_rows({}, "throughput")
+
+
+class TestSweepGap:
+    def test_collects_gap_per_value(self):
+        def make_config(alpha):
+            return ExperimentConfig(
+                topology="abilene",
+                num_objects=100,
+                num_requests=2000,
+                alpha=alpha,
+                seed=3,
+            )
+
+        sweep = sweep_gap("alpha", [0.6, 1.2], make_config, ICN_NR, EDGE)
+        assert sweep.parameter == "alpha"
+        assert sweep.values == (0.6, 1.2)
+        assert set(sweep.gaps) == {"latency", "congestion", "origin_load"}
+        assert len(sweep.gaps["latency"]) == 2
+
+
+class TestLoglogPopularity:
+    def test_downsamples_to_log_spaced_ranks(self):
+        counts = np.arange(1000, 0, -1)
+        points = loglog_popularity(counts, points=10)
+        assert points.shape[1] == 2
+        assert points[0, 0] == 1
+        assert points[-1, 0] <= 1000
+        # Ranks strictly increasing, counts non-increasing.
+        assert np.all(np.diff(points[:, 0]) > 0)
+        assert np.all(np.diff(points[:, 1]) <= 0)
+
+    def test_empty_counts(self):
+        assert loglog_popularity([]).shape == (0, 2)

@@ -1,0 +1,67 @@
+"""Validate the analytical EDGE predictor against the simulator."""
+
+import pytest
+
+from repro.analysis.prediction import (
+    predict_edge_hit_ratio,
+    predict_edge_origin_load_reduction,
+)
+from repro.core import EDGE, ExperimentConfig, run_experiment
+from repro.core.experiment import build_network
+
+
+class TestPrediction:
+    @pytest.mark.parametrize("alpha,budget", [(0.8, 0.05), (1.2, 0.05),
+                                              (1.0, 0.02)])
+    def test_matches_simulated_hit_ratio(self, alpha, budget):
+        config = ExperimentConfig(
+            topology="abilene",
+            num_objects=400,
+            num_requests=250_000,
+            alpha=alpha,
+            budget_fraction=budget,
+            warmup_fraction=0.4,
+            seed=17,
+        )
+        outcome = run_experiment(config, (EDGE,))
+        simulated = outcome.results["EDGE"].cache_hit_ratio
+        network = build_network(config)
+        predicted = predict_edge_hit_ratio(
+            network, config.num_objects, alpha, budget
+        )
+        assert simulated == pytest.approx(predicted, abs=0.05)
+
+    def test_origin_reduction_tracks_total_origin_load(self):
+        config = ExperimentConfig(
+            topology="geant",
+            num_objects=300,
+            num_requests=150_000,
+            warmup_fraction=0.4,
+            seed=23,
+        )
+        outcome = run_experiment(config, (EDGE,))
+        result = outcome.results["EDGE"]
+        simulated_reduction = 100.0 * (
+            1.0 - result.total_origin_load / result.num_requests
+        )
+        network = build_network(config)
+        predicted = predict_edge_origin_load_reduction(
+            network, config.num_objects, config.alpha,
+            config.budget_fraction,
+        )
+        assert simulated_reduction == pytest.approx(predicted, abs=6.0)
+
+    def test_bigger_budget_predicts_higher_hit_ratio(self):
+        config = ExperimentConfig(topology="abilene", num_objects=500)
+        network = build_network(config)
+        small = predict_edge_hit_ratio(network, 500, 1.0, 0.01)
+        large = predict_edge_hit_ratio(network, 500, 1.0, 0.2)
+        assert large > small
+
+    def test_edge_norm_multiplier_raises_prediction(self):
+        config = ExperimentConfig(topology="abilene", num_objects=500)
+        network = build_network(config)
+        plain = predict_edge_hit_ratio(network, 500, 1.0, 0.05)
+        normed = predict_edge_hit_ratio(network, 500, 1.0, 0.05,
+                                        budget_multiplier=63 / 32)
+        assert normed > plain

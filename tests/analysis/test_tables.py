@@ -1,0 +1,44 @@
+"""Tests for text table rendering."""
+
+import pytest
+
+from repro.analysis import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.234], ["longer", 2.0]]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.23" in text
+        assert "longer" in text
+
+    def test_title(self):
+        text = format_table(["x"], [["1"]], title="Table 9")
+        assert text.splitlines()[0] == "Table 9"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[3.14159]], float_format="{:.4f}")
+        assert "3.1416" in text
+
+    def test_non_float_cells_stringified(self):
+        text = format_table(["v"], [[42], [None]])
+        assert "42" in text and "None" in text
+
+
+class TestFormatSeries:
+    def test_one_column_per_series(self):
+        text = format_series(
+            "alpha", [0.5, 1.0],
+            {"latency": [1.0, 2.0], "congestion": [3.0, 4.0]},
+        )
+        header = text.splitlines()[0]
+        assert "alpha" in header
+        assert "latency" in header and "congestion" in header
+        assert len(text.splitlines()) == 4

@@ -1,0 +1,78 @@
+"""Tests for the FIFO and infinite caches."""
+
+import math
+
+import pytest
+
+from repro.cache import FIFOCache, InfiniteCache
+
+
+class TestFifo:
+    def test_eviction_is_insertion_order(self):
+        cache = FIFOCache(capacity=2)
+        cache.insert("a")
+        cache.insert("b")
+        cache.lookup("a")  # recency must NOT matter for FIFO
+        assert cache.insert("c") == ["a"]
+
+    def test_reinsert_does_not_refresh_position(self):
+        cache = FIFOCache(capacity=2)
+        cache.insert("a")
+        cache.insert("b")
+        cache.insert("a")  # still oldest
+        assert cache.insert("c") == ["a"]
+
+    def test_size_aware_eviction(self):
+        cache = FIFOCache(capacity=6)
+        cache.insert("a", size=3.0)
+        cache.insert("b", size=3.0)
+        assert cache.insert("c", size=4.0) == ["a", "b"]
+        assert cache.used == pytest.approx(4.0)
+
+    def test_oversized_rejected(self):
+        cache = FIFOCache(capacity=2)
+        assert cache.insert("x", size=5.0) == []
+        assert len(cache) == 0
+
+    def test_growing_object_evicts_oldest(self):
+        cache = FIFOCache(capacity=4)
+        cache.insert("a", size=2.0)
+        cache.insert("b", size=2.0)
+        assert cache.insert("b", size=3.0) == ["a"]
+
+    def test_counters_and_clear(self):
+        cache = FIFOCache(capacity=2)
+        cache.insert("a")
+        assert cache.lookup("a") and not cache.lookup("z")
+        cache.clear()
+        assert len(cache) == 0 and cache.used == 0.0
+
+
+class TestInfinite:
+    def test_never_evicts(self):
+        cache = InfiniteCache()
+        for i in range(10_000):
+            assert cache.insert(i) == []
+        assert len(cache) == 10_000
+
+    def test_capacity_is_infinite(self):
+        assert InfiniteCache().capacity == math.inf
+
+    def test_lookup_and_counters(self):
+        cache = InfiniteCache()
+        cache.insert("a")
+        assert cache.lookup("a")
+        assert not cache.lookup("b")
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            InfiniteCache().insert("a", size=-2.0)
+
+    def test_clear_and_iter(self):
+        cache = InfiniteCache()
+        cache.insert("a")
+        cache.insert("b")
+        assert set(cache) == {"a", "b"}
+        cache.clear()
+        assert len(cache) == 0

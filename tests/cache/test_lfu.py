@@ -1,0 +1,93 @@
+"""Tests for the LFU cache."""
+
+import pytest
+
+from repro.cache import LFUCache
+
+
+class TestEvictionPolicy:
+    def test_least_frequent_evicted(self):
+        cache = LFUCache(capacity=2)
+        cache.insert("a")
+        cache.insert("b")
+        cache.lookup("a")  # a: freq 2, b: freq 1
+        assert cache.insert("c") == ["b"]
+        assert "a" in cache
+
+    def test_tie_broken_by_insertion_order(self):
+        cache = LFUCache(capacity=2)
+        cache.insert("a")
+        cache.insert("b")
+        # Both frequency 1: the older entry goes first.
+        assert cache.insert("c") == ["a"]
+
+    def test_frequency_accumulates(self):
+        cache = LFUCache(capacity=3)
+        cache.insert("a")
+        for _ in range(4):
+            cache.lookup("a")
+        assert cache.frequency("a") == 5
+        assert cache.frequency("missing") == 0
+
+    def test_reinsert_bumps_frequency(self):
+        cache = LFUCache(capacity=2)
+        cache.insert("a")
+        cache.insert("a")
+        cache.insert("b")
+        assert cache.insert("c") == ["b"]
+
+    def test_min_freq_resets_after_full_eviction(self):
+        cache = LFUCache(capacity=1)
+        cache.insert("a")
+        cache.lookup("a")
+        cache.insert("b")  # evicts a despite its higher frequency
+        assert "b" in cache and "a" not in cache
+        cache.insert("c")
+        assert "c" in cache
+
+    def test_eviction_cascade_with_sizes(self):
+        cache = LFUCache(capacity=4)
+        cache.insert("a", size=2.0)
+        cache.insert("b", size=2.0)
+        cache.lookup("b")
+        evicted = cache.insert("c", size=4.0)
+        assert evicted == ["a", "b"]
+        assert cache.used == pytest.approx(4.0)
+
+    def test_oversized_not_admitted(self):
+        cache = LFUCache(capacity=2)
+        assert cache.insert("x", size=3.0) == []
+        assert len(cache) == 0
+
+
+class TestBookkeeping:
+    def test_counters(self):
+        cache = LFUCache(capacity=2)
+        cache.insert("a")
+        cache.lookup("a")
+        cache.lookup("b")
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_clear(self):
+        cache = LFUCache(capacity=2)
+        cache.insert("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.frequency("a") == 0
+        cache.insert("b")
+        assert "b" in cache
+
+    def test_iter_and_contains(self):
+        cache = LFUCache(capacity=4)
+        cache.insert("a")
+        cache.insert("b")
+        assert set(cache) == {"a", "b"}
+        assert "a" in cache
+
+    def test_grow_object_beyond_capacity_evicts_down(self):
+        cache = LFUCache(capacity=3)
+        cache.insert("a")
+        cache.insert("b")
+        cache.insert("b", size=3.0)
+        assert "a" not in cache
+        assert cache.used <= 3.0

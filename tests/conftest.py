@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology import AccessTree, Network, Pop, PopTopology
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_topology() -> PopTopology:
+    """A 4-PoP diamond with skewed populations."""
+    return PopTopology(
+        name="diamond",
+        pops=(
+            Pop(0, "A", 4_000_000),
+            Pop(1, "B", 2_000_000),
+            Pop(2, "C", 1_000_000),
+            Pop(3, "D", 1_000_000),
+        ),
+        edges=((0, 1), (0, 2), (1, 3), (2, 3)),
+    )
+
+
+@pytest.fixture
+def small_tree() -> AccessTree:
+    """A binary tree of depth 2 (7 nodes, 4 leaves)."""
+    return AccessTree(arity=2, depth=2)
+
+
+@pytest.fixture
+def small_network(small_topology: PopTopology, small_tree: AccessTree) -> Network:
+    """The composite of the diamond PoP map and depth-2 binary trees."""
+    return Network(small_topology, small_tree)

@@ -1,0 +1,113 @@
+"""Tests for on-path insertion policies (LCE / LCD / probabilistic)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import EDGE, ICN_SP, Architecture, Simulator
+from repro.workload import Workload
+
+LCD = dataclasses.replace(ICN_SP, name="ICN-LCD", insertion="lcd")
+PROB0 = dataclasses.replace(
+    ICN_SP, name="ICN-P0", insertion="probabilistic", insertion_probability=0.0
+)
+PROB1 = dataclasses.replace(
+    ICN_SP, name="ICN-P1", insertion="probabilistic", insertion_probability=1.0
+)
+
+
+def make_workload(requests, origins):
+    pops, leaves, objects = (
+        np.array([r[i] for r in requests], dtype=np.int64) for i in range(3)
+    )
+    return Workload(
+        num_objects=len(origins),
+        pops=pops,
+        leaves=leaves,
+        objects=objects,
+        sizes=np.ones(len(origins)),
+        origins=np.array(origins, dtype=np.int64),
+    )
+
+
+class TestValidation:
+    def test_unknown_insertion_rejected(self):
+        with pytest.raises(ValueError):
+            Architecture("x", insertion="random-walk")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            Architecture("x", insertion="probabilistic",
+                         insertion_probability=1.5)
+
+
+class TestLeaveCopyDown:
+    def test_only_first_node_below_server_caches(self, small_network):
+        workload = make_workload([(0, 3, 0)], origins=[3])
+        simulator = Simulator(small_network, LCD, workload,
+                              [8.0] * small_network.num_nodes)
+        simulator.run()
+        # Response path: origin root (pop 3) ... -> leaf 3 of pop 0.
+        # Only the node right below the origin caches a copy.
+        holders = [n for n, c in simulator.caches.items() if 0 in c]
+        assert len(holders) == 1
+        leaf = small_network.gid(0, 3)
+        assert small_network.distance(
+            holders[0], small_network.root_gid(3)
+        ) == 1
+
+    def test_object_migrates_toward_edge(self, small_network):
+        # Repeated requests pull the copy one level closer each time.
+        workload = make_workload([(0, 3, 0)] * 6, origins=[3])
+        simulator = Simulator(small_network, LCD, workload,
+                              [8.0] * small_network.num_nodes)
+        result = simulator.run()
+        leaf = small_network.gid(0, 3)
+        assert 0 in simulator.caches[leaf]
+        # Later requests hit progressively closer copies.
+        assert result.cache_served >= 4
+
+
+class TestProbabilistic:
+    def test_probability_zero_never_caches(self, small_network):
+        workload = make_workload([(0, 3, 0)] * 5, origins=[3])
+        simulator = Simulator(small_network, PROB0, workload,
+                              [8.0] * small_network.num_nodes)
+        result = simulator.run()
+        assert result.cache_served == 0
+        assert all(len(c) == 0 for c in simulator.caches.values())
+
+    def test_probability_one_equals_everywhere(self, small_network):
+        workload = make_workload([(0, 3, 0), (0, 4, 0)], origins=[3])
+        budgets = [8.0] * small_network.num_nodes
+        lce = Simulator(small_network, ICN_SP, workload, budgets).run()
+        prob = Simulator(small_network, PROB1, workload, budgets).run()
+        assert prob.total_latency == lce.total_latency
+        assert prob.cache_served == lce.cache_served
+
+    def test_intermediate_probability_caches_somewhere(self, small_network):
+        half = dataclasses.replace(
+            ICN_SP, name="p", insertion="probabilistic",
+            insertion_probability=0.5,
+        )
+        workload = make_workload([(0, 3, 0)] * 20, origins=[3])
+        simulator = Simulator(small_network, half, workload,
+                              [8.0] * small_network.num_nodes)
+        result = simulator.run()
+        cached_nodes = sum(1 for c in simulator.caches.values() if 0 in c)
+        assert 0 < cached_nodes
+        assert result.cache_served > 0
+
+
+class TestEdgeWithPolicies:
+    def test_lcd_with_edge_placement_behaves_like_lce(self, small_network):
+        # With caches only at leaves, the first cache below the server
+        # IS the leaf, so LCD == everywhere.
+        lcd_edge = dataclasses.replace(EDGE, name="EDGE-LCD",
+                                       insertion="lcd")
+        workload = make_workload([(0, 3, 0), (0, 3, 0)], origins=[3])
+        budgets = [8.0] * small_network.num_nodes
+        a = Simulator(small_network, EDGE, workload, budgets).run()
+        b = Simulator(small_network, lcd_edge, workload, budgets).run()
+        assert a.total_latency == b.total_latency

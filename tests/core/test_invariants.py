@@ -1,0 +1,136 @@
+"""Cross-architecture invariants on randomized workloads.
+
+These encode the paper's qualitative claims as executable properties:
+the design-space ordering (more caching / smarter routing never hurts in
+aggregate), conservation laws of the metric accounting, and the directly
+checkable mechanics of the no-cache baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BASELINE_ARCHITECTURES,
+    EDGE,
+    EDGE_COOP,
+    EDGE_NORM,
+    ICN_NR,
+    ICN_NR_GLOBAL,
+    ICN_SP,
+    ExperimentConfig,
+    run_experiment,
+)
+
+CONFIG = ExperimentConfig(
+    topology="geant",
+    num_objects=300,
+    num_requests=15_000,
+    warmup_fraction=0.2,
+    seed=5,
+)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_experiment(
+        CONFIG, (*BASELINE_ARCHITECTURES, ICN_NR_GLOBAL)
+    )
+
+
+class TestDesignSpaceOrdering:
+    """Section 4.2's qualitative ordering of the representative designs."""
+
+    def test_pervasive_beats_edge_on_every_metric(self, outcome):
+        edge = outcome.improvements["EDGE"]
+        sp = outcome.improvements["ICN-SP"]
+        assert sp.latency >= edge.latency
+        assert sp.congestion >= edge.congestion
+        assert sp.origin_load >= edge.origin_load
+
+    def test_nearest_replica_beats_shortest_path(self, outcome):
+        sp = outcome.improvements["ICN-SP"]
+        nr = outcome.improvements["ICN-NR"]
+        assert nr.latency >= sp.latency - 0.5
+        assert nr.origin_load >= sp.origin_load - 0.5
+
+    def test_nr_over_sp_gain_is_marginal(self, outcome):
+        """The paper's headline: NR adds little over SP (~2%)."""
+        gap = outcome.gap("ICN-NR", "ICN-SP")
+        assert gap.latency < 8.0
+        assert gap.origin_load < 12.0
+
+    def test_global_oracle_dominates_scoped_nr(self, outcome):
+        scoped = outcome.improvements["ICN-NR"]
+        oracle = outcome.improvements["ICN-NR-Global"]
+        assert oracle.latency >= scoped.latency - 0.5
+        assert oracle.origin_load >= scoped.origin_load - 0.5
+
+    def test_cooperation_helps_edge(self, outcome):
+        edge = outcome.improvements["EDGE"]
+        coop = outcome.improvements["EDGE-Coop"]
+        assert coop.latency >= edge.latency
+        assert coop.origin_load >= edge.origin_load
+
+    def test_norm_budget_helps_edge(self, outcome):
+        edge = outcome.improvements["EDGE"]
+        norm = outcome.improvements["EDGE-Norm"]
+        assert norm.latency >= edge.latency - 0.2
+
+    def test_improvements_bounded_by_100(self, outcome):
+        for improvement in outcome.improvements.values():
+            assert improvement.max() <= 100.0
+
+
+class TestConservation:
+    def test_every_request_is_served_exactly_once(self, outcome):
+        for result in outcome.results.values():
+            served = (
+                result.cache_served
+                + result.coop_served
+                + int(result.total_origin_load)
+            )
+            assert served == result.num_requests
+
+    def test_baseline_serves_everything_at_origin(self, outcome):
+        baseline = outcome.baseline
+        assert baseline.total_origin_load == baseline.num_requests
+        assert baseline.cache_served == 0
+
+    def test_caching_never_increases_total_transfers(self, outcome):
+        for result in outcome.results.values():
+            assert result.total_transfers <= outcome.baseline.total_transfers
+
+    def test_max_link_bounded_by_total(self, outcome):
+        for result in outcome.results.values():
+            assert result.max_link_transfers <= result.total_transfers
+
+    def test_origin_load_distribution_sums(self, outcome):
+        for result in outcome.results.values():
+            assert result.origin_serves.sum() == pytest.approx(
+                result.total_origin_load
+            )
+            assert result.origin_serves.max() == pytest.approx(
+                result.max_origin_load
+            )
+
+
+class TestPolicyRobustness:
+    def test_lfu_yields_qualitatively_similar_results(self):
+        """Section 3: 'We also tried LFU, which yielded qualitatively
+        similar results.'"""
+        lru = run_experiment(CONFIG, (ICN_NR, EDGE))
+        lfu = run_experiment(CONFIG.with_(policy="lfu"), (ICN_NR, EDGE))
+        for name in ("ICN-NR", "EDGE"):
+            assert lfu.improvements[name].latency == pytest.approx(
+                lru.improvements[name].latency, abs=12.0
+            )
+
+    def test_uniform_budgets_keep_the_ordering(self):
+        """Figure 7: provisioning does not change relative performance."""
+        uniform = run_experiment(
+            CONFIG.with_(budget_split="uniform"), (ICN_SP, ICN_NR, EDGE)
+        )
+        assert (
+            uniform.improvements["ICN-NR"].latency
+            >= uniform.improvements["EDGE"].latency
+        )

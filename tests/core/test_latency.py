@@ -1,0 +1,58 @@
+"""Tests for the latency models."""
+
+import pytest
+
+from repro.core import (
+    arithmetic_hop_costs,
+    core_weighted_hop_costs,
+    hop_costs,
+    unit_hop_costs,
+)
+
+
+class TestUnit:
+    def test_leaf_to_root_equals_depth(self, small_network):
+        costs = unit_hop_costs(small_network)
+        leaf = small_network.tree.leaves[0]
+        assert costs.tree_to_root[leaf] == 2.0
+        assert costs.tree_to_root[0] == 0.0
+        assert costs.core_hop == 1.0
+
+
+class TestArithmetic:
+    def test_costs_grow_toward_core(self, small_network):
+        costs = arithmetic_hop_costs(small_network)
+        # Depth 2 tree: leaf->parent costs 1, parent->root costs 2.
+        leaf = small_network.tree.leaves[0]
+        parent = small_network.tree.parent(leaf)
+        assert costs.tree_to_root[leaf] - costs.tree_to_root[parent] == 1.0
+        assert costs.tree_to_root[parent] == 2.0
+        assert costs.core_hop == 3.0
+
+    def test_total_leaf_cost_is_progression_sum(self, small_network):
+        costs = arithmetic_hop_costs(small_network)
+        leaf = small_network.tree.leaves[0]
+        assert costs.tree_to_root[leaf] == 1.0 + 2.0
+
+
+class TestCoreWeighted:
+    def test_tree_hops_unit_core_scaled(self, small_network):
+        costs = core_weighted_hop_costs(small_network, factor=7.0)
+        leaf = small_network.tree.leaves[0]
+        assert costs.tree_to_root[leaf] == 2.0
+        assert costs.core_hop == 7.0
+
+    def test_invalid_factor(self, small_network):
+        with pytest.raises(ValueError):
+            core_weighted_hop_costs(small_network, factor=0.0)
+
+
+class TestDispatch:
+    def test_by_name(self, small_network):
+        assert hop_costs(small_network, "unit").core_hop == 1.0
+        assert hop_costs(small_network, "arithmetic").core_hop == 3.0
+        assert hop_costs(small_network, "core_weighted", factor=4.0).core_hop == 4.0
+
+    def test_unknown_model(self, small_network):
+        with pytest.raises(ValueError):
+            hop_costs(small_network, "speed_of_light")

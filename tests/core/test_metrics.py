@@ -1,0 +1,105 @@
+"""Tests for metric collection and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core import MetricsCollector, gap, improvements
+
+
+def collect(events, num_links=8, num_pops=3, name="X"):
+    collector = MetricsCollector(num_links, num_pops)
+    for latency, links, size, origin, coop in events:
+        collector.record(latency, links, size, origin, coop)
+    return collector.result(name)
+
+
+class TestCollector:
+    def test_aggregates(self):
+        result = collect(
+            [
+                (3.0, [0, 1], 1.0, 2, False),
+                (0.0, [], 1.0, None, False),
+                (2.0, [1], 1.0, None, True),
+            ]
+        )
+        assert result.num_requests == 3
+        assert result.mean_latency == pytest.approx(5.0 / 3)
+        assert result.max_link_transfers == 2.0  # link 1 used twice
+        assert result.total_transfers == 3.0
+        assert result.max_origin_load == 1.0
+        assert result.cache_served == 1
+        assert result.coop_served == 1
+        assert result.cache_hit_ratio == pytest.approx(2 / 3)
+
+    def test_sizes_weight_congestion(self):
+        result = collect([(1.0, [4], 3.5, None, False)])
+        assert result.max_link_transfers == 3.5
+
+    def test_empty_run(self):
+        result = collect([])
+        assert result.mean_latency == 0.0
+        assert result.max_link_transfers == 0.0
+        assert result.cache_hit_ratio == 0.0
+
+    def test_origin_loads_tracked_per_pop(self):
+        result = collect(
+            [(1.0, [], 1.0, 0, False)] * 3 + [(1.0, [], 1.0, 1, False)]
+        )
+        assert result.origin_serves.tolist() == [3.0, 1.0, 0.0]
+        assert result.total_origin_load == 4.0
+
+
+class TestImprovements:
+    def _baseline(self):
+        return collect(
+            [(10.0, [0], 1.0, 0, False)] * 10, name="NO-CACHE"
+        )
+
+    def test_normalization(self):
+        baseline = self._baseline()
+        cached = collect(
+            [(5.0, [0], 1.0, 0, False)] * 5
+            + [(0.0, [], 1.0, None, False)] * 5,
+            name="EDGE",
+        )
+        imp = improvements(cached, baseline)
+        assert imp.latency == pytest.approx(75.0)
+        assert imp.congestion == pytest.approx(50.0)
+        assert imp.origin_load == pytest.approx(50.0)
+
+    def test_mismatched_request_counts_rejected(self):
+        baseline = self._baseline()
+        short = collect([(1.0, [], 1.0, 0, False)])
+        with pytest.raises(ValueError):
+            improvements(short, baseline)
+
+    def test_no_caching_improves_nothing(self):
+        baseline = self._baseline()
+        imp = improvements(baseline, baseline)
+        assert imp.latency == 0.0
+        assert imp.congestion == 0.0
+        assert imp.origin_load == 0.0
+
+    def test_as_dict_and_minmax(self):
+        baseline = self._baseline()
+        cached = collect(
+            [(2.0, [0], 1.0, None, False)] * 10, name="X"
+        )
+        imp = improvements(cached, baseline)
+        d = imp.as_dict()
+        assert set(d) == {"latency", "congestion", "origin_load"}
+        assert imp.min() <= imp.max()
+
+
+class TestGap:
+    def test_subtraction(self):
+        baseline = collect([(10.0, [0], 1.0, 0, False)] * 4, name="NC")
+        a = improvements(
+            collect([(2.0, [0], 1.0, None, False)] * 4), baseline
+        )
+        b = improvements(
+            collect([(4.0, [0], 1.0, 0, False)] * 4), baseline
+        )
+        g = gap(a, b)
+        assert g.latency == pytest.approx(a.latency - b.latency)
+        assert g.origin_load == pytest.approx(100.0)

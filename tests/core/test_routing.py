@@ -1,0 +1,117 @@
+"""Tests for the nearest-replica directory oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ReplicaDirectory
+
+
+class TestDirectoryBookkeeping:
+    def test_empty_directory(self, small_network):
+        directory = ReplicaDirectory(small_network)
+        assert directory.nearest(0, small_network.gid(0, 3)) is None
+        assert directory.num_replicas(0) == 0
+        assert directory.holders(0) == []
+
+    def test_add_and_remove(self, small_network):
+        directory = ReplicaDirectory(small_network)
+        node = small_network.gid(1, 4)
+        directory.add(7, node)
+        assert directory.num_replicas(7) == 1
+        assert directory.holders(7) == [node]
+        directory.remove(7, node)
+        assert directory.num_replicas(7) == 0
+
+    def test_remove_unknown_raises(self, small_network):
+        directory = ReplicaDirectory(small_network)
+        with pytest.raises(KeyError):
+            directory.remove(3, small_network.gid(0, 0))
+
+
+class TestNearestQueries:
+    def test_replica_at_request_leaf_wins(self, small_network):
+        directory = ReplicaDirectory(small_network)
+        leaf = small_network.gid(2, 5)
+        directory.add(1, small_network.gid(0, 0))
+        directory.add(1, leaf)
+        assert directory.nearest(1, leaf) == (leaf, 0)
+
+    def test_same_tree_replica_beats_remote(self, small_network):
+        directory = ReplicaDirectory(small_network)
+        leaf = small_network.gid(1, 3)
+        sibling = small_network.gid(1, 4)
+        remote = small_network.gid(3, 3)
+        directory.add(9, sibling)
+        directory.add(9, remote)
+        node, dist = directory.nearest(9, leaf)
+        assert node == sibling
+        assert dist == 2
+
+    def test_remote_distance_math(self, small_network):
+        directory = ReplicaDirectory(small_network)
+        leaf = small_network.gid(0, 3)  # depth 2 in pop 0
+        remote_root = small_network.gid(3, 0)  # root of pop 3
+        directory.add(4, remote_root)
+        node, dist = directory.nearest(4, leaf)
+        assert node == remote_root
+        # depth 2 up + 2 core hops + depth 0 down.
+        assert dist == 4
+
+    def test_prefers_shallow_remote_holder(self, small_network):
+        directory = ReplicaDirectory(small_network)
+        leaf = small_network.gid(0, 3)
+        directory.add(2, small_network.gid(1, 5))  # remote leaf (deep)
+        directory.add(2, small_network.gid(1, 0))  # remote root (shallow)
+        node, dist = directory.nearest(2, leaf)
+        assert node == small_network.gid(1, 0)
+        assert dist == 2 + 1 + 0
+
+    def test_nearest_matches_exhaustive_search(self, small_network, rng):
+        directory = ReplicaDirectory(small_network)
+        holders = [3, 9, 16, 20, 26]
+        for node in holders:
+            directory.add(5, node)
+        for pop in range(4):
+            for leaf_local in small_network.tree.leaves:
+                leaf = small_network.gid(pop, leaf_local)
+                node, dist = directory.nearest(5, leaf)
+                best = min(
+                    small_network.distance(leaf, h) for h in holders
+                )
+                assert dist == best
+                assert small_network.distance(leaf, node) == dist
+
+
+def _diamond_network():
+    from repro.topology import AccessTree, Network, Pop, PopTopology
+
+    topo = PopTopology(
+        name="diamond",
+        pops=(
+            Pop(0, "A", 4), Pop(1, "B", 2), Pop(2, "C", 1), Pop(3, "D", 1),
+        ),
+        edges=((0, 1), (0, 2), (1, 3), (2, 3)),
+    )
+    return Network(topo, AccessTree(2, 2))
+
+
+_NETWORK = _diamond_network()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    holders=st.sets(st.integers(min_value=0, max_value=27), min_size=1,
+                    max_size=10),
+    leaf_local=st.integers(min_value=3, max_value=6),
+    pop=st.integers(min_value=0, max_value=3),
+)
+def test_nearest_is_exhaustive_minimum(holders, leaf_local, pop):
+    network = _NETWORK
+    directory = ReplicaDirectory(network)
+    for node in holders:
+        directory.add(0, node)
+    leaf = network.gid(pop, leaf_local)
+    node, dist = directory.nearest(0, leaf)
+    assert dist == min(network.distance(leaf, h) for h in holders)
+    assert node in holders

@@ -1,0 +1,131 @@
+"""Property-based tests of the simulation engine on random micro-worlds.
+
+Hypothesis drives small random workloads through the engine and checks
+accounting invariants that must hold for every architecture: request
+conservation, latency bounds, and congestion consistency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EDGE,
+    EDGE_COOP,
+    EDGE_NORM,
+    ICN_NR,
+    ICN_NR_GLOBAL,
+    ICN_SP,
+    Simulator,
+    simulate_no_cache,
+)
+from repro.topology import AccessTree, Network, Pop, PopTopology
+from repro.workload import Workload
+
+ARCHITECTURES = (EDGE, EDGE_COOP, EDGE_NORM, ICN_SP, ICN_NR, ICN_NR_GLOBAL)
+
+
+def _network():
+    topo = PopTopology(
+        name="line",
+        pops=(Pop(0, "a", 5), Pop(1, "b", 3), Pop(2, "c", 2)),
+        edges=((0, 1), (1, 2)),
+    )
+    return Network(topo, AccessTree(2, 2))
+
+
+_NETWORK = _network()
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(min_value=1, max_value=80))
+    num_objects = draw(st.integers(min_value=1, max_value=12))
+    pops = draw(
+        st.lists(st.integers(0, 2), min_size=n, max_size=n)
+    )
+    leaves = draw(
+        st.lists(st.integers(3, 6), min_size=n, max_size=n)
+    )
+    objects = draw(
+        st.lists(st.integers(0, num_objects - 1), min_size=n, max_size=n)
+    )
+    origins = draw(
+        st.lists(st.integers(0, 2), min_size=num_objects,
+                 max_size=num_objects)
+    )
+    return Workload(
+        num_objects=num_objects,
+        pops=np.array(pops, dtype=np.int64),
+        leaves=np.array(leaves, dtype=np.int64),
+        objects=np.array(objects, dtype=np.int64),
+        sizes=np.ones(num_objects),
+        origins=np.array(origins, dtype=np.int64),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=workloads(), arch=st.sampled_from(ARCHITECTURES),
+       budget=st.floats(min_value=0.0, max_value=6.0))
+def test_request_conservation(workload, arch, budget):
+    simulator = Simulator(
+        _NETWORK, arch, workload, [budget] * _NETWORK.num_nodes
+    )
+    result = simulator.run()
+    assert result.num_requests == workload.num_requests
+    served = (result.cache_served + result.coop_served
+              + int(result.total_origin_load))
+    assert served == workload.num_requests
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=workloads(), arch=st.sampled_from(ARCHITECTURES))
+def test_latency_never_exceeds_no_cache(workload, arch):
+    """Serving from a cache never takes longer than the origin path...
+    in aggregate (per-request it can, for coop/sibling detours, but the
+    detour is only taken when it is shorter than the origin path)."""
+    baseline = simulate_no_cache(_NETWORK, workload)
+    simulator = Simulator(
+        _NETWORK, arch, workload, [4.0] * _NETWORK.num_nodes
+    )
+    result = simulator.run()
+    assert result.total_latency <= baseline.total_latency + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=workloads(), arch=st.sampled_from(ARCHITECTURES))
+def test_congestion_accounting(workload, arch):
+    simulator = Simulator(
+        _NETWORK, arch, workload, [4.0] * _NETWORK.num_nodes
+    )
+    result = simulator.run()
+    # Unit sizes and unit hop costs: total transfers over links equals
+    # total latency (each hop of each response moves the object once).
+    assert result.total_transfers == pytest.approx(result.total_latency)
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=workloads())
+def test_zero_budget_equals_no_cache(workload):
+    baseline = simulate_no_cache(_NETWORK, workload)
+    simulator = Simulator(
+        _NETWORK, ICN_SP, workload, [0.0] * _NETWORK.num_nodes
+    )
+    result = simulator.run()
+    assert result.total_latency == pytest.approx(baseline.total_latency)
+    assert result.total_origin_load == baseline.total_origin_load
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=workloads())
+def test_global_oracle_roughly_dominates_scoped(workload):
+    """Per-request the oracle picks a no-farther replica, but routing
+    decisions feed back into cache state (different response paths
+    populate different caches), so aggregate dominance only holds up to
+    a small state-divergence slack."""
+    budgets = [4.0] * _NETWORK.num_nodes
+    scoped = Simulator(_NETWORK, ICN_NR, workload, budgets).run()
+    oracle = Simulator(_NETWORK, ICN_NR_GLOBAL, workload, budgets).run()
+    slack = 2.0 + 0.1 * scoped.total_latency
+    assert oracle.total_latency <= scoped.total_latency + slack

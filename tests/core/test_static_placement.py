@@ -1,0 +1,102 @@
+"""Tests for static placement support (preload + frozen caches)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EDGE, ICN_SP, Simulator
+from repro.workload import Workload
+
+
+def make_workload(requests, origins):
+    pops, leaves, objects = (
+        np.array([r[i] for r in requests], dtype=np.int64) for i in range(3)
+    )
+    return Workload(
+        num_objects=len(origins),
+        pops=pops,
+        leaves=leaves,
+        objects=objects,
+        sizes=np.ones(len(origins)),
+        origins=np.array(origins, dtype=np.int64),
+    )
+
+
+class TestPreload:
+    def test_preloaded_object_serves_first_request(self, small_network):
+        workload = make_workload([(0, 3, 0)], origins=[3])
+        leaf = small_network.gid(0, 3)
+        simulator = Simulator(
+            small_network, EDGE, workload,
+            [4.0] * small_network.num_nodes,
+            preload={leaf: [0]},
+        )
+        result = simulator.run()
+        assert result.cache_served == 1
+        assert result.total_latency == 0.0
+
+    def test_preload_respects_capacity(self, small_network):
+        workload = make_workload([(0, 3, 2)], origins=[3, 3, 3])
+        leaf = small_network.gid(0, 3)
+        simulator = Simulator(
+            small_network, EDGE, workload,
+            [2.0] * small_network.num_nodes,
+            preload={leaf: [0, 1, 2]},  # LRU keeps the last two
+        )
+        assert 0 not in simulator.caches[leaf]
+        assert 2 in simulator.caches[leaf]
+
+    def test_preload_requires_a_cache(self, small_network):
+        workload = make_workload([(0, 3, 0)], origins=[3])
+        interior = small_network.gid(0, 1)  # not a cache under EDGE
+        with pytest.raises(ValueError):
+            Simulator(
+                small_network, EDGE, workload,
+                [4.0] * small_network.num_nodes,
+                preload={interior: [0]},
+            )
+
+    def test_preload_feeds_global_directory(self, small_network):
+        from repro.core import ICN_NR_GLOBAL
+
+        workload = make_workload([(0, 3, 0)], origins=[3])
+        remote_leaf = small_network.gid(1, 3)
+        simulator = Simulator(
+            small_network, ICN_NR_GLOBAL, workload,
+            [4.0] * small_network.num_nodes,
+            preload={remote_leaf: [0]},
+        )
+        assert simulator.directory.holders(0) == [remote_leaf]
+        result = simulator.run()
+        # Remote replica (2+1+2 = 5 hops) beats origin (2+2 = 4)? No:
+        # origin wins, so it still serves — but the directory worked.
+        assert result.num_requests == 1
+
+
+class TestFrozenCaches:
+    def test_no_insertions_happen(self, small_network):
+        workload = make_workload([(0, 3, 0), (0, 3, 0)], origins=[3])
+        simulator = Simulator(
+            small_network, ICN_SP, workload,
+            [4.0] * small_network.num_nodes,
+            frozen_caches=True,
+        )
+        result = simulator.run()
+        assert result.cache_served == 0
+        assert all(len(cache) == 0 for cache in simulator.caches.values())
+
+    def test_frozen_preloaded_equals_static_policy(self, small_network):
+        workload = make_workload([(0, 3, 0), (0, 4, 0), (0, 3, 1)],
+                                 origins=[3, 3])
+        preload = {
+            small_network.gid(0, local): [0]
+            for local in small_network.tree.leaves
+        }
+        simulator = Simulator(
+            small_network, EDGE, workload,
+            [1.0] * small_network.num_nodes,
+            preload=preload, frozen_caches=True,
+        )
+        result = simulator.run()
+        # Object 0 hits at both leaves; object 1 always misses.
+        assert result.cache_served == 2
+        assert result.origin_serves[3] == 1.0

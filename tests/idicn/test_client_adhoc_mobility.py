@@ -1,0 +1,240 @@
+"""End-to-end tests: browser, ad hoc sharing, and mobility."""
+
+import numpy as np
+import pytest
+
+from repro.idicn import (
+    AdHocCacheProxy,
+    Browser,
+    DnsClient,
+    DnsServer,
+    MobileServer,
+    ResumingDownloader,
+    SimNet,
+    SimNetError,
+    VerificationError,
+    build_deployment,
+    join_adhoc_network,
+)
+from repro.idicn.http import ok
+from repro.idicn.metalink import METALINK_HEADER
+from repro.idicn.simnet import HTTP_PORT
+
+
+class TestBrowserViaDeployment:
+    @pytest.fixture
+    def deployment(self):
+        return build_deployment(num_domains=1, browsers_per_domain=2)
+
+    def test_wpad_autoconfiguration(self, deployment):
+        browser = deployment.domains[0].browsers[0]
+        assert browser.pac is not None
+        proxy_addr = deployment.domains[0].proxy.host.address_on("ad0")
+        assert browser.proxy_for("http://x.idicn.org/") == proxy_addr
+
+    def test_fetch_published_content(self, deployment):
+        domain = deployment.providers[0].publish("page", b"body bytes")
+        browser = deployment.domains[0].browsers[0]
+        response = browser.get(f"http://{domain}/")
+        assert response.ok and response.body == b"body bytes"
+        assert browser.cached(f"http://{domain}/") == b"body bytes"
+
+    def test_proxy_cache_shared_between_browsers(self, deployment):
+        domain = deployment.providers[0].publish("page", b"body")
+        a, b = deployment.domains[0].browsers
+        a.get(f"http://{domain}/")
+        b.get(f"http://{domain}/")
+        proxy = deployment.domains[0].proxy
+        assert proxy.hits == 1 and proxy.misses == 1
+
+    def test_end_host_verification_accepts_honest_chain(self):
+        deployment = build_deployment(verify_at_client=True)
+        domain = deployment.providers[0].publish("page", b"body")
+        browser = deployment.domains[0].browsers[0]
+        assert browser.get(f"http://{domain}/").ok
+
+    def test_end_host_verification_detects_lying_proxy(self):
+        deployment = build_deployment(verify_at_client=True)
+        domain = deployment.providers[0].publish("page", b"body")
+        browser = deployment.domains[0].browsers[0]
+        proxy = deployment.domains[0].proxy
+        # Corrupt the proxy's stored copy after a first fetch primes it.
+        browser.get(f"http://{domain}/")
+        import dataclasses
+
+        key = next(iter(proxy._store))
+        entry = proxy._store[key]
+        proxy._store[key] = dataclasses.replace(entry, body=entry.body + b"!")
+        fresh = deployment.net.create_host("fresh-client", "ad0")
+        victim = Browser(fresh, "ad0", verify_content=True)
+        victim.configure()
+        with pytest.raises(VerificationError):
+            victim.get(f"http://{domain}/")
+
+    def test_cookies_roundtrip(self, deployment):
+        net = deployment.net
+        server = net.create_host("cookie-server", "ad0")
+        seen = []
+
+        def handler(host, src, request):
+            seen.append(request.header("cookie"))
+            return ok(b"x", headers={"set-cookie": "session=abc"})
+
+        server.bind(HTTP_PORT, handler)
+        browser_host = net.create_host("cookie-client", "ad0")
+        browser = Browser(browser_host, "ad0")
+        dns = DnsServer(net.create_host("local-dns", "ad0"))
+        dns.add_record("cookie.example", server.address_on("ad0"))
+        browser.dns = DnsClient(browser_host,
+                                server_address=dns.host.address_on("ad0"))
+        browser.get("http://cookie.example/")
+        browser.get("http://cookie.example/")
+        assert seen == [None, "session=abc"]
+
+
+class TestAdHocSharing:
+    """The Alice-and-Bob airplane walkthrough of Section 6.2."""
+
+    @pytest.fixture
+    def airplane(self, rng):
+        net = SimNet()
+        net.create_subnet("cabin", "link")
+        alice = join_adhoc_network(net, "alice", "cabin", rng)
+        bob = join_adhoc_network(net, "bob", "cabin", rng)
+        return net, alice, bob
+
+    def test_alice_shares_her_cache_with_bob(self, airplane, rng):
+        net, alice_host, bob_host = airplane
+        alice = Browser(alice_host, "cabin")
+        # Pretend Alice fetched CNN headlines before boarding.
+        alice._cache.insert("http://cnn.example/headlines")
+        alice._store["http://cnn.example/headlines"] = (
+            "cnn.example", b"<html>headlines</html>", None,
+        )
+        AdHocCacheProxy(alice, "cabin")
+        # Bob resolves cnn.example over mDNS (no DNS server configured).
+        bob = Browser(
+            bob_host, "cabin",
+            dns=DnsClient(bob_host, mdns_subnet="cabin"),
+        )
+        response = bob.get("http://cnn.example/headlines")
+        assert response.ok
+        assert response.body == b"<html>headlines</html>"
+
+    def test_uncached_path_is_404(self, airplane):
+        net, alice_host, bob_host = airplane
+        alice = Browser(alice_host, "cabin")
+        alice._cache.insert("http://cnn.example/headlines")
+        alice._store["http://cnn.example/headlines"] = (
+            "cnn.example", b"x", None,
+        )
+        AdHocCacheProxy(alice, "cabin")
+        bob = Browser(bob_host, "cabin",
+                      dns=DnsClient(bob_host, mdns_subnet="cabin"))
+        assert bob.get("http://cnn.example/sports").status == 404
+
+    def test_unpublished_domain_unresolvable(self, airplane):
+        net, alice_host, bob_host = airplane
+        AdHocCacheProxy(Browser(alice_host, "cabin"), "cabin")
+        bob = Browser(bob_host, "cabin",
+                      dns=DnsClient(bob_host, mdns_subnet="cabin"))
+        assert bob.get("http://bbc.example/").status == 502
+
+    def test_refresh_tracks_cache_contents(self, airplane):
+        net, alice_host, _ = airplane
+        alice = Browser(alice_host, "cabin")
+        proxy = AdHocCacheProxy(alice, "cabin")
+        assert proxy.refresh() == ()
+        alice._cache.insert("http://a.example/1")
+        alice._store["http://a.example/1"] = ("a.example", b"x", None)
+        assert proxy.refresh() == ("a.example",)
+
+    def test_requires_link_local_address(self):
+        net = SimNet()
+        net.create_subnet("lan", "10.0.0")
+        host = net.create_host("h", "lan")
+        with pytest.raises(ValueError):
+            AdHocCacheProxy(Browser(host, "lan"), "lan")
+
+
+class TestMobility:
+    @pytest.fixture
+    def world(self):
+        net = SimNet()
+        net.create_subnet("home", "10.0.0")
+        net.create_subnet("away", "10.1.0")
+        dns_host = net.create_host("dns", "home")
+        net.attach(dns_host, "away")
+        dns = DnsServer(dns_host)
+        server_host = net.create_host("server", "home")
+        server = MobileServer(
+            net, server_host, "mobile.example",
+            DnsClient(server_host,
+                      server_address=dns_host.address_on("home")),
+            token="tok", subnet="home",
+        )
+        client_host = net.create_host("client", "home")
+        net.attach(client_host, "away")
+        client_dns = DnsClient(client_host,
+                               server_address=dns_host.address_on("home"))
+        return net, dns, server, client_host, client_dns
+
+    def test_download_without_movement(self, world):
+        net, dns, server, client_host, client_dns = world
+        server.store("file", b"A" * 5000)
+        downloader = ResumingDownloader(client_host, client_dns,
+                                        chunk_size=512)
+        result = downloader.download("mobile.example", "/file")
+        assert result.body == b"A" * 5000
+        assert result.interruptions == 0
+
+    def test_download_survives_a_move(self, world):
+        net, dns, server, client_host, client_dns = world
+        payload = bytes(range(256)) * 40
+        server.store("file", payload)
+        downloader = ResumingDownloader(client_host, client_dns,
+                                        chunk_size=1024)
+        # Deterministic variant: download half, move, download rest.
+        from repro.idicn.http import HttpRequest
+
+        first_half = client_host.call(
+            server.host.address_on("home"), HTTP_PORT,
+            HttpRequest("GET", "http://mobile.example/file",
+                        headers={"range": "bytes=0-999"}),
+        )
+        assert first_half.status == 206
+        server.move("away")
+        result = downloader.download("mobile.example", "/file")
+        assert result.body == payload
+
+    def test_dynamic_dns_updated_on_move(self, world):
+        net, dns, server, client_host, client_dns = world
+        old = client_dns.resolve("mobile.example")
+        new_address = server.move("away")
+        assert client_dns.resolve("mobile.example") == new_address
+        assert old != new_address
+
+    def test_session_cookie_survives_move(self, world):
+        net, dns, server, client_host, client_dns = world
+        server.store("file", b"B" * 3000)
+        downloader = ResumingDownloader(client_host, client_dns,
+                                        chunk_size=500)
+        downloader.download("mobile.example", "/file")
+        session = downloader.session_cookie
+        assert session is not None
+        server.move("away")
+        downloader.download("mobile.example", "/file")
+        assert downloader.session_cookie == session
+        assert server.session_requests(session) > 1
+
+    def test_missing_path_fails(self, world):
+        net, dns, server, client_host, client_dns = world
+        downloader = ResumingDownloader(client_host, client_dns)
+        with pytest.raises(SimNetError):
+            downloader.download("mobile.example", "/ghost", max_attempts=2)
+
+    def test_unresolvable_domain_fails(self, world):
+        net, dns, server, client_host, client_dns = world
+        downloader = ResumingDownloader(client_host, client_dns)
+        with pytest.raises(SimNetError):
+            downloader.download("ghost.example", "/x", max_attempts=2)

@@ -1,0 +1,79 @@
+"""Tests for the pure-Python RSA implementation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.idicn import PublicKey, generate_keypair, sign, verify
+
+KEY = generate_keypair(bits=256, seed=1)
+OTHER = generate_keypair(bits=256, seed=2)
+
+
+class TestKeygen:
+    def test_deterministic_given_seed(self):
+        a = generate_keypair(bits=256, seed=9)
+        b = generate_keypair(bits=256, seed=9)
+        assert a.public == b.public
+        assert a.d == b.d
+
+    def test_distinct_seeds_give_distinct_keys(self):
+        assert KEY.public != OTHER.public
+
+    def test_modulus_size(self):
+        assert KEY.n.bit_length() >= 250
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(bits=64)
+
+    def test_rsa_identity_holds(self):
+        # (m^d)^e == m mod n for a sample message.
+        m = 123456789
+        assert pow(pow(m, KEY.d, KEY.n), KEY.public.e, KEY.n) == m
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        data = KEY.public.to_bytes()
+        assert PublicKey.from_bytes(data) == KEY.public
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ValueError):
+            PublicKey.from_bytes(b"dsa:ff:03")
+
+    def test_fingerprint_is_stable_hex(self):
+        fp = KEY.public.fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)
+        assert fp == KEY.public.fingerprint()
+
+
+class TestSignVerify:
+    def test_roundtrip(self):
+        signature = sign(b"content", KEY)
+        assert verify(b"content", signature, KEY.public)
+
+    def test_tampered_content_rejected(self):
+        signature = sign(b"content", KEY)
+        assert not verify(b"Content", signature, KEY.public)
+
+    def test_wrong_key_rejected(self):
+        signature = sign(b"content", KEY)
+        assert not verify(b"content", signature, OTHER.public)
+
+    def test_garbage_signature_rejected(self):
+        assert not verify(b"content", "zzz-not-hex", KEY.public)
+        assert not verify(b"content", "", KEY.public)
+
+    def test_out_of_range_signature_rejected(self):
+        too_big = format(KEY.n + 5, "x")
+        assert not verify(b"content", too_big, KEY.public)
+
+
+@settings(max_examples=25, deadline=None)
+@given(message=st.binary(max_size=256))
+def test_sign_verify_property(message):
+    signature = sign(message, KEY)
+    assert verify(message, signature, KEY.public)
+    assert not verify(message + b"x", signature, KEY.public)

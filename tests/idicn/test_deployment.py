@@ -1,0 +1,66 @@
+"""Tests for the turn-key deployment builder."""
+
+import pytest
+
+from repro.idicn import (
+    OriginServer,
+    ResolutionClient,
+    ReverseProxy,
+    build_deployment,
+    generate_keypair,
+)
+
+
+class TestBuildDeployment:
+    def test_shape(self):
+        deployment = build_deployment(num_domains=3, browsers_per_domain=2)
+        assert len(deployment.domains) == 3
+        assert all(len(d.browsers) == 2 for d in deployment.domains)
+        assert len(deployment.providers) == 1
+
+    def test_every_browser_is_autoconfigured(self):
+        deployment = build_deployment(num_domains=2, browsers_per_domain=2)
+        for domain in deployment.domains:
+            proxy_addr = domain.proxy.host.address_on(domain.subnet)
+            for browser in domain.browsers:
+                assert browser.pac is not None
+                assert browser.proxy_for("http://x.idicn.org/") == proxy_addr
+
+    def test_domains_use_their_own_proxies(self):
+        deployment = build_deployment(num_domains=2, browsers_per_domain=1)
+        name = deployment.providers[0].publish("p", b"x")
+        deployment.domains[0].browsers[0].get(f"http://{name}/")
+        deployment.domains[1].browsers[0].get(f"http://{name}/")
+        assert deployment.domains[0].proxy.misses == 1
+        assert deployment.domains[1].proxy.misses == 1
+
+    def test_provider_publish_returns_domain(self):
+        deployment = build_deployment()
+        domain = deployment.providers[0].publish("label", b"content")
+        assert domain.endswith(".idicn.org")
+        assert deployment.dns_server.lookup(domain) is not None
+
+    def test_second_provider_can_join(self):
+        deployment = build_deployment()
+        net = deployment.net
+        origin_host = net.create_host("origin2", "backbone")
+        origin = OriginServer(origin_host)
+        origin.store("video", b"frames")
+        rp_host = net.create_host("rp2", "backbone")
+        keypair = generate_keypair(bits=256, seed=99)
+        resolver_addr = deployment.resolver.host.address_on("backbone")
+        reverse = ReverseProxy(
+            rp_host,
+            origin_address=origin_host.address_on("backbone"),
+            keypair=keypair,
+            resolver=ResolutionClient(rp_host, resolver_addr),
+            dns_register=deployment.dns_server.add_record,
+        )
+        name = reverse.publish("video")
+        browser = deployment.domains[0].browsers[0]
+        response = browser.get(f"http://{name.domain}/")
+        assert response.ok and response.body == b"frames"
+
+    def test_client_side_verification_flag(self):
+        deployment = build_deployment(verify_at_client=True)
+        assert deployment.domains[0].browsers[0].verify_content

@@ -1,0 +1,149 @@
+"""Tests for DNS (with dynamic updates) and the name resolution system."""
+
+import dataclasses
+
+import pytest
+
+from repro.idicn import (
+    DnsClient,
+    DnsServer,
+    NameResolutionSystem,
+    ResolutionClient,
+    SimNet,
+    generate_keypair,
+    make_name,
+    make_registration,
+    principal_of,
+)
+from repro.idicn.resolution import RESOLVER_PORT
+
+KEY = generate_keypair(bits=256, seed=8)
+OTHER = generate_keypair(bits=256, seed=9)
+
+
+@pytest.fixture
+def net():
+    network = SimNet()
+    network.create_subnet("lan", "10.0.0")
+    return network
+
+
+@pytest.fixture
+def dns(net):
+    return DnsServer(net.create_host("dns", "lan"))
+
+
+@pytest.fixture
+def resolver(net):
+    return NameResolutionSystem(net.create_host("nrs", "lan"))
+
+
+class TestDns:
+    def test_query(self, net, dns):
+        dns.add_record("www.example", "10.0.0.42")
+        client = DnsClient(net.create_host("c", "lan"),
+                           server_address=dns.host.address)
+        assert client.resolve("www.example") == "10.0.0.42"
+        assert client.resolve("nope.example") is None
+        assert dns.queries == 2
+
+    def test_names_case_insensitive(self, net, dns):
+        dns.add_record("WWW.Example", "10.0.0.42")
+        assert dns.lookup("www.example") == "10.0.0.42"
+
+    def test_dynamic_update(self, net, dns):
+        dns.add_record("mobile.example", "10.0.0.5", token="secret")
+        client = DnsClient(net.create_host("c", "lan"),
+                           server_address=dns.host.address)
+        assert client.update("mobile.example", "10.0.0.9", "secret")
+        assert client.resolve("mobile.example") == "10.0.0.9"
+
+    def test_update_with_wrong_token_refused(self, net, dns):
+        dns.add_record("mobile.example", "10.0.0.5", token="secret")
+        client = DnsClient(net.create_host("c", "lan"),
+                           server_address=dns.host.address)
+        assert not client.update("mobile.example", "10.0.0.9", "wrong")
+        assert client.resolve("mobile.example") == "10.0.0.5"
+
+    def test_update_claims_unowned_name(self, net, dns):
+        client = DnsClient(net.create_host("c", "lan"),
+                           server_address=dns.host.address)
+        assert client.update("new.example", "10.0.0.7", "tok")
+        assert client.resolve("new.example") == "10.0.0.7"
+        # And the token is now required.
+        assert not client.update("new.example", "10.0.0.8", "other")
+
+    def test_unconfigured_client(self, net):
+        client = DnsClient(net.create_host("c", "lan"))
+        assert client.resolve("x") is None
+        assert not client.update("x", "10.0.0.1", "t")
+
+    def test_unreachable_server(self, net, dns):
+        client = DnsClient(net.create_host("c", "lan"),
+                           server_address=dns.host.address)
+        net.set_online(dns.host, False)
+        assert client.resolve("x") is None
+
+
+class TestResolutionSystem:
+    def test_register_and_resolve(self, net, resolver):
+        host = net.create_host("pub", "lan")
+        client = ResolutionClient(host, resolver.host.address)
+        name = make_name("doc", KEY.public)
+        assert client.register(name, ("http://10.0.0.9/doc",), KEY)
+        assert client.resolve(name) == ("http://10.0.0.9/doc",)
+        assert resolver.registrations == 1
+
+    def test_registration_requires_matching_key(self, net, resolver):
+        host = net.create_host("attacker", "lan")
+        client = ResolutionClient(host, resolver.host.address)
+        name = make_name("doc", KEY.public)  # P binds to KEY...
+        assert not client.register(name, ("http://evil/doc",), OTHER)
+        assert resolver.rejected == 1
+        assert client.resolve(name) == ()
+
+    def test_registration_signature_checked(self, net, resolver):
+        host = net.create_host("pub", "lan")
+        name = make_name("doc", KEY.public)
+        request = make_registration(name.flat, ("http://a/x",), KEY)
+        tampered = dataclasses.replace(
+            request, locations=("http://evil/x",)
+        )
+        assert host.call(resolver.host.address, RESOLVER_PORT, tampered) is False
+
+    def test_principal_fallback(self, net, resolver):
+        host = net.create_host("pub", "lan")
+        client = ResolutionClient(host, resolver.host.address)
+        assert client.register_principal(KEY, ("http://10.0.0.9/any",))
+        unregistered = make_name("unseen", KEY.public)
+        assert client.resolve(unregistered) == ("http://10.0.0.9/any",)
+
+    def test_exact_match_beats_fallback(self, net, resolver):
+        host = net.create_host("pub", "lan")
+        client = ResolutionClient(host, resolver.host.address)
+        name = make_name("doc", KEY.public)
+        client.register_principal(KEY, ("http://fallback/",))
+        client.register(name, ("http://exact/doc",), KEY)
+        assert client.resolve(name) == ("http://exact/doc",)
+
+    def test_delegation_followed(self, net, resolver):
+        # A second, finer-grained resolver holds the exact entry; the
+        # first resolver's P entry delegates to it.
+        fine = NameResolutionSystem(net.create_host("nrs2", "lan"))
+        host = net.create_host("pub", "lan")
+        coarse_client = ResolutionClient(host, resolver.host.address)
+        fine_client = ResolutionClient(host, fine.host.address)
+        name = make_name("doc", KEY.public)
+        assert fine_client.register(name, ("http://10.0.0.77/doc",), KEY)
+        assert coarse_client.register_principal(
+            KEY, (f"resolver:{fine.host.address}",)
+        )
+        assert coarse_client.resolve(name) == ("http://10.0.0.77/doc",)
+
+    def test_unresolvable_name(self, net, resolver):
+        host = net.create_host("c", "lan")
+        client = ResolutionClient(host, resolver.host.address)
+        assert client.resolve(make_name("ghost", KEY.public)) == ()
+
+    def test_bare_principal_of(self):
+        assert len(principal_of(KEY.public)) == 40

@@ -1,0 +1,94 @@
+"""Failure-injection tests: the deployment under partial outages.
+
+idICN's deployability story depends on graceful degradation: an AD's
+proxy keeps serving cached content when the backbone is unreachable,
+clients fall back across mirrors, and nothing crashes when a component
+goes dark mid-flight.
+"""
+
+import pytest
+
+from repro.idicn import (
+    Browser,
+    HostDownError,
+    build_deployment,
+)
+
+
+@pytest.fixture
+def deployment():
+    d = build_deployment(num_domains=1, browsers_per_domain=1)
+    d.providers[0].publish("page", b"the content")
+    return d
+
+
+def _domain_of(deployment):
+    return deployment.providers[0].reverse_proxy.published["page"].domain
+
+
+class TestResolverOutage:
+    def test_cold_fetch_fails_cleanly(self, deployment):
+        deployment.net.set_online(deployment.resolver.host, False)
+        browser = deployment.domains[0].browsers[0]
+        response = browser.get(f"http://{_domain_of(deployment)}/")
+        assert response.status == 502
+
+    def test_warm_content_survives_resolver_outage(self, deployment):
+        browser = deployment.domains[0].browsers[0]
+        url = f"http://{_domain_of(deployment)}/"
+        assert browser.get(url).ok  # warm the proxy
+        deployment.net.set_online(deployment.resolver.host, False)
+        response = browser.get(url)
+        assert response.ok and response.body == b"the content"
+
+    def test_recovery_after_heal(self, deployment):
+        deployment.net.set_online(deployment.resolver.host, False)
+        browser = deployment.domains[0].browsers[0]
+        url = f"http://{_domain_of(deployment)}/"
+        assert browser.get(url).status == 502
+        deployment.net.set_online(deployment.resolver.host, True)
+        assert browser.get(url).ok
+
+
+class TestReverseProxyOutage:
+    def test_cold_fetch_502(self, deployment):
+        reverse = deployment.providers[0].reverse_proxy
+        deployment.net.set_online(reverse.host, False)
+        browser = deployment.domains[0].browsers[0]
+        assert browser.get(f"http://{_domain_of(deployment)}/").status == 502
+
+    def test_origin_outage_invisible_when_reverse_proxy_cached(
+        self, deployment
+    ):
+        origin = deployment.providers[0].origin
+        deployment.net.set_online(origin.host, False)
+        browser = deployment.domains[0].browsers[0]
+        # The reverse proxy cached the content at publish time.
+        assert browser.get(f"http://{_domain_of(deployment)}/").ok
+
+
+class TestProxyOutage:
+    def test_browser_reports_unreachable_proxy(self, deployment):
+        proxy = deployment.domains[0].proxy
+        deployment.net.set_online(proxy.host, False)
+        browser = deployment.domains[0].browsers[0]
+        response = browser.get(f"http://{_domain_of(deployment)}/")
+        assert response.status == 502
+
+    def test_direct_fetch_still_works_without_pac(self, deployment):
+        # A browser with no PAC talks straight to the reverse proxy's
+        # registered DNS name — the paper's legacy-client path.
+        net = deployment.net
+        host = net.create_host("legacy-client", "backbone")
+        browser = Browser(host, "backbone",
+                          dns=deployment.dns_client(host))
+        response = browser.get(f"http://{_domain_of(deployment)}/")
+        assert response.ok
+
+
+class TestPartitionSemantics:
+    def test_offline_source_cannot_send(self, deployment):
+        browser = deployment.domains[0].browsers[0]
+        deployment.net.set_online(browser.host, False)
+        with pytest.raises(HostDownError):
+            browser.host.call("10.0.0.1", 80, None)

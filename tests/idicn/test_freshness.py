@@ -1,0 +1,135 @@
+"""Tests for HTTP cache freshness and conditional revalidation.
+
+The paper's proxy "responds immediately if it has a *fresh* copy of the
+requested object"; these tests exercise the max-age / etag / 304
+machinery that makes "fresh" meaningful.
+"""
+
+import pytest
+
+from repro.idicn import (
+    EdgeProxy,
+    NameResolutionSystem,
+    OriginServer,
+    ResolutionClient,
+    ReverseProxy,
+    SimNet,
+    generate_keypair,
+)
+from repro.idicn.http import get
+from repro.idicn.simnet import HTTP_PORT
+
+KEY = generate_keypair(bits=256, seed=12)
+
+
+@pytest.fixture
+def world():
+    net = SimNet()
+    net.create_subnet("net", "10.0.0")
+    origin = OriginServer(net.create_host("origin", "net"))
+    resolver = NameResolutionSystem(net.create_host("nrs", "net"))
+    rp_host = net.create_host("rp", "net")
+    reverse = ReverseProxy(
+        rp_host,
+        origin_address=origin.host.address,
+        keypair=KEY,
+        resolver=ResolutionClient(rp_host, resolver.host.address),
+        max_age=60.0,
+    )
+    proxy_host = net.create_host("proxy", "net")
+    proxy = EdgeProxy(
+        proxy_host,
+        resolver=ResolutionClient(proxy_host, resolver.host.address),
+    )
+    client = net.create_host("client", "net")
+    origin.store("doc", b"version 1")
+    name = reverse.publish("doc")
+    return net, origin, reverse, proxy, client, name
+
+
+def fetch(client, proxy, name):
+    return client.call(proxy.host.address, HTTP_PORT,
+                       get(f"http://{name.domain}/"))
+
+
+class TestFreshness:
+    def test_fresh_copy_served_without_upstream_contact(self, world):
+        net, origin, reverse, proxy, client, name = world
+        fetch(client, proxy, name)
+        served_before = reverse.requests_served
+        net.advance(30.0)  # still within max-age=60
+        response = fetch(client, proxy, name)
+        assert response.ok
+        assert reverse.requests_served == served_before
+        assert proxy.revalidations == 0
+
+    def test_stale_copy_revalidated_with_304(self, world):
+        net, origin, reverse, proxy, client, name = world
+        fetch(client, proxy, name)
+        net.advance(120.0)  # past max-age
+        response = fetch(client, proxy, name)
+        assert response.ok and response.body == b"version 1"
+        assert proxy.revalidations == 1
+        assert proxy.revalidations_304 == 1
+
+    def test_revalidation_renews_freshness(self, world):
+        net, origin, reverse, proxy, client, name = world
+        fetch(client, proxy, name)
+        net.advance(120.0)
+        fetch(client, proxy, name)  # revalidates, renews the clock
+        net.advance(30.0)  # fresh again
+        fetch(client, proxy, name)
+        assert proxy.revalidations == 1
+
+    def test_changed_content_refetched_after_expiry(self, world):
+        net, origin, reverse, proxy, client, name = world
+        fetch(client, proxy, name)
+        # Publisher updates the content behind the same label.
+        origin.store("doc", b"version 2")
+        reverse.invalidate("doc")
+        reverse.publish("doc")
+        net.advance(120.0)
+        response = fetch(client, proxy, name)
+        assert response.body == b"version 2"
+        assert proxy.revalidations == 1
+        assert proxy.revalidations_304 == 0
+
+    def test_stale_copy_served_when_upstream_down(self, world):
+        net, origin, reverse, proxy, client, name = world
+        fetch(client, proxy, name)
+        net.advance(120.0)
+        net.set_online(reverse.host, False)
+        response = fetch(client, proxy, name)
+        assert response.ok and response.body == b"version 1"
+
+    def test_no_max_age_means_forever_fresh(self):
+        net = SimNet()
+        net.create_subnet("net", "10.0.0")
+        origin = OriginServer(net.create_host("origin", "net"))
+        resolver = NameResolutionSystem(net.create_host("nrs", "net"))
+        rp_host = net.create_host("rp", "net")
+        reverse = ReverseProxy(
+            rp_host, origin_address=origin.host.address, keypair=KEY,
+            resolver=ResolutionClient(rp_host, resolver.host.address),
+        )
+        proxy_host = net.create_host("proxy", "net")
+        proxy = EdgeProxy(
+            proxy_host,
+            resolver=ResolutionClient(proxy_host, resolver.host.address),
+        )
+        client = net.create_host("client", "net")
+        origin.store("doc", b"x")
+        name = reverse.publish("doc")
+        fetch(client, proxy, name)
+        net.advance(1e9)
+        fetch(client, proxy, name)
+        assert proxy.revalidations == 0
+
+
+class TestClock:
+    def test_advance_monotone(self):
+        net = SimNet()
+        assert net.advance(5.0) == 5.0
+        assert net.advance(2.5) == 7.5
+        with pytest.raises(ValueError):
+            net.advance(-1.0)

@@ -1,0 +1,109 @@
+"""Tests for the HTTP message model."""
+
+import pytest
+
+from repro.idicn.http import (
+    HttpRequest,
+    HttpResponse,
+    apply_byte_range,
+    bad_gateway,
+    get,
+    not_found,
+    ok,
+    parse_byte_range,
+    split_url,
+)
+
+
+class TestUrls:
+    def test_split_full_url(self):
+        assert split_url("http://example.org/a/b") == ("example.org", "/a/b")
+
+    def test_split_bare_domain(self):
+        assert split_url("example.org") == ("example.org", "/")
+        assert split_url("http://example.org") == ("example.org", "/")
+
+    def test_unsupported_scheme(self):
+        with pytest.raises(ValueError):
+            split_url("ftp://example.org/x")
+
+
+class TestRequest:
+    def test_host_from_url(self):
+        request = get("http://a.example/path")
+        assert request.host == "a.example"
+        assert request.path == "/path"
+
+    def test_host_header_wins(self):
+        request = HttpRequest("GET", "http://a.example/x",
+                              headers={"Host": "b.example"})
+        assert request.host == "b.example"
+
+    def test_headers_case_insensitive(self):
+        request = HttpRequest("GET", "http://x/", headers={"X-Foo": "1"})
+        assert request.header("x-foo") == "1"
+        assert request.header("X-FOO") == "1"
+        assert request.header("missing", "d") == "d"
+
+    def test_with_header_does_not_mutate(self):
+        request = get("http://x/")
+        other = request.with_header("a", "1")
+        assert request.header("a") is None
+        assert other.header("a") == "1"
+
+
+class TestResponse:
+    def test_ok_flags(self):
+        assert ok(b"x").ok
+        assert not not_found().ok
+        assert not bad_gateway().ok
+        assert not_found().status == 404
+        assert bad_gateway().status == 502
+
+    def test_with_header(self):
+        response = ok(b"x").with_header("x-meta", "v")
+        assert response.header("X-Meta") == "v"
+
+
+class TestByteRanges:
+    def test_parse_closed_range(self):
+        assert parse_byte_range("bytes=0-99") == (0, 99)
+
+    def test_parse_open_range(self):
+        assert parse_byte_range("bytes=100-") == (100, None)
+
+    def test_bad_unit(self):
+        with pytest.raises(ValueError):
+            parse_byte_range("chunks=0-1")
+
+    def test_suffix_range_unsupported(self):
+        with pytest.raises(ValueError):
+            parse_byte_range("bytes=-100")
+
+    def test_inverted_range(self):
+        with pytest.raises(ValueError):
+            parse_byte_range("bytes=10-5")
+
+    def test_request_byte_range_accessor(self):
+        request = HttpRequest("GET", "http://x/", headers={"Range": "bytes=2-4"})
+        assert request.byte_range() == (2, 4)
+        assert get("http://x/").byte_range() is None
+
+    def test_apply_closed_range(self):
+        response = apply_byte_range(b"0123456789", (2, 4))
+        assert response.status == 206
+        assert response.body == b"234"
+        assert response.header("content-range") == "bytes 2-4/10"
+
+    def test_apply_open_range(self):
+        response = apply_byte_range(b"0123456789", (7, None))
+        assert response.body == b"789"
+
+    def test_apply_range_clamped_to_body(self):
+        response = apply_byte_range(b"0123", (2, 100))
+        assert response.body == b"23"
+        assert response.header("content-range") == "bytes 2-3/4"
+
+    def test_apply_out_of_bounds_is_416(self):
+        response = apply_byte_range(b"0123", (4, None))
+        assert response.status == 416

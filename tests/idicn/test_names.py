@@ -1,0 +1,93 @@
+"""Tests for self-certifying idICN names."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.idicn import (
+    FINGERPRINT_CHARS,
+    IcnName,
+    generate_keypair,
+    is_idicn_domain,
+    make_name,
+    name_matches_key,
+    parse_domain,
+    principal_of,
+)
+
+KEY = generate_keypair(bits=256, seed=3)
+OTHER = generate_keypair(bits=256, seed=4)
+
+
+class TestConstruction:
+    def test_make_name(self):
+        name = make_name("news", KEY.public)
+        assert name.label == "news"
+        assert name.principal == principal_of(KEY.public)
+        assert len(name.principal) == FINGERPRINT_CHARS
+
+    def test_principal_fits_in_a_dns_label(self):
+        # The paper: labels are restricted to 63 characters, so SHA-512
+        # sized digests are out; our truncated SHA-256 must fit.
+        assert FINGERPRINT_CHARS <= 63
+
+    def test_domain_encoding(self):
+        name = make_name("news", KEY.public)
+        assert name.domain == f"news.{name.principal}.idicn.org"
+        assert name.flat == f"news.{name.principal}"
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(ValueError):
+            IcnName(label="Has Spaces", principal="a" * FINGERPRINT_CHARS)
+        with pytest.raises(ValueError):
+            IcnName(label="", principal="a" * FINGERPRINT_CHARS)
+        with pytest.raises(ValueError):
+            IcnName(label="-leading", principal="a" * FINGERPRINT_CHARS)
+
+    def test_invalid_principal_rejected(self):
+        with pytest.raises(ValueError):
+            IcnName(label="x", principal="zz")
+        with pytest.raises(ValueError):
+            IcnName(label="x", principal="G" * FINGERPRINT_CHARS)
+
+
+class TestParsing:
+    def test_roundtrip(self):
+        name = make_name("video", KEY.public)
+        assert parse_domain(name.domain) == name
+
+    def test_legacy_domain_is_not_idicn(self):
+        assert parse_domain("www.cnn.example") is None
+        assert not is_idicn_domain("www.cnn.example")
+
+    def test_wrong_suffix(self):
+        assert parse_domain(f"x.{'a' * FINGERPRINT_CHARS}.idicn.net") is None
+
+    def test_bad_principal_part(self):
+        assert parse_domain("x.nothex.idicn.org") is None
+
+    def test_case_and_trailing_dot_normalized(self):
+        name = make_name("video", KEY.public)
+        assert parse_domain(name.domain.upper() + ".") == name
+
+    def test_is_idicn_domain(self):
+        assert is_idicn_domain(make_name("x", KEY.public).domain)
+
+
+class TestSelfCertification:
+    def test_binding_holds_for_owner(self):
+        name = make_name("doc", KEY.public)
+        assert name_matches_key(name, KEY.public)
+
+    def test_binding_fails_for_impostor(self):
+        name = make_name("doc", KEY.public)
+        assert not name_matches_key(name, OTHER.public)
+
+
+@settings(max_examples=30)
+@given(
+    label=st.from_regex(r"[a-z0-9]([a-z0-9-]{0,20}[a-z0-9])?", fullmatch=True)
+)
+def test_valid_labels_roundtrip(label):
+    name = make_name(label, KEY.public)
+    assert parse_domain(name.domain) == name

@@ -1,0 +1,255 @@
+"""Tests for the origin server, reverse proxy, and edge proxy."""
+
+import dataclasses
+
+import pytest
+
+from repro.idicn import (
+    EdgeProxy,
+    Metalink,
+    NameResolutionSystem,
+    OriginServer,
+    ResolutionClient,
+    ReverseProxy,
+    SimNet,
+    generate_keypair,
+    make_name,
+)
+from repro.idicn.http import HttpRequest, get, ok
+from repro.idicn.metalink import METALINK_HEADER
+from repro.idicn.simnet import HTTP_PORT
+
+KEY = generate_keypair(bits=256, seed=10)
+
+
+@pytest.fixture
+def world():
+    net = SimNet()
+    net.create_subnet("net", "10.0.0")
+    origin = OriginServer(net.create_host("origin", "net"))
+    resolver = NameResolutionSystem(net.create_host("nrs", "net"))
+    rp_host = net.create_host("rp", "net")
+    reverse = ReverseProxy(
+        rp_host,
+        origin_address=origin.host.address,
+        keypair=KEY,
+        resolver=ResolutionClient(rp_host, resolver.host.address),
+    )
+    proxy_host = net.create_host("proxy", "net")
+    proxy = EdgeProxy(
+        proxy_host,
+        resolver=ResolutionClient(proxy_host, resolver.host.address),
+        capacity=8,
+    )
+    client = net.create_host("client", "net")
+    return net, origin, resolver, reverse, proxy, client
+
+
+class TestOriginServer:
+    def test_serves_stored_content(self, world):
+        net, origin, *_, client = world
+        origin.store("page", b"content bytes")
+        response = client.call(origin.host.address, HTTP_PORT,
+                               get("http://origin/page"))
+        assert response.ok and response.body == b"content bytes"
+        assert origin.requests_served == 1
+        assert origin.labels() == ("page",)
+
+    def test_404_for_unknown_label(self, world):
+        net, origin, *_, client = world
+        response = client.call(origin.host.address, HTTP_PORT,
+                               get("http://origin/none"))
+        assert response.status == 404
+
+    def test_405_for_post(self, world):
+        net, origin, *_, client = world
+        response = client.call(
+            origin.host.address, HTTP_PORT,
+            HttpRequest("POST", "http://origin/x"),
+        )
+        assert response.status == 405
+
+    def test_range_request(self, world):
+        net, origin, *_, client = world
+        origin.store("blob", b"0123456789")
+        response = client.call(
+            origin.host.address, HTTP_PORT,
+            HttpRequest("GET", "http://origin/blob",
+                        headers={"range": "bytes=3-5"}),
+        )
+        assert response.status == 206
+        assert response.body == b"345"
+
+
+class TestReverseProxy:
+    def test_publish_registers_and_caches(self, world):
+        net, origin, resolver, reverse, proxy, client = world
+        origin.store("doc", b"abc")
+        name = reverse.publish("doc")
+        assert name.label == "doc"
+        assert resolver.registrations == 1
+        assert reverse.origin_fetches == 1
+        # Serving a published name does not touch the origin again.
+        response = client.call(reverse.host.address, HTTP_PORT,
+                               get(f"http://rp/{name.flat}"))
+        assert response.ok
+        assert reverse.origin_fetches == 1
+
+    def test_publish_missing_label_raises(self, world):
+        *_, reverse, proxy, client = world[1:]
+        with pytest.raises(LookupError):
+            world[3].publish("ghost")
+
+    def test_response_carries_verifiable_metalink(self, world):
+        net, origin, _, reverse, _, client = world
+        origin.store("doc", b"abc")
+        name = reverse.publish("doc")
+        response = client.call(reverse.host.address, HTTP_PORT,
+                               get(f"http://rp/{name.flat}"))
+        metalink = Metalink.from_xml(response.header(METALINK_HEADER))
+        assert metalink.name == name.flat
+        assert metalink.size == 3
+
+    def test_invalidate_forces_origin_refetch(self, world):
+        net, origin, _, reverse, _, client = world
+        origin.store("doc", b"v1")
+        name = reverse.publish("doc")
+        origin.store("doc", b"v2")
+        reverse.invalidate("doc")
+        response = client.call(reverse.host.address, HTTP_PORT,
+                               get(f"http://rp/{name.flat}"))
+        assert response.body == b"v2"
+        assert reverse.origin_fetches == 2
+
+    def test_unknown_name_is_404(self, world):
+        net, _, _, reverse, _, client = world
+        response = client.call(reverse.host.address, HTTP_PORT,
+                               get("http://rp/ghost.aa"))
+        assert response.status == 404
+
+
+class TestEdgeProxy:
+    def _publish(self, world, label="doc", content=b"the content"):
+        net, origin, _, reverse, proxy, client = world
+        origin.store(label, content)
+        return reverse.publish(label)
+
+    def test_miss_then_hit(self, world):
+        net, _, _, _, proxy, client = world
+        name = self._publish(world)
+        url = f"http://{name.domain}/"
+        first = client.call(proxy.host.address, HTTP_PORT, get(url))
+        second = client.call(proxy.host.address, HTTP_PORT, get(url))
+        assert first.ok and second.ok
+        assert proxy.misses == 1 and proxy.hits == 1
+        assert proxy.cached_objects == 1
+
+    def test_verification_rejects_tampered_reverse_proxy(self, world):
+        net, origin, resolver, reverse, proxy, client = world
+        name = self._publish(world)
+        # A man-in-the-middle reverse proxy serving tampered bytes.
+        evil = net.create_host("evil", "net")
+
+        def tampered(host, src, request):
+            flat = request.path.lstrip("/")
+            content, metalink = reverse._cache[flat]
+            return ok(content + b"!", headers={
+                METALINK_HEADER: metalink.to_xml()
+            })
+
+        evil.bind(HTTP_PORT, tampered)
+        # Poison the resolver-side location by registering the evil host
+        # first in line (same key, so registration is accepted).
+        client_stub = ResolutionClient(reverse.host, resolver.host.address)
+        client_stub.register(
+            name, (f"http://{evil.address}/{name.flat}",), KEY
+        )
+        response = client.call(
+            proxy.host.address, HTTP_PORT, get(f"http://{name.domain}/")
+        )
+        assert response.status == 502
+        assert proxy.verification_failures == 1
+
+    def test_mirror_fallback_after_primary_dies(self, world):
+        net, origin, resolver, reverse, proxy, client = world
+        # Mirror host serving the same signed content.
+        mirror = net.create_host("mirror", "net")
+        origin.store("doc", b"bytes")
+        reverse.mirrors = ()
+        name = reverse.publish("doc")
+        content, metalink = reverse._cache[name.flat]
+        with_mirror = dataclasses.replace(
+            metalink, mirrors=(f"http://{mirror.address}/{name.flat}",)
+        )
+        reverse._cache[name.flat] = (content, with_mirror)
+        mirror.bind(
+            HTTP_PORT,
+            lambda h, s, r: ok(content, headers={
+                METALINK_HEADER: with_mirror.to_xml()
+            }),
+        )
+        # Warm the proxy's mirror knowledge then kill the reverse proxy.
+        first = client.call(proxy.host.address, HTTP_PORT,
+                            get(f"http://{name.domain}/"))
+        assert first.ok
+
+    def test_unresolvable_name_is_502(self, world):
+        net, *_, proxy, client = world
+        fake = make_name("ghost", KEY.public)
+        response = client.call(proxy.host.address, HTTP_PORT,
+                               get(f"http://{fake.domain}/"))
+        assert response.status == 502
+
+    def test_legacy_domain_proxied_via_dns(self, world):
+        net, origin, resolver, reverse, _, client = world
+        from repro.idicn import DnsClient, DnsServer
+
+        dns = DnsServer(net.create_host("dns", "net"))
+        legacy = net.create_host("legacy", "net")
+        legacy.bind(HTTP_PORT, lambda h, s, r: ok(b"legacy body"))
+        dns.add_record("old.example", legacy.address)
+        proxy_host = net.create_host("proxy2", "net")
+        proxy = EdgeProxy(
+            proxy_host,
+            resolver=ResolutionClient(proxy_host, resolver.host.address),
+            dns=DnsClient(proxy_host, server_address=dns.host.address),
+        )
+        response = client.call(proxy.host.address, HTTP_PORT,
+                               get("http://old.example/index"))
+        assert response.ok and response.body == b"legacy body"
+        # Second request is a cache hit, no upstream fetch.
+        client.call(proxy.host.address, HTTP_PORT, get("http://old.example/index"))
+        assert proxy.hits == 1
+
+    def test_legacy_unresolvable_is_502(self, world):
+        net, _, resolver, _, proxy, client = world
+        response = client.call(proxy.host.address, HTTP_PORT,
+                               get("http://nowhere.example/"))
+        assert response.status == 502
+
+    def test_range_served_from_proxy_cache(self, world):
+        net, *_, proxy, client = world
+        name = self._publish(world, content=b"0123456789")
+        url = f"http://{name.domain}/"
+        client.call(proxy.host.address, HTTP_PORT, get(url))
+        response = client.call(
+            proxy.host.address, HTTP_PORT,
+            HttpRequest("GET", url, headers={"range": "bytes=2-4"}),
+        )
+        assert response.status == 206 and response.body == b"234"
+
+    def test_lru_eviction_bounds_proxy_storage(self, world):
+        net, origin, resolver, reverse, _, client = world
+        proxy_host = net.create_host("tiny-proxy", "net")
+        proxy = EdgeProxy(
+            proxy_host,
+            resolver=ResolutionClient(proxy_host, resolver.host.address),
+            capacity=2,
+        )
+        for i in range(4):
+            origin.store(f"obj{i}", f"content {i}".encode())
+            name = reverse.publish(f"obj{i}")
+            client.call(proxy.host.address, HTTP_PORT,
+                        get(f"http://{name.domain}/"))
+        assert proxy.cached_objects == 2
+        assert len(proxy._store) == 2

@@ -1,0 +1,160 @@
+"""Tests for the simulated network fabric."""
+
+import pytest
+
+from repro.idicn import (
+    AddressInUseError,
+    HostDownError,
+    NoRouteError,
+    NoServiceError,
+    SimNet,
+    SimNetError,
+)
+
+
+@pytest.fixture
+def net():
+    network = SimNet()
+    network.create_subnet("lan", "10.0.0")
+    return network
+
+
+class TestTopology:
+    def test_dhcp_addresses_are_sequential(self, net):
+        a = net.create_host("a", "lan")
+        b = net.create_host("b", "lan")
+        assert a.address == "10.0.0.1"
+        assert b.address == "10.0.0.2"
+
+    def test_duplicate_names_rejected(self, net):
+        net.create_host("a", "lan")
+        with pytest.raises(ValueError):
+            net.create_host("a", "lan")
+
+    def test_duplicate_subnets_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.create_subnet("lan", "10.9.9")
+
+    def test_static_address_conflict(self, net):
+        a = net.create_host("a")
+        b = net.create_host("b")
+        net.attach(a, "lan", address="10.0.0.50")
+        with pytest.raises(AddressInUseError):
+            net.attach(b, "lan", address="10.0.0.50")
+
+    def test_detach_releases_address(self, net):
+        a = net.create_host("a", "lan")
+        address = a.address
+        net.detach(a, "lan")
+        assert a.addresses == {}
+        b = net.create_host("b")
+        net.attach(b, "lan", address=address)  # now free
+
+    def test_multihomed_host(self, net):
+        net.create_subnet("wan", "10.1.0")
+        a = net.create_host("a", "lan")
+        net.attach(a, "wan")
+        assert a.address_on("lan") == "10.0.0.1"
+        assert a.address_on("wan") == "10.1.0.1"
+        with pytest.raises(SimNetError):
+            _ = a.address  # ambiguous with two addresses
+
+    def test_dhcp_options(self, net):
+        net.subnets["lan"].dhcp_options["pac_url"] = "http://x/p"
+        assert net.dhcp_options("lan") == {"pac_url": "http://x/p"}
+
+
+class TestUnicast:
+    def test_request_response(self, net):
+        a = net.create_host("a", "lan")
+        b = net.create_host("b", "lan")
+        b.bind(80, lambda host, src, payload: f"echo:{payload} from {src}")
+        reply = a.call(b.address, 80, "hi")
+        assert reply == "echo:hi from 10.0.0.1"
+        assert net.messages_sent == 1
+
+    def test_unknown_address(self, net):
+        a = net.create_host("a", "lan")
+        with pytest.raises(NoRouteError):
+            a.call("10.0.0.99", 80, "x")
+
+    def test_no_service(self, net):
+        a = net.create_host("a", "lan")
+        b = net.create_host("b", "lan")
+        with pytest.raises(NoServiceError):
+            a.call(b.address, 80, "x")
+
+    def test_offline_destination(self, net):
+        a = net.create_host("a", "lan")
+        b = net.create_host("b", "lan")
+        b.bind(80, lambda *args: "ok")
+        net.set_online(b, False)
+        with pytest.raises(HostDownError):
+            a.call(b.address, 80, "x")
+        net.set_online(b, True)
+        assert a.call(b.address, 80, "x") == "ok"
+
+    def test_routed_subnets_reach_each_other(self, net):
+        net.create_subnet("wan", "10.1.0")
+        a = net.create_host("a", "lan")
+        c = net.create_host("c", "wan")
+        c.bind(80, lambda host, src, payload: f"from {src}")
+        assert a.call(c.address, 80, "x") == "from 10.0.0.1"
+
+    def test_link_local_not_reachable_across_subnets(self, net):
+        net.create_subnet("cabin", "link", routed=False)
+        a = net.create_host("a", "lan")
+        c = net.create_host("c")
+        net.attach(c, "cabin", address="169.254.1.1")
+        c.bind(80, lambda *args: "ok")
+        with pytest.raises(NoRouteError):
+            a.call("169.254.1.1", 80, "x")
+
+    def test_link_local_only_host_cannot_reach_routed(self, net):
+        net.create_subnet("cabin", "link", routed=False)
+        a = net.create_host("a")
+        net.attach(a, "cabin", address="169.254.1.1")
+        b = net.create_host("b", "lan")
+        b.bind(80, lambda *args: "ok")
+        with pytest.raises(NoRouteError):
+            a.call(b.address, 80, "x")
+
+    def test_unbind(self, net):
+        a = net.create_host("a", "lan")
+        b = net.create_host("b", "lan")
+        b.bind(80, lambda *args: "ok")
+        b.unbind(80)
+        with pytest.raises(NoServiceError):
+            a.call(b.address, 80, "x")
+
+
+class TestMulticast:
+    def test_collects_non_none_replies(self, net):
+        a = net.create_host("a", "lan")
+        for i in range(3):
+            host = net.create_host(f"h{i}", "lan")
+            if i < 2:
+                host.bind(
+                    5353,
+                    lambda h, src, q, i=i: f"answer{i}" if q == "q" else None,
+                )
+        replies = a.multicast("lan", 5353, "q")
+        assert [answer for _, answer in replies] == ["answer0", "answer1"]
+
+    def test_sender_excluded(self, net):
+        a = net.create_host("a", "lan")
+        a.bind(5353, lambda *args: "self")
+        assert a.multicast("lan", 5353, "q") == []
+
+    def test_offline_hosts_skipped(self, net):
+        a = net.create_host("a", "lan")
+        b = net.create_host("b", "lan")
+        b.bind(5353, lambda *args: "ok")
+        net.set_online(b, False)
+        assert a.multicast("lan", 5353, "q") == []
+
+    def test_requires_attachment(self, net):
+        net.create_subnet("wan", "10.1.0")
+        a = net.create_host("a", "lan")
+        with pytest.raises(NoRouteError):
+            a.multicast("wan", 5353, "q")

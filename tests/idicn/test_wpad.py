@@ -1,0 +1,153 @@
+"""Tests for WPAD discovery and the PAC mini-DSL."""
+
+import pytest
+
+from repro.idicn import (
+    DnsClient,
+    DnsServer,
+    PacFile,
+    PacRule,
+    SimNet,
+    autodiscover,
+    discover_pac_url,
+    fetch_pac,
+    proxy_address,
+)
+from repro.idicn.http import ok
+from repro.idicn.simnet import HTTP_PORT
+from repro.idicn.wpad import DHCP_PAC_OPTION
+
+PAC_TEXT = """
+# corporate PAC
+dnsDomainIs .idicn.org => PROXY 10.0.0.2:80
+shExpMatch http://*.video.example/* => PROXY 10.0.0.3:80
+isInNet 10.0.0.0/24 => DIRECT
+default => PROXY 10.0.0.2:80
+"""
+
+
+class TestPacParsing:
+    def test_parse_counts_rules(self):
+        pac = PacFile.parse(PAC_TEXT)
+        assert len(pac.rules) == 4
+
+    def test_serialize_roundtrip(self):
+        pac = PacFile.parse(PAC_TEXT)
+        assert PacFile.parse(pac.serialize()) == pac
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ValueError):
+            PacFile.parse("dnsDomainIs .x PROXY y")
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            PacFile.parse("isResolvable x => DIRECT")
+
+
+class TestFindProxyForUrl:
+    @pytest.fixture
+    def pac(self):
+        return PacFile.parse(PAC_TEXT)
+
+    def test_domain_suffix_match(self, pac):
+        decision = pac.find_proxy_for_url(
+            "http://a.bbbb.idicn.org/x", "a.bbbb.idicn.org"
+        )
+        assert decision == "PROXY 10.0.0.2:80"
+
+    def test_shell_glob_match(self, pac):
+        decision = pac.find_proxy_for_url(
+            "http://cdn.video.example/movie", "cdn.video.example"
+        )
+        assert decision == "PROXY 10.0.0.3:80"
+
+    def test_ip_literal_match(self, pac):
+        assert pac.find_proxy_for_url("http://10.0.0.9/x", "10.0.0.9") == "DIRECT"
+
+    def test_default_rule(self, pac):
+        decision = pac.find_proxy_for_url("http://other.example/", "other.example")
+        assert decision == "PROXY 10.0.0.2:80"
+
+    def test_no_default_falls_back_to_direct(self):
+        pac = PacFile(rules=(PacRule("dnsDomainIs", ".x", "PROXY p"),))
+        assert pac.find_proxy_for_url("http://y/", "y") == "DIRECT"
+
+    def test_first_match_wins(self):
+        pac = PacFile(
+            rules=(
+                PacRule("default", "", "PROXY first"),
+                PacRule("default", "", "PROXY second"),
+            )
+        )
+        assert pac.find_proxy_for_url("http://x/", "x") == "PROXY first"
+
+
+class TestDecisionParsing:
+    def test_direct_is_none(self):
+        assert proxy_address("DIRECT") is None
+
+    def test_proxy_with_port(self):
+        assert proxy_address("PROXY 10.0.0.2:80") == "10.0.0.2"
+
+    def test_fallback_list_takes_first(self):
+        assert proxy_address("PROXY 10.0.0.2:80; PROXY 10.0.0.3:80") == "10.0.0.2"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            proxy_address("SOCKS 10.0.0.2")
+
+
+class TestDiscovery:
+    @pytest.fixture
+    def net(self):
+        network = SimNet()
+        network.create_subnet("lan", "10.0.0")
+        return network
+
+    def _pac_server(self, net, body=PAC_TEXT):
+        server = net.create_host("pac", "lan")
+        server.bind(HTTP_PORT, lambda h, s, r: ok(body.encode()))
+        return server
+
+    def test_dhcp_option_wins(self, net):
+        server = self._pac_server(net)
+        net.subnets["lan"].dhcp_options[DHCP_PAC_OPTION] = (
+            f"http://{server.address}/wpad.dat"
+        )
+        client = net.create_host("c", "lan")
+        url = discover_pac_url(client, "lan")
+        assert url == f"http://{server.address}/wpad.dat"
+        pac = fetch_pac(client, url)
+        assert pac is not None and len(pac.rules) == 4
+
+    def test_dns_fallback(self, net):
+        server = self._pac_server(net)
+        dns = DnsServer(net.create_host("dns", "lan"))
+        dns.add_record("wpad", server.address)
+        client = net.create_host("c", "lan")
+        dns_client = DnsClient(client, server_address=dns.host.address)
+        url = discover_pac_url(client, "lan", dns_client)
+        assert url == f"http://{server.address}/wpad.dat"
+
+    def test_no_discovery_path_returns_none(self, net):
+        client = net.create_host("c", "lan")
+        assert discover_pac_url(client, "lan") is None
+        assert autodiscover(client, "lan") is None
+
+    def test_fetch_handles_unreachable_server(self, net):
+        client = net.create_host("c", "lan")
+        assert fetch_pac(client, "http://10.0.0.99/wpad.dat") is None
+
+    def test_fetch_handles_malformed_pac(self, net):
+        self_destruct = self._pac_server(net, body="garbage => => =>")
+        client = net.create_host("c", "lan")
+        assert fetch_pac(client, f"http://{self_destruct.address}/x") is None
+
+    def test_full_autodiscover(self, net):
+        server = self._pac_server(net)
+        net.subnets["lan"].dhcp_options[DHCP_PAC_OPTION] = (
+            f"http://{server.address}/wpad.dat"
+        )
+        client = net.create_host("c", "lan")
+        pac = autodiscover(client, "lan")
+        assert pac.find_proxy_for_url("http://z/", "z") == "PROXY 10.0.0.2:80"

@@ -1,0 +1,117 @@
+"""Tests for link-local addressing and mDNS."""
+
+import numpy as np
+import pytest
+
+from repro.idicn import (
+    AddressInUseError,
+    DnsQuery,
+    MdnsResponder,
+    SimNet,
+    claim_link_local_address,
+    is_link_local,
+    mdns_resolve,
+)
+
+
+@pytest.fixture
+def net():
+    network = SimNet()
+    network.create_subnet("adhoc", "link")
+    return network
+
+
+class TestLinkLocal:
+    def test_claims_an_address_in_range(self, net, rng):
+        host = net.create_host("a")
+        address = claim_link_local_address(host, "adhoc", rng)
+        assert is_link_local(address)
+        assert host.address_on("adhoc") == address
+
+    def test_many_hosts_get_distinct_addresses(self, net, rng):
+        addresses = set()
+        for i in range(20):
+            host = net.create_host(f"h{i}")
+            addresses.add(claim_link_local_address(host, "adhoc", rng))
+        assert len(addresses) == 20
+
+    def test_conflict_probing_retries(self, net):
+        # Two hosts with the same RNG seed draw the same candidates:
+        # the second must detect the conflict and move on.
+        a = net.create_host("a")
+        b = net.create_host("b")
+        addr_a = claim_link_local_address(a, "adhoc", np.random.default_rng(0))
+        addr_b = claim_link_local_address(b, "adhoc", np.random.default_rng(0))
+        assert addr_a != addr_b
+
+    def test_exhausted_attempts_raise(self, net):
+        a = net.create_host("a")
+        claim_link_local_address(a, "adhoc", np.random.default_rng(1))
+        b = net.create_host("b")
+        with pytest.raises(AddressInUseError):
+            # Same seed and only one attempt: guaranteed collision.
+            claim_link_local_address(
+                b, "adhoc", np.random.default_rng(1), max_attempts=1
+            )
+
+    def test_is_link_local(self):
+        assert is_link_local("169.254.1.2")
+        assert not is_link_local("10.0.0.1")
+        assert not is_link_local("169.2540.1.2")
+
+
+class TestMdns:
+    def test_publish_and_resolve(self, net, rng):
+        alice = net.create_host("alice")
+        bob = net.create_host("bob")
+        addr = claim_link_local_address(alice, "adhoc", rng)
+        claim_link_local_address(bob, "adhoc", rng)
+        responder = MdnsResponder(alice, "adhoc")
+        responder.publish("cnn.example")
+        assert mdns_resolve(bob, "adhoc", "cnn.example") == addr
+        assert responder.answered == 1
+
+    def test_unknown_name_unresolved(self, net, rng):
+        alice = net.create_host("alice")
+        bob = net.create_host("bob")
+        claim_link_local_address(alice, "adhoc", rng)
+        claim_link_local_address(bob, "adhoc", rng)
+        MdnsResponder(alice, "adhoc").publish("cnn.example")
+        assert mdns_resolve(bob, "adhoc", "bbc.example") is None
+
+    def test_withdraw(self, net, rng):
+        alice = net.create_host("alice")
+        bob = net.create_host("bob")
+        claim_link_local_address(alice, "adhoc", rng)
+        claim_link_local_address(bob, "adhoc", rng)
+        responder = MdnsResponder(alice, "adhoc")
+        responder.publish("cnn.example")
+        responder.withdraw("cnn.example")
+        assert mdns_resolve(bob, "adhoc", "cnn.example") is None
+        assert responder.published_names == ()
+
+    def test_first_responder_wins_on_duplicates(self, net, rng):
+        # The paper's noted limitation: only one publisher per domain
+        # is visible to a querier.
+        hosts = []
+        for name in ("alice", "carol"):
+            host = net.create_host(name)
+            claim_link_local_address(host, "adhoc", rng)
+            MdnsResponder(host, "adhoc").publish("cnn.example")
+            hosts.append(host)
+        bob = net.create_host("bob")
+        claim_link_local_address(bob, "adhoc", rng)
+        answer = mdns_resolve(bob, "adhoc", "cnn.example")
+        assert answer in {h.address_on("adhoc") for h in hosts}
+
+    def test_non_dns_payload_ignored(self, net, rng):
+        alice = net.create_host("alice")
+        bob = net.create_host("bob")
+        claim_link_local_address(alice, "adhoc", rng)
+        claim_link_local_address(bob, "adhoc", rng)
+        MdnsResponder(alice, "adhoc").publish("x")
+        replies = bob.multicast("adhoc", 5353, "not a query")
+        assert replies == []
+
+    def test_query_object(self):
+        assert DnsQuery(name="x").name == "x"

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.topology == "abilene"
+        assert args.budget == 0.05
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--topology", "arpanet"])
+
+    def test_sweep_parameter_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "bandwidth", "1"])
+
+
+class TestCommands:
+    def test_topologies(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        assert "abilene" in out and "att" in out
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--topology", "abilene",
+            "--requests", "3000", "--objects", "100",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ICN-NR" in out and "EDGE-Coop" in out
+        assert "ICN-NR over EDGE" in out
+
+    def test_sweep_small(self, capsys):
+        code = main([
+            "sweep", "alpha", "0.5", "1.5",
+            "--topology", "abilene",
+            "--requests", "2000", "--objects", "100",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vs alpha" in out
+        assert "0.5" in out and "1.5" in out
+
+    def test_treeopt(self, capsys):
+        code = main(["treeopt", "--alphas", "0.7", "--objects", "200",
+                     "--cache-size", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alpha=0.7" in out
+        assert "expected hops" in out

@@ -1,0 +1,97 @@
+"""Cross-module integration tests: the full pipelines a user would run."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BASELINE_ARCHITECTURES,
+    EDGE,
+    ICN_NR,
+    ExperimentConfig,
+    build_network,
+    build_workload,
+    run_experiment,
+)
+from repro.workload import (
+    fit_zipf_mle,
+    object_ids_by_popularity,
+    rank_frequency,
+    read_trace,
+    synthetic_cdn_trace,
+    write_trace,
+)
+
+
+class TestTracePipeline:
+    """CDN log file -> ids -> trace-driven simulation (the Figure 6 path)."""
+
+    def test_end_to_end(self, tmp_path, rng):
+        records = synthetic_cdn_trace("asia", rng, scale=0.005)
+        path = tmp_path / "asia.tsv"
+        write_trace(path, records)
+
+        loaded = list(read_trace(path))
+        objects, url_to_id, _ = object_ids_by_popularity(loaded)
+        assert len(loaded) == len(records)
+
+        config = ExperimentConfig(
+            topology="abilene",
+            num_objects=len(url_to_id),
+            num_requests=len(objects),
+            warmup_fraction=0.2,
+            seed=1,
+        )
+        outcome = run_experiment(config, (ICN_NR, EDGE), objects=objects)
+        assert outcome.improvements["ICN-NR"].latency > 0
+        assert (
+            outcome.improvements["ICN-NR"].latency
+            >= outcome.improvements["EDGE"].latency
+        )
+
+    def test_fitted_alpha_reproduces_gap(self, tmp_path, rng):
+        """The Table 3 methodology as an integration property."""
+        records = synthetic_cdn_trace("us", rng, scale=0.01)
+        objects, url_to_id, _ = object_ids_by_popularity(records)
+        alpha = fit_zipf_mle(rank_frequency(objects),
+                             num_objects=len(url_to_id))
+        config = ExperimentConfig(
+            topology="geant",
+            num_objects=len(url_to_id),
+            num_requests=len(objects),
+            alpha=alpha,
+            warmup_fraction=0.2,
+            seed=2,
+        )
+        trace_gap = run_experiment(
+            config, (ICN_NR, EDGE), objects=objects
+        ).gap().latency
+        synthetic_gap = run_experiment(config, (ICN_NR, EDGE)).gap().latency
+        assert trace_gap == pytest.approx(synthetic_gap, abs=4.0)
+
+
+class TestFullLineupSmall:
+    def test_all_architectures_on_all_small_topologies(self):
+        for topology in ("abilene", "geant"):
+            config = ExperimentConfig(
+                topology=topology,
+                num_objects=150,
+                num_requests=8000,
+                warmup_fraction=0.25,
+                seed=4,
+            )
+            outcome = run_experiment(config, BASELINE_ARCHITECTURES)
+            improvements = outcome.improvements
+            assert len(improvements) == 5
+            # Conservation: every architecture measured the same stream.
+            counts = {r.num_requests for r in outcome.results.values()}
+            assert counts == {outcome.baseline.num_requests}
+
+    def test_network_and_workload_builders_compose(self):
+        config = ExperimentConfig(
+            topology="tiscali", arity=4, tree_depth=2,
+            num_objects=100, num_requests=2000, seed=5,
+        )
+        network = build_network(config)
+        workload = build_workload(config, network)
+        assert network.tree.num_leaves == 16
+        assert workload.leaves.min() >= network.tree.leaves.start

@@ -1,0 +1,189 @@
+"""Tests for the k-ary access-tree index arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import AccessTree, arity_for_leaf_count
+
+
+class TestConstruction:
+    def test_binary_depth5_matches_paper_baseline(self):
+        tree = AccessTree(arity=2, depth=5)
+        assert tree.size == 63
+        assert tree.num_leaves == 32
+
+    def test_single_node_tree(self):
+        tree = AccessTree(arity=2, depth=0)
+        assert tree.size == 1
+        assert tree.num_leaves == 1
+        assert list(tree.leaves) == [0]
+        assert tree.is_leaf(0)
+
+    def test_arity_one_is_a_path(self):
+        tree = AccessTree(arity=1, depth=4)
+        assert tree.size == 5
+        assert tree.num_leaves == 1
+
+    @pytest.mark.parametrize("arity,depth", [(0, 1), (2, -1)])
+    def test_invalid_parameters_rejected(self, arity, depth):
+        with pytest.raises(ValueError):
+            AccessTree(arity=arity, depth=depth)
+
+    @pytest.mark.parametrize(
+        "arity,depth,size", [(2, 3, 15), (3, 2, 13), (4, 2, 21), (64, 1, 65)]
+    )
+    def test_size_formula(self, arity, depth, size):
+        assert AccessTree(arity=arity, depth=depth).size == size
+
+
+class TestStructure:
+    def test_root_has_no_parent(self):
+        tree = AccessTree(arity=2, depth=2)
+        with pytest.raises(ValueError):
+            tree.parent(0)
+
+    def test_children_of_root(self):
+        tree = AccessTree(arity=3, depth=2)
+        assert list(tree.children(0)) == [1, 2, 3]
+
+    def test_leaves_have_no_children(self):
+        tree = AccessTree(arity=2, depth=2)
+        for leaf in tree.leaves:
+            assert list(tree.children(leaf)) == []
+
+    def test_siblings_of_root_empty(self):
+        tree = AccessTree(arity=2, depth=2)
+        assert tree.siblings(0) == []
+
+    def test_siblings_share_parent_and_exclude_self(self):
+        tree = AccessTree(arity=3, depth=2)
+        siblings = tree.siblings(5)
+        assert 5 not in siblings
+        assert all(tree.parent(s) == tree.parent(5) for s in siblings)
+        assert len(siblings) == 2
+
+    def test_level_nodes_partition_the_tree(self):
+        tree = AccessTree(arity=2, depth=3)
+        seen = []
+        for depth in range(tree.depth + 1):
+            seen.extend(tree.level_nodes(depth))
+        assert sorted(seen) == list(range(tree.size))
+
+    def test_ancestors_end_at_root(self):
+        tree = AccessTree(arity=2, depth=3)
+        for leaf in tree.leaves:
+            assert tree.ancestors(leaf)[-1] == 0
+            assert len(tree.ancestors(leaf)) == tree.depth
+
+    def test_subtree_leaves_of_root_is_all_leaves(self):
+        tree = AccessTree(arity=2, depth=3)
+        assert list(tree.subtree_leaves(0)) == list(tree.leaves)
+
+    def test_subtree_leaves_of_leaf_is_itself(self):
+        tree = AccessTree(arity=2, depth=3)
+        leaf = tree.leaves[0]
+        assert list(tree.subtree_leaves(leaf)) == [leaf]
+
+    def test_out_of_range_node_rejected(self):
+        tree = AccessTree(arity=2, depth=2)
+        with pytest.raises(ValueError):
+            tree.depth_of(tree.size)
+        with pytest.raises(ValueError):
+            tree.depth_of(-1)
+
+
+class TestDistances:
+    def test_distance_to_self_is_zero(self):
+        tree = AccessTree(arity=2, depth=3)
+        assert tree.distance(5, 5) == 0
+
+    def test_sibling_leaves_are_two_apart(self):
+        tree = AccessTree(arity=2, depth=2)
+        assert tree.distance(3, 4) == 2
+
+    def test_opposite_leaves_cross_the_root(self):
+        tree = AccessTree(arity=2, depth=2)
+        assert tree.distance(3, 6) == 4
+        assert tree.lca(3, 6) == 0
+
+    def test_path_endpoints_and_length(self):
+        tree = AccessTree(arity=2, depth=3)
+        path = tree.path(7, 14)
+        assert path[0] == 7
+        assert path[-1] == 14
+        assert len(path) == tree.distance(7, 14) + 1
+
+    def test_path_consecutive_nodes_are_adjacent(self):
+        tree = AccessTree(arity=3, depth=3)
+        path = tree.path(15, 39)
+        for a, b in zip(path, path[1:]):
+            adjacent = (a != 0 and tree.parent(a) == b) or (
+                b != 0 and tree.parent(b) == a
+            )
+            assert adjacent
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+tree_strategy = st.builds(
+    AccessTree,
+    arity=st.integers(min_value=2, max_value=5),
+    depth=st.integers(min_value=1, max_value=4),
+)
+
+
+@settings(max_examples=50)
+@given(tree=tree_strategy, data=st.data())
+def test_parent_child_roundtrip(tree, data):
+    node = data.draw(st.integers(min_value=0, max_value=tree.size - 1))
+    for child in tree.children(node):
+        assert tree.parent(child) == node
+        assert tree.depth_of(child) == tree.depth_of(node) + 1
+
+
+@settings(max_examples=50)
+@given(tree=tree_strategy, data=st.data())
+def test_distance_is_symmetric_and_triangle_tight(tree, data):
+    a = data.draw(st.integers(min_value=0, max_value=tree.size - 1))
+    b = data.draw(st.integers(min_value=0, max_value=tree.size - 1))
+    assert tree.distance(a, b) == tree.distance(b, a)
+    lca = tree.lca(a, b)
+    # On a tree the path through the LCA is the unique shortest path.
+    assert tree.distance(a, b) == tree.distance(a, lca) + tree.distance(lca, b)
+
+
+@settings(max_examples=50)
+@given(tree=tree_strategy, data=st.data())
+def test_path_matches_distance(tree, data):
+    a = data.draw(st.integers(min_value=0, max_value=tree.size - 1))
+    b = data.draw(st.integers(min_value=0, max_value=tree.size - 1))
+    path = tree.path(a, b)
+    assert len(path) == tree.distance(a, b) + 1
+    assert len(set(path)) == len(path)  # simple path, no repeats
+
+
+@settings(max_examples=30)
+@given(tree=tree_strategy)
+def test_lca_of_leaf_pairs_is_common_ancestor(tree):
+    leaves = list(tree.leaves)
+    a, b = leaves[0], leaves[-1]
+    lca = tree.lca(a, b)
+    assert lca in [a, *tree.ancestors(a)]
+    assert lca in [b, *tree.ancestors(b)]
+
+
+class TestArityForLeafCount:
+    @pytest.mark.parametrize("leaves,arity,depth", [(32, 2, 5), (64, 64, 1),
+                                                    (64, 8, 2), (64, 4, 3)])
+    def test_exact_powers(self, leaves, arity, depth):
+        assert arity_for_leaf_count(leaves, arity) == depth
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ValueError):
+            arity_for_leaf_count(48, 4)
+
+    def test_single_leaf(self):
+        assert arity_for_leaf_count(1, 2) == 0

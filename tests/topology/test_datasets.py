@@ -1,0 +1,60 @@
+"""Tests for the eight embedded evaluation topologies."""
+
+import pytest
+
+from repro.topology import TOPOLOGY_NAMES, all_topologies, topology
+
+
+class TestRegistry:
+    def test_canonical_order_matches_figures(self):
+        assert TOPOLOGY_NAMES == (
+            "abilene", "geant", "telstra", "sprint",
+            "verio", "tiscali", "level3", "att",
+        )
+
+    def test_all_topologies_returns_eight(self):
+        topologies = all_topologies()
+        assert [t.name for t in topologies] == list(TOPOLOGY_NAMES)
+
+    def test_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            topology("arpanet")
+
+    def test_lookup_is_case_insensitive(self):
+        assert topology("Abilene").name == "abilene"
+
+
+class TestShapes:
+    def test_abilene_is_the_published_map(self):
+        abilene = topology("abilene")
+        assert abilene.num_pops == 11
+        assert abilene.num_edges == 14
+        names = {pop.name for pop in abilene.pops}
+        assert {"Seattle", "New York", "Chicago", "Houston"} <= names
+
+    def test_att_is_the_largest_topology(self):
+        sizes = {name: topology(name).num_pops for name in TOPOLOGY_NAMES}
+        assert sizes["att"] == max(sizes.values())
+
+    @pytest.mark.parametrize("name", TOPOLOGY_NAMES)
+    def test_every_topology_is_valid(self, name):
+        topo = topology(name)
+        # PopTopology validates connectivity at construction; re-check
+        # basic sanity here.
+        assert topo.num_pops >= 10
+        assert topo.num_edges >= topo.num_pops - 1
+        assert all(pop.population > 0 for pop in topo.pops)
+
+    @pytest.mark.parametrize("name", TOPOLOGY_NAMES)
+    def test_deterministic_regeneration(self, name):
+        first = topology(name)
+        second = topology(name)
+        assert first.edges == second.edges
+        assert first.populations == second.populations
+
+    def test_synthetic_isps_have_hub_and_stub_structure(self):
+        att = topology("att")
+        degrees = [len(att.neighbors(i)) for i in range(att.num_pops)]
+        # Preferential attachment: a few hubs, many low-degree stubs.
+        assert max(degrees) >= 8
+        assert sorted(degrees)[att.num_pops // 2] <= 4

@@ -1,0 +1,86 @@
+"""Tests for the synthetic ISP topology generator."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    preferential_attachment_edges,
+    synthetic_isp,
+    zipf_city_populations,
+)
+
+
+class TestPreferentialAttachment:
+    def test_edge_count(self, rng):
+        edges = preferential_attachment_edges(20, 2, rng)
+        # Initial clique of 3 has 3 edges; 17 later nodes add 2 each.
+        assert len(edges) == 3 + 17 * 2
+
+    def test_no_duplicate_edges(self, rng):
+        edges = preferential_attachment_edges(30, 3, rng)
+        normalized = {(min(a, b), max(a, b)) for a, b in edges}
+        assert len(normalized) == len(edges)
+
+    def test_no_self_loops(self, rng):
+        edges = preferential_attachment_edges(30, 2, rng)
+        assert all(a != b for a, b in edges)
+
+    def test_connected(self, rng):
+        edges = preferential_attachment_edges(40, 2, rng)
+        adjacency = {}
+        for a, b in edges:
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+        seen = {0}
+        stack = [0]
+        while stack:
+            for nbr in adjacency[stack.pop()]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        assert len(seen) == 40
+
+    def test_too_few_nodes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            preferential_attachment_edges(2, 2, rng)
+
+    def test_deterministic_given_seed(self):
+        a = preferential_attachment_edges(25, 2, np.random.default_rng(9))
+        b = preferential_attachment_edges(25, 2, np.random.default_rng(9))
+        assert a == b
+
+
+class TestCityPopulations:
+    def test_follows_zipf_law(self):
+        pops = zipf_city_populations(10, 1_000_000)
+        assert pops[0] == 1_000_000
+        assert pops[1] == 500_000
+        assert pops[4] == 200_000
+
+    def test_monotone_nonincreasing(self):
+        pops = zipf_city_populations(50, 5_000_000)
+        assert all(a >= b for a, b in zip(pops, pops[1:]))
+
+    def test_minimum_population_is_one(self):
+        pops = zipf_city_populations(100, 100)
+        assert min(pops) >= 1
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_city_populations(0, 100)
+        with pytest.raises(ValueError):
+            zipf_city_populations(10, 5)
+
+
+class TestSyntheticIsp:
+    def test_builds_valid_topology(self):
+        topo = synthetic_isp("test", [f"city{i}" for i in range(12)], seed=3)
+        assert topo.num_pops == 12
+        assert topo.pops[0].name == "city0"
+        assert topo.pops[0].population >= topo.pops[1].population
+
+    def test_largest_city_is_best_connected_region(self):
+        topo = synthetic_isp("test", [f"city{i}" for i in range(30)], seed=3)
+        degrees = [len(topo.neighbors(i)) for i in range(topo.num_pops)]
+        # Node 0 is in the initial clique so it accretes degree.
+        assert degrees[0] >= sorted(degrees)[len(degrees) // 2]

@@ -1,0 +1,71 @@
+"""Tests for the cross-level budget allocator."""
+
+import pytest
+
+from repro.treeopt import (
+    TreeModel,
+    budget_share_per_level,
+    expected_hops,
+    optimize_level_allocation,
+)
+
+
+def model(alpha=1.1, num_objects=500):
+    return TreeModel(levels=6, cache_size=0, num_objects=num_objects,
+                     alpha=alpha)
+
+
+class TestAllocator:
+    def test_budget_respected(self):
+        m = model()
+        allocation = optimize_level_allocation(m, total_budget=500)
+        used = sum(
+            allocation.sizes[level - 1] * m.nodes_at_level(level)
+            for level in range(1, 6)
+        )
+        assert used == allocation.budget_used <= 500
+
+    def test_zero_budget(self):
+        allocation = optimize_level_allocation(model(), total_budget=0)
+        assert allocation.sizes == (0,) * 5
+        assert allocation.expected_hops == pytest.approx(6.0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_level_allocation(model(), total_budget=-1)
+
+    def test_allocation_reduces_expected_hops(self):
+        m = model()
+        allocation = optimize_level_allocation(m, total_budget=800)
+        assert allocation.expected_hops < 6.0
+
+    def test_beats_or_matches_equal_split(self):
+        m = model()
+        total = 32 * 10 + 16 * 10 + 8 * 10 + 4 * 10 + 2 * 10
+        allocation = optimize_level_allocation(m, total_budget=total)
+        equal = TreeModel(levels=6, cache_size=10, num_objects=500,
+                          alpha=1.1)
+        assert allocation.expected_hops <= expected_hops(equal) + 1e-9
+
+
+class TestPaperClaim:
+    def test_majority_of_budget_goes_to_the_leaves(self):
+        """Section 2.2: 'the optimal solution under a Zipf workload
+        involves assigning a majority of the total caching budget to the
+        leaves of the tree.'"""
+        m = model(alpha=1.1)
+        allocation = optimize_level_allocation(m, total_budget=8000)
+        shares = budget_share_per_level(m, allocation)
+        assert shares[0] > 0.5
+
+    def test_leaves_get_a_plurality_even_with_tight_budgets(self):
+        m = model(alpha=1.1)
+        allocation = optimize_level_allocation(m, total_budget=2000)
+        shares = budget_share_per_level(m, allocation)
+        assert shares[0] == shares.max()
+
+    def test_shares_sum_to_one(self):
+        m = model()
+        allocation = optimize_level_allocation(m, total_budget=1000)
+        shares = budget_share_per_level(m, allocation)
+        assert shares.sum() == pytest.approx(1.0)

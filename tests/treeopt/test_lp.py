@@ -1,0 +1,29 @@
+"""Tests for the LP cross-check of the tree model."""
+
+import pytest
+
+from repro.treeopt import TreeModel, expected_hops, lp_expected_hops
+
+
+class TestLpAgreesWithGreedy:
+    @pytest.mark.parametrize("alpha", [0.5, 0.7, 1.1, 1.5])
+    def test_matches_symmetric_greedy(self, alpha):
+        model = TreeModel(levels=6, cache_size=20, num_objects=300,
+                          alpha=alpha)
+        assert lp_expected_hops(model) == pytest.approx(
+            expected_hops(model), abs=1e-6
+        )
+
+    def test_zero_cache(self):
+        model = TreeModel(levels=4, cache_size=0, num_objects=50, alpha=1.0)
+        assert lp_expected_hops(model) == pytest.approx(4.0, abs=1e-6)
+
+    def test_everything_fits_at_the_edge(self):
+        model = TreeModel(levels=4, cache_size=50, num_objects=50, alpha=1.0)
+        assert lp_expected_hops(model) == pytest.approx(1.0, abs=1e-6)
+
+    def test_small_instance_by_hand(self):
+        # 2 levels (leaf + origin), cache 1, 2 objects, uniform: the top
+        # object is served at the leaf, the other at the origin.
+        model = TreeModel(levels=2, cache_size=1, num_objects=2, alpha=0.0)
+        assert lp_expected_hops(model) == pytest.approx(1.5, abs=1e-6)

@@ -1,0 +1,92 @@
+"""Tests for the Section 2.2 tree-placement model."""
+
+import numpy as np
+import pytest
+
+from repro.treeopt import (
+    TreeModel,
+    expected_hops,
+    expected_hops_edge_only,
+    fraction_served_per_level,
+    optimal_levels,
+    universal_caching_latency_gain,
+)
+
+
+def model(**kwargs):
+    defaults = dict(levels=6, cache_size=50, num_objects=1000, alpha=0.7)
+    defaults.update(kwargs)
+    return TreeModel(**defaults)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            model(levels=1)
+        with pytest.raises(ValueError):
+            model(cache_size=-1)
+        with pytest.raises(ValueError):
+            model(num_objects=0)
+        with pytest.raises(ValueError):
+            model(arity=1)
+
+    def test_nodes_at_level(self):
+        m = model()
+        assert m.nodes_at_level(1) == 32  # leaves of a 6-level binary tree
+        assert m.nodes_at_level(6) == 1  # the origin
+        with pytest.raises(ValueError):
+            m.nodes_at_level(0)
+
+
+class TestOptimalPlacement:
+    def test_greedy_layering(self):
+        m = model(cache_size=10, num_objects=100)
+        levels = optimal_levels(m)
+        assert (levels[:10] == 1).all()
+        assert (levels[10:20] == 2).all()
+        assert (levels[50:] == 6).all()
+
+    def test_zero_cache_serves_everything_at_origin(self):
+        levels = optimal_levels(model(cache_size=0))
+        assert (levels == 6).all()
+
+    def test_large_cache_serves_everything_at_edge(self):
+        levels = optimal_levels(model(cache_size=2000))
+        assert (levels == 1).all()
+
+    def test_fractions_sum_to_one(self):
+        fractions = fraction_served_per_level(model())
+        assert fractions.sum() == pytest.approx(1.0)
+        assert len(fractions) == 6
+
+    def test_higher_alpha_serves_more_at_edge(self):
+        low = fraction_served_per_level(model(alpha=0.7))[0]
+        high = fraction_served_per_level(model(alpha=1.5))[0]
+        assert high > low
+
+
+class TestPaperNumbers:
+    """The alpha = 0.7 walkthrough of Section 2.2."""
+
+    def test_figure2_shape(self):
+        # With a cache sized so the edge serves ~40% of requests, the
+        # intermediate levels each add only a few percent.
+        m = model(alpha=0.7, cache_size=60, num_objects=1000)
+        fractions = fraction_served_per_level(m)
+        assert fractions[0] == pytest.approx(0.4, abs=0.1)
+        assert all(fractions[i] < 0.15 for i in range(1, 5))
+
+    def test_intermediate_levels_add_little_latency(self):
+        m = model(alpha=0.7, cache_size=60, num_objects=1000)
+        gain = universal_caching_latency_gain(m)
+        # The paper computes roughly 25% for its configuration.
+        assert 10.0 < gain < 35.0
+
+    def test_edge_only_is_an_upper_bound(self):
+        for alpha in (0.7, 1.1, 1.5):
+            m = model(alpha=alpha)
+            assert expected_hops_edge_only(m) >= expected_hops(m)
+
+    def test_expected_hops_bounds(self):
+        m = model()
+        assert 1.0 <= expected_hops(m) <= 6.0

@@ -1,0 +1,81 @@
+"""Tests for the synthetic CDN log generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    REGIONS,
+    fit_zipf_mle,
+    rank_frequency,
+    region_object_stream,
+    region_profile,
+    synthetic_cdn_trace,
+)
+
+
+class TestProfiles:
+    def test_table2_parameters_embedded(self):
+        assert region_profile("us").alpha == 0.99
+        assert region_profile("europe").alpha == 0.92
+        assert region_profile("asia").alpha == 1.04
+        assert region_profile("us").num_requests == 1_100_000
+        assert region_profile("europe").num_requests == 3_100_000
+        assert region_profile("asia").num_requests == 1_800_000
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(KeyError):
+            region_profile("antarctica")
+
+    def test_case_insensitive(self):
+        assert region_profile("ASIA") is REGIONS["asia"]
+
+
+class TestObjectStream:
+    def test_scaling(self, rng):
+        objects, num_objects = region_object_stream("asia", rng, scale=0.01)
+        assert len(objects) == 18_000
+        assert num_objects == 900
+        assert objects.max() < num_objects
+
+    def test_explicit_catalog_size(self, rng):
+        objects, num_objects = region_object_stream(
+            "us", rng, scale=0.01, num_objects=50
+        )
+        assert num_objects == 50
+        assert objects.max() < 50
+
+    def test_recovers_the_published_alpha(self, rng):
+        objects, num_objects = region_object_stream("asia", rng, scale=0.05)
+        alpha = fit_zipf_mle(rank_frequency(objects), num_objects=num_objects)
+        assert alpha == pytest.approx(1.04, abs=0.05)
+
+
+class TestFullTrace:
+    def test_record_fields(self, rng):
+        records = synthetic_cdn_trace("us", rng, scale=0.002)
+        assert len(records) == 2200
+        first = records[0]
+        assert first.url.startswith("https://cdn.example/")
+        assert first.size >= 1
+        assert len(first.client) == 16
+
+    def test_timestamps_increase(self, rng):
+        records = synthetic_cdn_trace("us", rng, scale=0.001)
+        times = [r.timestamp for r in records]
+        assert times == sorted(times)
+
+    def test_served_locally_flag_behaves_like_a_cache(self, rng):
+        records = synthetic_cdn_trace("asia", rng, scale=0.005)
+        # First request can never be served locally.
+        assert not records[0].served_locally
+        # A heavy-tailed stream through a 5% LRU hits a decent fraction.
+        hit_ratio = sum(r.served_locally for r in records) / len(records)
+        assert 0.1 < hit_ratio < 0.9
+
+    def test_urls_stable_per_object(self, rng):
+        records = synthetic_cdn_trace("us", rng, scale=0.002)
+        by_url = {}
+        for r in records:
+            by_url.setdefault(r.url, set()).add(r.size)
+        # One URL always has one size: URLs identify objects.
+        assert all(len(sizes) == 1 for sizes in by_url.values())

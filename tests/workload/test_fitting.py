@@ -1,0 +1,75 @@
+"""Tests for Zipf parameter estimation."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    ZipfDistribution,
+    fit_zipf_mle,
+    fit_zipf_regression,
+    rank_frequency,
+)
+
+
+class TestRankFrequency:
+    def test_sorted_descending(self, rng):
+        objects = np.array([0, 0, 0, 1, 1, 2])
+        counts = rank_frequency(objects)
+        assert counts.tolist() == [3, 2, 1]
+
+    def test_skips_unseen_objects(self):
+        counts = rank_frequency(np.array([5, 5, 9]))
+        assert counts.tolist() == [2, 1]
+
+    def test_empty(self):
+        assert rank_frequency(np.array([], dtype=np.int64)).size == 0
+
+
+class TestMle:
+    @pytest.mark.parametrize("alpha", [0.7, 1.0, 1.3])
+    def test_recovers_known_alpha(self, alpha, rng):
+        zipf = ZipfDistribution(alpha=alpha, num_objects=2000)
+        sample = zipf.sample(rng, 300_000)
+        estimate = fit_zipf_mle(rank_frequency(sample), num_objects=2000)
+        assert estimate == pytest.approx(alpha, abs=0.05)
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError):
+            fit_zipf_mle(np.array([]))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            fit_zipf_mle(np.array([3.0, -1.0]))
+
+    def test_truncation_must_cover_observed_ranks(self):
+        with pytest.raises(ValueError):
+            fit_zipf_mle(np.array([5.0, 3.0, 1.0]), num_objects=2)
+
+    def test_uniform_counts_give_near_zero_alpha(self):
+        estimate = fit_zipf_mle(np.full(100, 10.0))
+        assert estimate < 0.05
+
+
+class TestRegression:
+    def test_exact_power_law_recovered(self):
+        ranks = np.arange(1, 201, dtype=np.float64)
+        counts = 1e6 * ranks**-1.2
+        fit = fit_zipf_regression(counts)
+        assert fit.alpha == pytest.approx(1.2, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_sampled_data_fits_reasonably(self, rng):
+        zipf = ZipfDistribution(alpha=1.0, num_objects=500)
+        sample = zipf.sample(rng, 200_000)
+        fit = fit_zipf_regression(rank_frequency(sample))
+        # The paper's visual check: "almost linear on a log-log plot".
+        assert fit.r_squared > 0.8
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_zipf_regression(np.array([5.0]))
+
+    def test_zero_counts_ignored(self):
+        counts = np.array([100.0, 50.0, 0.0, 25.0])
+        fit = fit_zipf_regression(counts)
+        assert fit.alpha > 0

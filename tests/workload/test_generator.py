@@ -1,0 +1,113 @@
+"""Tests for synthetic workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    Workload,
+    assign_origins,
+    generate_workload,
+    unit_sizes,
+    workload_from_objects,
+)
+
+
+class TestWorkloadValidation:
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(
+                num_objects=2,
+                pops=np.zeros(3, dtype=np.int64),
+                leaves=np.zeros(2, dtype=np.int64),
+                objects=np.zeros(3, dtype=np.int64),
+                sizes=np.ones(2),
+                origins=np.zeros(2, dtype=np.int64),
+            )
+
+    def test_sizes_must_cover_objects(self):
+        with pytest.raises(ValueError):
+            Workload(
+                num_objects=5,
+                pops=np.zeros(1, dtype=np.int64),
+                leaves=np.zeros(1, dtype=np.int64),
+                objects=np.zeros(1, dtype=np.int64),
+                sizes=np.ones(3),
+                origins=np.zeros(5, dtype=np.int64),
+            )
+
+
+class TestGenerate:
+    def test_shapes_and_ranges(self, small_network, rng):
+        workload = generate_workload(small_network, 100, 5000, 1.0, rng)
+        assert workload.num_requests == 5000
+        assert workload.objects.min() >= 0
+        assert workload.objects.max() < 100
+        assert workload.pops.min() >= 0
+        assert workload.pops.max() < 4
+        leaves = small_network.tree.leaves
+        assert workload.leaves.min() >= leaves.start
+        assert workload.leaves.max() < leaves.stop
+
+    def test_pop_arrivals_follow_population(self, small_network, rng):
+        workload = generate_workload(small_network, 50, 40_000, 1.0, rng)
+        counts = np.bincount(workload.pops, minlength=4)
+        shares = counts / counts.sum()
+        assert shares[0] == pytest.approx(0.5, abs=0.02)
+        assert shares[2] == pytest.approx(0.125, abs=0.02)
+
+    def test_default_sizes_are_unit(self, small_network, rng):
+        workload = generate_workload(small_network, 10, 100, 1.0, rng)
+        assert np.array_equal(workload.sizes, unit_sizes(10))
+
+    def test_spatial_skew_changes_objects_only(self, small_network):
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        flat = generate_workload(small_network, 200, 3000, 1.0, rng_a,
+                                 spatial_skew=0.0)
+        skewed = generate_workload(small_network, 200, 3000, 1.0, rng_b,
+                                   spatial_skew=0.9)
+        assert np.array_equal(flat.pops, skewed.pops)
+        assert not np.array_equal(flat.objects, skewed.objects)
+
+    def test_zero_requests(self, small_network, rng):
+        workload = generate_workload(small_network, 10, 0, 1.0, rng)
+        assert workload.num_requests == 0
+
+    def test_deterministic_given_seed(self, small_network):
+        a = generate_workload(small_network, 50, 500, 1.0,
+                              np.random.default_rng(3))
+        b = generate_workload(small_network, 50, 500, 1.0,
+                              np.random.default_rng(3))
+        assert np.array_equal(a.objects, b.objects)
+        assert np.array_equal(a.origins, b.origins)
+
+
+class TestOrigins:
+    def test_proportional_assignment_tracks_population(self, small_network, rng):
+        origins = assign_origins(small_network, 50_000, rng)
+        shares = np.bincount(origins, minlength=4) / 50_000
+        assert shares[0] == pytest.approx(0.5, abs=0.02)
+
+    def test_uniform_assignment(self, small_network, rng):
+        origins = assign_origins(small_network, 40_000, rng, mode="uniform")
+        shares = np.bincount(origins, minlength=4) / 40_000
+        assert np.allclose(shares, 0.25, atol=0.02)
+
+    def test_unknown_mode_rejected(self, small_network, rng):
+        with pytest.raises(ValueError):
+            assign_origins(small_network, 10, rng, mode="hash")
+
+
+class TestTraceDriven:
+    def test_wraps_object_sequence_verbatim(self, small_network, rng):
+        objects = np.array([0, 1, 2, 1, 0], dtype=np.int64)
+        workload = workload_from_objects(small_network, objects, 3, rng)
+        assert np.array_equal(workload.objects, objects)
+        assert workload.num_objects == 3
+        assert workload.num_requests == 5
+
+    def test_out_of_range_ids_rejected(self, small_network, rng):
+        with pytest.raises(ValueError):
+            workload_from_objects(
+                small_network, np.array([0, 5]), 3, rng
+            )

@@ -1,0 +1,56 @@
+"""Tests for object-size models."""
+
+import numpy as np
+import pytest
+
+from repro.workload import lognormal_sizes, normalized_sizes, unit_sizes
+
+
+class TestUnitSizes:
+    def test_all_ones(self):
+        sizes = unit_sizes(10)
+        assert np.array_equal(sizes, np.ones(10))
+
+    def test_empty(self):
+        assert unit_sizes(0).size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            unit_sizes(-1)
+
+
+class TestLognormalSizes:
+    def test_positive_and_heavy_tailed(self, rng):
+        sizes = lognormal_sizes(50_000, rng)
+        assert (sizes > 0).all()
+        # Heavy tail: the mean far exceeds the median.
+        assert sizes.mean() > 2 * np.median(sizes)
+
+    def test_median_parameter_respected(self, rng):
+        sizes = lognormal_sizes(100_000, rng, median=500.0, sigma=1.0)
+        assert np.median(sizes) == pytest.approx(500.0, rel=0.05)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            lognormal_sizes(10, rng, median=0)
+        with pytest.raises(ValueError):
+            lognormal_sizes(10, rng, sigma=-1)
+        with pytest.raises(ValueError):
+            lognormal_sizes(-1, rng)
+
+
+class TestNormalizedSizes:
+    def test_mean_is_one(self, rng):
+        sizes = normalized_sizes(lognormal_sizes(10_000, rng))
+        assert sizes.mean() == pytest.approx(1.0)
+
+    def test_relative_spread_preserved(self, rng):
+        raw = lognormal_sizes(1000, rng)
+        normalized = normalized_sizes(raw)
+        assert normalized.max() / normalized.min() == pytest.approx(
+            raw.max() / raw.min()
+        )
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_sizes(np.zeros(5))

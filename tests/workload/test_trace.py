@@ -1,0 +1,95 @@
+"""Tests for the CDN log format."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    TraceRecord,
+    anonymize,
+    object_ids_by_popularity,
+    read_trace,
+    write_trace,
+)
+
+
+def record(url="u1", ts=1.0, client="c1", size=100, local=False):
+    return TraceRecord(
+        timestamp=ts, client=client, url=url, size=size, served_locally=local
+    )
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        original = record(local=True)
+        parsed = TraceRecord.from_line(original.to_line())
+        assert parsed == original
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord.from_line("only\ttwo")
+
+    def test_bad_number_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord.from_line("x\tc\tu\tnotanint\t0")
+
+
+class TestFileIo:
+    def test_write_then_read(self, tmp_path):
+        records = [record(url=f"u{i}", ts=float(i)) for i in range(10)]
+        path = tmp_path / "trace.tsv"
+        written = write_trace(path, records)
+        assert written == 10
+        loaded = list(read_trace(path))
+        assert loaded == records
+
+    def test_reader_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "trace.tsv"
+        path.write_text(
+            "# header\n\n" + record().to_line() + "\n\n# trailing\n"
+        )
+        assert len(list(read_trace(path))) == 1
+
+    def test_reader_is_lazy(self, tmp_path):
+        path = tmp_path / "trace.tsv"
+        write_trace(path, [record()])
+        iterator = read_trace(path)
+        assert next(iter(iterator)) == record()
+
+
+class TestAnonymize:
+    def test_deterministic(self):
+        assert anonymize("10.1.2.3") == anonymize("10.1.2.3")
+
+    def test_salt_changes_output(self):
+        assert anonymize("x", salt="a") != anonymize("x", salt="b")
+
+    def test_fixed_length_hex(self):
+        token = anonymize("anything at all")
+        assert len(token) == 16
+        int(token, 16)  # must be hex
+
+
+class TestObjectIds:
+    def test_ids_are_popularity_ranks(self):
+        records = (
+            [record(url="popular")] * 5
+            + [record(url="mid", size=7)] * 3
+            + [record(url="rare")]
+        )
+        objects, url_to_id, sizes = object_ids_by_popularity(records)
+        assert url_to_id["popular"] == 0
+        assert url_to_id["mid"] == 1
+        assert url_to_id["rare"] == 2
+        assert objects.tolist() == [0] * 5 + [1] * 3 + [2]
+        assert sizes[1] == 7
+
+    def test_empty_trace(self):
+        objects, url_to_id, sizes = object_ids_by_popularity([])
+        assert objects.size == 0
+        assert url_to_id == {}
+        assert sizes.size == 0
+
+    def test_counts_preserved(self):
+        records = [record(url=f"u{i % 4}") for i in range(40)]
+        objects, _, _ = object_ids_by_popularity(records)
+        assert np.bincount(objects).tolist() == [10, 10, 10, 10]

@@ -1,0 +1,111 @@
+"""Tests for the truncated Zipf distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import ZipfDistribution
+
+
+class TestProbabilities:
+    def test_sum_to_one(self):
+        zipf = ZipfDistribution(alpha=1.0, num_objects=100)
+        assert zipf.probabilities.sum() == pytest.approx(1.0)
+
+    def test_monotone_nonincreasing(self):
+        zipf = ZipfDistribution(alpha=0.8, num_objects=50)
+        probs = zipf.probabilities
+        assert np.all(np.diff(probs) <= 1e-15)
+
+    def test_alpha_zero_is_uniform(self):
+        zipf = ZipfDistribution(alpha=0.0, num_objects=10)
+        assert np.allclose(zipf.probabilities, 0.1)
+
+    def test_pmf_ratio_follows_power_law(self):
+        zipf = ZipfDistribution(alpha=2.0, num_objects=10)
+        assert zipf.pmf(0) / zipf.pmf(1) == pytest.approx(4.0)
+
+    def test_pmf_out_of_range(self):
+        zipf = ZipfDistribution(alpha=1.0, num_objects=5)
+        with pytest.raises(ValueError):
+            zipf.pmf(5)
+        with pytest.raises(ValueError):
+            zipf.pmf(-1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfDistribution(alpha=-1.0, num_objects=10)
+        with pytest.raises(ValueError):
+            ZipfDistribution(alpha=1.0, num_objects=0)
+
+
+class TestHeadMass:
+    def test_full_head_is_one(self):
+        zipf = ZipfDistribution(alpha=1.0, num_objects=20)
+        assert zipf.head_mass(20) == pytest.approx(1.0)
+        assert zipf.head_mass(100) == pytest.approx(1.0)
+
+    def test_zero_head_is_zero(self):
+        zipf = ZipfDistribution(alpha=1.0, num_objects=20)
+        assert zipf.head_mass(0) == 0.0
+
+    def test_higher_alpha_concentrates_mass(self):
+        low = ZipfDistribution(alpha=0.6, num_objects=1000)
+        high = ZipfDistribution(alpha=1.4, num_objects=1000)
+        assert high.head_mass(50) > low.head_mass(50)
+
+
+class TestSampling:
+    def test_sample_shape_and_range(self, rng):
+        zipf = ZipfDistribution(alpha=1.0, num_objects=100)
+        sample = zipf.sample(rng, 10_000)
+        assert sample.shape == (10_000,)
+        assert sample.min() >= 0
+        assert sample.max() < 100
+
+    def test_empirical_frequencies_match_pmf(self, rng):
+        zipf = ZipfDistribution(alpha=1.0, num_objects=50)
+        sample = zipf.sample(rng, 200_000)
+        counts = np.bincount(sample, minlength=50)
+        empirical = counts / counts.sum()
+        assert np.abs(empirical[:5] - zipf.probabilities[:5]).max() < 0.01
+
+    def test_zero_size_sample(self, rng):
+        zipf = ZipfDistribution(alpha=1.0, num_objects=10)
+        assert zipf.sample(rng, 0).shape == (0,)
+
+    def test_negative_size_rejected(self, rng):
+        zipf = ZipfDistribution(alpha=1.0, num_objects=10)
+        with pytest.raises(ValueError):
+            zipf.sample(rng, -1)
+
+    def test_deterministic_given_seed(self):
+        zipf = ZipfDistribution(alpha=1.0, num_objects=100)
+        a = zipf.sample(np.random.default_rng(1), 100)
+        b = zipf.sample(np.random.default_rng(1), 100)
+        assert np.array_equal(a, b)
+
+
+class TestExpectedUnique:
+    def test_bounds(self):
+        zipf = ZipfDistribution(alpha=1.0, num_objects=100)
+        assert 0 < zipf.expected_unique(10) <= 10
+        assert zipf.expected_unique(100_000) <= 100
+
+    def test_grows_with_requests(self):
+        zipf = ZipfDistribution(alpha=1.0, num_objects=100)
+        assert zipf.expected_unique(1000) > zipf.expected_unique(100)
+
+
+@settings(max_examples=30)
+@given(
+    alpha=st.floats(min_value=0.0, max_value=2.5),
+    n=st.integers(min_value=1, max_value=500),
+)
+def test_pmf_is_a_distribution(alpha, n):
+    zipf = ZipfDistribution(alpha=alpha, num_objects=n)
+    probs = zipf.probabilities
+    assert probs.sum() == pytest.approx(1.0)
+    assert (probs > 0).all()
+    assert np.all(np.diff(probs) <= 1e-12)
