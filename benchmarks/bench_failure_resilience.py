@@ -1,0 +1,98 @@
+"""Section 7 discussion: resilience to cache-node failures.
+
+The paper argues an incrementally deployable edge-cache design keeps
+"most of the gain" of pervasive ICN; here we stress that claim under
+infrastructure failures.  A seeded fraction of each architecture's
+cache nodes is crashed (they hold no cache, serve nothing, and take no
+copies — requests route around them), and we measure how hit ratio and
+origin load degrade at 0%, 10%, and 30% failures for EDGE vs ICN-NR.
+
+Origins never fail (the always-available origin model), so every
+request is eventually served; the ``fallback`` column reports how many
+measured requests had to skip at least one dead cache on the way.
+"""
+
+import numpy as np
+
+from conftest import emit, leaf_scaled_config
+from repro.analysis import format_table
+from repro.cache.budget import node_budgets
+from repro.core import EDGE, ICN_NR, Simulator
+from repro.core.experiment import build_network, build_workload
+
+FAILURE_FRACTIONS = (0.0, 0.1, 0.3)
+
+
+def _failed_nodes(network, arch, fraction, seed):
+    """A seeded sample of ``fraction`` of the architecture's cache gids."""
+    tree_size = network.tree_size
+    gids = np.array(
+        [
+            pop * tree_size + local
+            for pop in range(network.num_pops)
+            for local in arch.cache_locals(network.tree)
+        ]
+    )
+    count = int(len(gids) * fraction)
+    if count == 0:
+        return frozenset()
+    rng = np.random.default_rng(seed)
+    return frozenset(int(g) for g in rng.choice(gids, size=count, replace=False))
+
+
+def test_failure_resilience_degradation(once):
+    def run():
+        config = leaf_scaled_config("abilene", per_leaf=150,
+                                    budget_split="uniform")
+        network = build_network(config)
+        workload = build_workload(config, network)
+        budgets = node_budgets(network, config.budget_fraction,
+                               config.num_objects, config.budget_split)
+        rows = []
+        for arch in (EDGE, ICN_NR):
+            for fraction in FAILURE_FRACTIONS:
+                failed = _failed_nodes(
+                    network, arch, fraction,
+                    seed=config.seed + int(fraction * 100),
+                )
+                simulator = Simulator(
+                    network, arch, workload, budgets,
+                    warmup_fraction=config.warmup_fraction,
+                    failed_nodes=failed,
+                )
+                result = simulator.run()
+                rows.append(
+                    [
+                        arch.name,
+                        100.0 * fraction,
+                        100.0 * result.cache_hit_ratio,
+                        result.total_origin_load,
+                        100.0 * result.fallback_ratio,
+                        100.0 * result.availability,
+                    ]
+                )
+        return rows
+
+    rows = once(run)
+    emit(
+        "failure_resilience",
+        format_table(
+            ["architecture", "failed caches %", "hit ratio %",
+             "origin requests", "fallback %", "availability %"],
+            rows,
+            title="Section 7: hit-ratio and origin-load degradation as "
+                  "cache nodes fail (origins never fail; requests route "
+                  "around dead caches)",
+        ),
+    )
+    by_key = {(row[0], row[1]): row for row in rows}
+    for arch in (EDGE, ICN_NR):
+        healthy = by_key[(arch.name, 0.0)]
+        worst = by_key[(arch.name, 30.0)]
+        # A healthy network records no fallbacks...
+        assert healthy[4] == 0.0, arch.name
+        # ...failures do get routed around (some requests fall back)...
+        assert worst[4] > 0.0, arch.name
+        # ...and degradation is monotone in the expected direction.
+        assert worst[2] <= healthy[2], arch.name
+        assert worst[3] >= healthy[3], arch.name

@@ -46,6 +46,7 @@ class Simulator:
         warmup_fraction: float = 0.0,
         preload: dict[int, list[int]] | None = None,
         frozen_caches: bool = False,
+        failed_nodes: frozenset[int] | set[int] | tuple[int, ...] = (),
     ):
         """See the module docstring for the simulation semantics.
 
@@ -54,11 +55,22 @@ class Simulator:
         no insertions, turning the run into a *static placement*
         evaluation (used by the LRU-vs-optimal ablation — Section 3's
         "the LRU policy performs near-optimally").
+
+        ``failed_nodes`` marks cache nodes as crashed: they get no cache,
+        never serve, take no response-path copies, and routing walks past
+        them; requests that skip a failed node are reported via the
+        ``fallback_served`` counter (availability accounting).  Origins
+        are never failed — the origin store at a failed root still
+        answers, matching the paper's always-available origin model.
         """
         if len(budgets) != network.num_nodes:
             raise ValueError("budgets must have one entry per network node")
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
+        self._failed = frozenset(int(n) for n in failed_nodes)
+        for node in self._failed:
+            if not 0 <= node < network.num_nodes:
+                raise ValueError(f"failed node {node} outside the network")
         self.network = network
         self.architecture = architecture
         self.workload = workload
@@ -75,6 +87,8 @@ class Simulator:
             base = pop * self._tree_size
             for local in cache_locals:
                 node = base + local
+                if node in self._failed:
+                    continue  # a crashed node carries no cache
                 if architecture.infinite:
                     self.caches[node] = InfiniteCache()
                 else:
@@ -82,7 +96,7 @@ class Simulator:
                         policy, budgets[node] * multiplier
                     )
         self.directory = (
-            ReplicaDirectory(network)
+            ReplicaDirectory(network, failed_nodes=self._failed)
             if architecture.routing == "nr-global"
             else None
         )
@@ -140,18 +154,21 @@ class Simulator:
         insert_probability = self.architecture.insertion_probability
         insert_rng = np.random.default_rng(0xC0FFEE)
 
+        failed = self._failed
         for i in range(num_requests):
             pop = int(pops[i])
             leaf_local = int(leaves[i])
             obj = int(objects[i])
             origin_pop = int(origins[obj])
-            serving, served_origin_pop, coop = route(
+            serving, served_origin_pop, coop, fallback = route(
                 pop, leaf_local, obj, origin_pop, i
             )
             leaf_gid = pop * tree_size + leaf_local
             if i >= first_measured:
                 if serving == leaf_gid:
-                    collector.record(0.0, [], sizes[obj], served_origin_pop, coop)
+                    collector.record(
+                        0.0, [], sizes[obj], served_origin_pop, coop, fallback
+                    )
                 else:
                     collector.record(
                         path_cost(serving, leaf_gid, costs),
@@ -159,25 +176,33 @@ class Simulator:
                         sizes[obj],
                         served_origin_pop,
                         coop,
+                        fallback,
                     )
             if serving != leaf_gid and not self.frozen_caches:
                 size = sizes[obj]
                 if insertion == "everywhere":
                     for node in path_nodes(serving, leaf_gid)[1:]:
-                        if node % tree_size in cache_local_set:
+                        if (
+                            node % tree_size in cache_local_set
+                            and node not in failed
+                        ):
                             insert(node, obj, size)
                 elif insertion == "lcd":
                     # Leave-copy-down: only the first cache below the
                     # serving node takes a copy, so popular objects
                     # migrate toward the edge one level per request.
                     for node in path_nodes(serving, leaf_gid)[1:]:
-                        if node % tree_size in cache_local_set:
+                        if (
+                            node % tree_size in cache_local_set
+                            and node not in failed
+                        ):
                             insert(node, obj, size)
                             break
                 else:  # probabilistic
                     for node in path_nodes(serving, leaf_gid)[1:]:
                         if (
                             node % tree_size in cache_local_set
+                            and node not in failed
                             and insert_rng.random() < insert_probability
                         ):
                             insert(node, obj, size)
@@ -188,29 +213,36 @@ class Simulator:
     # ------------------------------------------------------------------
     def _route_sp(
         self, pop: int, leaf_local: int, obj: int, origin_pop: int, i: int
-    ) -> tuple[int, int | None, bool]:
+    ) -> tuple[int, int | None, bool, bool]:
         """Shortest path toward the origin; first cache on the path serves."""
         tree_size = self._tree_size
         caches = self.caches
         cache_local_set = self._cache_local_set
         capacity = self._capacity
         cooperation = self.architecture.cooperation
+        failed = self._failed
+        fallback = False
         base = pop * tree_size
         for local in self._chains[leaf_local]:
             if local == 0 and origin_pop == pop:
                 break  # reached the origin store
             if local in cache_local_set:
                 node = base + local
+                if node in failed:
+                    fallback = True  # walk past the dead cache
+                    continue
                 if caches[node].lookup(obj):
                     if capacity is None or capacity.try_serve(node, i):
-                        return node, None, False
+                        return node, None, False, fallback
                 elif cooperation:
                     for sibling_local in self._coop_siblings[local]:
                         sibling = base + sibling_local
+                        if sibling in failed:
+                            continue
                         if caches[sibling].lookup(obj) and (
                             capacity is None or capacity.try_serve(sibling, i)
                         ):
-                            return sibling, None, True
+                            return sibling, None, True, fallback
         if origin_pop != pop:
             root_cached = 0 in cache_local_set
             for transit_pop in self.network.core_path(pop, origin_pop)[1:]:
@@ -218,14 +250,17 @@ class Simulator:
                     break
                 if root_cached:
                     node = transit_pop * tree_size
+                    if node in failed:
+                        fallback = True
+                        continue
                     if caches[node].lookup(obj) and (
                         capacity is None or capacity.try_serve(node, i)
                     ):
-                        return node, None, False
+                        return node, None, False, fallback
         origin_root = origin_pop * tree_size
         if capacity is not None:
             capacity.force_serve(origin_root, i)
-        return origin_root, origin_pop, False
+        return origin_root, origin_pop, False, fallback
 
     def _build_nr_scope_order(self) -> tuple[tuple[tuple[int, int], ...], ...]:
         """Distance-ordered scoped-NR candidates per tree-local leaf.
@@ -253,17 +288,20 @@ class Simulator:
 
     def _route_nr_scoped(
         self, pop: int, leaf_local: int, obj: int, origin_pop: int, i: int
-    ) -> tuple[int, int | None, bool]:
+    ) -> tuple[int, int | None, bool, bool]:
         """Nearest replica within the request path's scope.
 
         Candidates are the path nodes and their siblings, visited in
         exact distance order, then transit PoP roots along the core
         path; the origin serves when no scoped replica is closer.
+        Failed candidates are skipped (and flagged as fallbacks).
         """
         tree_size = self._tree_size
         caches = self.caches
         cache_local_set = self._cache_local_set
         capacity = self._capacity
+        failed = self._failed
+        fallback = False
         base = pop * tree_size
         own_origin = origin_pop == pop
         origin_tree_dist = self.network.tree.depth_of(leaf_local)
@@ -272,28 +310,39 @@ class Simulator:
                 break  # the origin store (at the root) is at least as close
             if local in cache_local_set:
                 node = base + local
+                if node in failed:
+                    fallback = True
+                    continue
                 if caches[node].lookup(obj) and (
                     capacity is None or capacity.try_serve(node, i)
                 ):
-                    return node, None, False
+                    return node, None, False, fallback
         if not own_origin and 0 in cache_local_set:
             for transit_pop in self.network.core_path(pop, origin_pop)[1:]:
                 if transit_pop == origin_pop:
                     break
                 node = transit_pop * tree_size
+                if node in failed:
+                    fallback = True
+                    continue
                 if caches[node].lookup(obj) and (
                     capacity is None or capacity.try_serve(node, i)
                 ):
-                    return node, None, False
+                    return node, None, False, fallback
         origin_root = origin_pop * tree_size
         if capacity is not None:
             capacity.force_serve(origin_root, i)
-        return origin_root, origin_pop, False
+        return origin_root, origin_pop, False, fallback
 
     def _route_nr_global(
         self, pop: int, leaf_local: int, obj: int, origin_pop: int, i: int
-    ) -> tuple[int, int | None, bool]:
-        """Nearest-replica oracle over every cache; falls back to the origin."""
+    ) -> tuple[int, int | None, bool, bool]:
+        """Nearest-replica oracle over every cache; falls back to the origin.
+
+        The directory never records replicas at failed nodes, so the
+        oracle routes around failures implicitly; no fallback flag is
+        raised because no dead candidate is ever offered and skipped.
+        """
         tree_size = self._tree_size
         leaf_gid = pop * tree_size + leaf_local
         origin_root = origin_pop * tree_size
@@ -306,10 +355,10 @@ class Simulator:
                 self.caches[node].lookup(obj)
                 capacity = self._capacity
                 if capacity is None or capacity.try_serve(node, i):
-                    return node, None, False
+                    return node, None, False, False
         if self._capacity is not None:
             self._capacity.force_serve(origin_root, i)
-        return origin_root, origin_pop, False
+        return origin_root, origin_pop, False, False
 
     # ------------------------------------------------------------------
     # Cache insertion

@@ -38,6 +38,9 @@ class SimulationResult:
     coop_served: int
     link_transfers: np.ndarray
     origin_serves: np.ndarray
+    #: Measured requests that had to route around at least one failed
+    #: cache node (0 in a healthy network).
+    fallback_served: int = 0
 
     @property
     def mean_latency(self) -> float:
@@ -50,6 +53,23 @@ class SimulationResult:
         if not self.num_requests:
             return 0.0
         return (self.cache_served + self.coop_served) / self.num_requests
+
+    @property
+    def fallback_ratio(self) -> float:
+        """Fraction of measured requests that routed around a failed node."""
+        if not self.num_requests:
+            return 0.0
+        return self.fallback_served / self.num_requests
+
+    @property
+    def availability(self) -> float:
+        """Fraction of measured requests untouched by cache failures.
+
+        Origins always answer, so every request is *served*; this
+        reports how many were served without having to skip a failed
+        cache node (1.0 in a healthy network).
+        """
+        return 1.0 - self.fallback_ratio
 
 
 @dataclass(frozen=True)
@@ -118,6 +138,7 @@ class MetricsCollector:
         self.total_latency = 0.0
         self.cache_served = 0
         self.coop_served = 0
+        self.fallback_served = 0
         self.link_transfers = np.zeros(num_links, dtype=np.float64)
         self.origin_serves = np.zeros(num_pops, dtype=np.float64)
 
@@ -128,16 +149,21 @@ class MetricsCollector:
         size: float,
         origin_pop: int | None,
         coop: bool,
+        fallback: bool = False,
     ) -> None:
         """Record one measured request.
 
         ``origin_pop`` is the serving origin (None for cache hits);
-        ``coop`` marks requests served via scoped sibling cooperation.
+        ``coop`` marks requests served via scoped sibling cooperation;
+        ``fallback`` marks requests that routed around a failed cache
+        node before being served.
         """
         self.num_requests += 1
         self.total_latency += latency
         for link in links:
             self.link_transfers[link] += size
+        if fallback:
+            self.fallback_served += 1
         if origin_pop is None:
             if coop:
                 self.coop_served += 1
@@ -160,4 +186,5 @@ class MetricsCollector:
             coop_served=self.coop_served,
             link_transfers=self.link_transfers.copy(),
             origin_serves=self.origin_serves.copy(),
+            fallback_served=self.fallback_served,
         )

@@ -18,10 +18,16 @@ from ..topology.network import Network
 
 
 class ReplicaDirectory:
-    """Exact, zero-cost index of which nodes currently cache each object."""
+    """Exact, zero-cost index of which nodes currently cache each object.
 
-    def __init__(self, network: Network):
+    ``failed_nodes`` marks caches that are down: the directory refuses
+    to record replicas there, so nearest-replica answers always route
+    around failures.
+    """
+
+    def __init__(self, network: Network, failed_nodes: frozenset[int] = frozenset()):
         self._network = network
+        self._failed = frozenset(failed_nodes)
         self._tree = network.tree
         self._tree_size = network.tree_size
         self._depth = network.tree._depth_of  # depth by tree-local index
@@ -36,7 +42,9 @@ class ReplicaDirectory:
         self._core_dist = dist
 
     def add(self, obj: int, node: int) -> None:
-        """Record that ``node`` now caches ``obj``."""
+        """Record that ``node`` now caches ``obj`` (failed nodes ignored)."""
+        if node in self._failed:
+            return
         pop, local = divmod(node, self._tree_size)
         self._holders.setdefault(obj, {}).setdefault(pop, set()).add(local)
 

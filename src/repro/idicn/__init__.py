@@ -12,7 +12,8 @@ from .client import Browser, VerificationError
 from .crypto import KeyPair, PublicKey, generate_keypair, sha256_hex, sign, verify
 from .deployment import ClientDomain, Deployment, Provider, build_deployment
 from .dns import DnsClient, DnsQuery, DnsServer, DnsUpdate
-from .http import HttpRequest, HttpResponse
+from .faults import FaultEvent, FaultPlane, Outage
+from .http import STALE_WARNING, HttpRequest, HttpResponse, is_stale, mark_stale
 from .metalink import METALINK_HEADER, Metalink, build_metalink, verify_metalink
 from .mobility import DownloadResult, MobileServer, ResumingDownloader
 from .names import (
@@ -34,6 +35,7 @@ from .resolution import (
     ResolveRequest,
     make_registration,
 )
+from .retry import Retrier, RetryPolicy
 from .reverse_proxy import ReverseProxy
 from .simnet import (
     ARP_PORT,
@@ -42,8 +44,11 @@ from .simnet import (
     MDNS_PORT,
     RESOLVER_PORT,
     AddressInUseError,
+    DroppedMessageError,
     Host,
     HostDownError,
+    InjectedCallError,
+    InjectedFaultError,
     NoRouteError,
     NoServiceError,
     SimNet,
@@ -59,6 +64,7 @@ from .wpad import (
     discover_pac_url,
     fetch_pac,
     proxy_address,
+    proxy_candidates,
 )
 from .zeroconf import (
     LINK_LOCAL_PREFIX,
@@ -83,8 +89,11 @@ __all__ = [
     "DnsServer",
     "DnsUpdate",
     "DownloadResult",
+    "DroppedMessageError",
     "EdgeProxy",
     "FINGERPRINT_CHARS",
+    "FaultEvent",
+    "FaultPlane",
     "HTTP_PORT",
     "Host",
     "HostDownError",
@@ -92,6 +101,8 @@ __all__ = [
     "HttpResponse",
     "IDICN_SUFFIX",
     "IcnName",
+    "InjectedCallError",
+    "InjectedFaultError",
     "KeyPair",
     "LINK_LOCAL_PREFIX",
     "MDNS_PORT",
@@ -103,6 +114,7 @@ __all__ = [
     "NoRouteError",
     "NoServiceError",
     "OriginServer",
+    "Outage",
     "PacFile",
     "PacRule",
     "Provider",
@@ -112,7 +124,10 @@ __all__ = [
     "ResolutionClient",
     "ResolveRequest",
     "ResumingDownloader",
+    "Retrier",
+    "RetryPolicy",
     "ReverseProxy",
+    "STALE_WARNING",
     "SimNet",
     "SimNetError",
     "Subnet",
@@ -126,14 +141,17 @@ __all__ = [
     "generate_keypair",
     "is_idicn_domain",
     "is_link_local",
+    "is_stale",
     "join_adhoc_network",
     "make_name",
     "make_registration",
+    "mark_stale",
     "mdns_resolve",
     "name_matches_key",
     "parse_domain",
     "principal_of",
     "proxy_address",
+    "proxy_candidates",
     "sha256_hex",
     "sign",
     "verify",

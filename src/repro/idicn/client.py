@@ -19,8 +19,9 @@ from .dns import DnsClient
 from .metalink import METALINK_HEADER, Metalink, verify_metalink
 from .names import parse_domain, name_matches_key
 from .crypto import PublicKey
+from .retry import Retrier, RetryPolicy
 from .simnet import HTTP_PORT, Host, SimNetError
-from .wpad import PacFile, autodiscover, proxy_address
+from .wpad import PacFile, autodiscover, proxy_address, proxy_candidates
 
 
 class VerificationError(Exception):
@@ -37,6 +38,7 @@ class Browser:
         dns: DnsClient | None = None,
         verify_content: bool = False,
         cache_capacity: int = 256,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.host = host
         self.subnet = subnet
@@ -47,6 +49,14 @@ class Browser:
         self._cache = LRUCache(capacity=cache_capacity)
         self._store: dict[str, tuple[str, bytes, str | None]] = {}
         self.requests_made = 0
+        self._retrier = Retrier(retry_policy)
+        #: Candidates abandoned for the next PAC entry (proxy failover).
+        self.failovers = 0
+
+    @property
+    def retries(self) -> int:
+        """Network-call retries this browser performed (0 when healthy)."""
+        return self._retrier.retries
 
     # ------------------------------------------------------------------
     # Configuration (step 1)
@@ -63,6 +73,18 @@ class Browser:
         host, _ = http.split_url(url)
         return proxy_address(self.pac.find_proxy_for_url(url, host))
 
+    def proxy_plan(self, url: str) -> tuple[str | None, ...]:
+        """The full PAC failover list for ``url`` (``None`` = DIRECT).
+
+        Without a PAC the plan is a single DIRECT entry; with one, every
+        ``PROXY``/``DIRECT`` entry of the matched decision, in order —
+        the browser walks this list when candidates are unreachable.
+        """
+        if self.pac is None:
+            return (None,)
+        host, _ = http.split_url(url)
+        return proxy_candidates(self.pac.find_proxy_for_url(url, host))
+
     # ------------------------------------------------------------------
     # Fetching (steps 2 and 7)
     # ------------------------------------------------------------------
@@ -72,14 +94,30 @@ class Browser:
         target_host, _ = http.split_url(url)
         request = http.HttpRequest("GET", url, headers=headers or {})
         request = self._attach_cookies(request, target_host)
-        proxy = self.proxy_for(url)
-        if proxy is not None:
-            response = self._call(proxy, request)
+        response: http.HttpResponse | None = None
+        for candidate in self.proxy_plan(url):
+            if candidate is None:
+                address = self._resolve(target_host)
+                if address is None:
+                    response = http.bad_gateway(f"cannot resolve {target_host!r}")
+                    self.failovers += 1
+                    continue
+            else:
+                address = candidate
+            try:
+                response = self._call(address, request)
+            except SimNetError as exc:
+                # Candidate unreachable even after retries: fail over to
+                # the next PAC entry (PROXY b, then DIRECT).
+                response = http.bad_gateway(str(exc))
+                self.failovers += 1
+                continue
+            break
         else:
-            address = self._resolve(target_host)
-            if address is None:
-                return http.bad_gateway(f"cannot resolve {target_host!r}")
-            response = self._call(address, request)
+            # Every candidate failed; don't count the final one as a
+            # failover — there was nothing left to fail over to.
+            self.failovers -= 1
+        assert response is not None
         self._collect_cookies(response, target_host)
         if response.ok:
             self._verify(url, response)
@@ -106,10 +144,8 @@ class Browser:
     # Internals
     # ------------------------------------------------------------------
     def _call(self, address: str, request: http.HttpRequest) -> http.HttpResponse:
-        try:
-            return self.host.call(address, HTTP_PORT, request)
-        except SimNetError as exc:
-            return http.bad_gateway(str(exc))
+        """One HTTP exchange under the retry policy; raises on failure."""
+        return self._retrier.call(self.host, address, HTTP_PORT, request)
 
     def _resolve(self, domain: str) -> str | None:
         if self.dns is not None:

@@ -17,6 +17,7 @@ from .dns import DnsClient, DnsServer
 from .origin import OriginServer
 from .proxy import EdgeProxy
 from .resolution import NameResolutionSystem, ResolutionClient
+from .retry import RetryPolicy
 from .reverse_proxy import ReverseProxy
 from .simnet import HTTP_PORT, Host, SimNet
 from .wpad import DHCP_PAC_OPTION
@@ -38,11 +39,17 @@ class Provider:
 
 @dataclass
 class ClientDomain:
-    """One administrative domain: edge proxy, PAC server, browsers."""
+    """One administrative domain: edge proxies, PAC server, browsers.
+
+    ``proxy`` is the primary; ``proxies`` lists every proxy in the AD in
+    PAC failover order (length 1 unless the deployment was built with
+    ``proxies_per_domain > 1``).
+    """
 
     name: str
     subnet: str
     proxy: EdgeProxy
+    proxies: list[EdgeProxy] = field(default_factory=list)
     browsers: list[Browser] = field(default_factory=list)
 
 
@@ -55,6 +62,7 @@ class Deployment:
     resolver: NameResolutionSystem
     providers: list[Provider] = field(default_factory=list)
     domains: list[ClientDomain] = field(default_factory=list)
+    retry_policy: RetryPolicy | None = None
 
     @property
     def backbone(self) -> str:
@@ -63,14 +71,26 @@ class Deployment:
 
     def dns_client(self, host: Host) -> DnsClient:
         """A resolver stub pointed at the deployment's DNS server."""
-        return DnsClient(host, server_address=self.dns_server.host.address_on(
-            self.backbone))
+        return DnsClient(
+            host,
+            server_address=self.dns_server.host.address_on(self.backbone),
+            retry_policy=self.retry_policy,
+        )
 
 
-def _pac_body(proxy_addr: str) -> str:
+def _pac_body(proxy_addrs: list[str]) -> str:
+    """The AD's PAC file; multiple proxies become a failover chain.
+
+    With one proxy the decisions match the paper's minimal setup; with
+    more, browsers get the classic ``PROXY a; PROXY b; DIRECT`` list and
+    walk it when a proxy is unreachable.
+    """
+    chain = "; ".join(f"PROXY {addr}:80" for addr in proxy_addrs)
+    if len(proxy_addrs) > 1:
+        chain += "; DIRECT"
     return (
-        f"dnsDomainIs .idicn.org => PROXY {proxy_addr}:80\n"
-        f"shExpMatch http://* => PROXY {proxy_addr}:80\n"
+        f"dnsDomainIs .idicn.org => {chain}\n"
+        f"shExpMatch http://* => {chain}\n"
         "default => DIRECT\n"
     )
 
@@ -82,8 +102,17 @@ def build_deployment(
     key_bits: int = 256,
     key_seed: int = 7,
     verify_at_client: bool = False,
+    proxies_per_domain: int = 1,
+    retry_policy: RetryPolicy | None = None,
 ) -> Deployment:
-    """Build the standard single-provider deployment of Figure 11."""
+    """Build the standard single-provider deployment of Figure 11.
+
+    ``proxies_per_domain`` places extra edge proxies per AD (PAC
+    failover chain ending in DIRECT); ``retry_policy`` arms every
+    component (browsers, proxies, resolver stubs, reverse proxy) with
+    the same retry/backoff behaviour — ``None`` keeps the historical
+    single-attempt semantics.
+    """
     net = SimNet()
     net.create_subnet("backbone", "10.0.0")
 
@@ -101,8 +130,10 @@ def build_deployment(
         rp_host,
         origin_address=origin_host.address_on("backbone"),
         keypair=keypair,
-        resolver=ResolutionClient(rp_host, resolver_addr),
+        resolver=ResolutionClient(rp_host, resolver_addr,
+                                  retry_policy=retry_policy),
         dns_register=dns_server.add_record,
+        retry_policy=retry_policy,
     )
     deployment = Deployment(
         net=net,
@@ -110,23 +141,33 @@ def build_deployment(
         resolver=resolver,
         providers=[Provider(origin=origin, reverse_proxy=reverse_proxy,
                             keypair=keypair)],
+        retry_policy=retry_policy,
     )
 
     for index in range(num_domains):
         domain_name = f"ad{index}"
         subnet = f"ad{index}"
         net.create_subnet(subnet, f"10.{index + 1}.0")
-        proxy_host = net.create_host(f"{domain_name}-proxy", subnet)
-        # The proxy needs a backbone leg to reach resolver/reverse proxy.
-        net.attach(proxy_host, "backbone")
-        proxy = EdgeProxy(
-            proxy_host,
-            resolver=ResolutionClient(proxy_host, resolver_addr),
-            dns=deployment.dns_client(proxy_host),
-            capacity=proxy_capacity,
-        )
+        proxies: list[EdgeProxy] = []
+        for p in range(proxies_per_domain):
+            suffix = "" if p == 0 else f"-{p}"
+            proxy_host = net.create_host(f"{domain_name}-proxy{suffix}", subnet)
+            # Proxies need a backbone leg to reach resolver/reverse proxy.
+            net.attach(proxy_host, "backbone")
+            proxies.append(
+                EdgeProxy(
+                    proxy_host,
+                    resolver=ResolutionClient(proxy_host, resolver_addr,
+                                              retry_policy=retry_policy),
+                    dns=deployment.dns_client(proxy_host),
+                    capacity=proxy_capacity,
+                    retry_policy=retry_policy,
+                )
+            )
         pac_host = net.create_host(f"{domain_name}-pac", subnet)
-        pac_body = _pac_body(proxy_host.address_on(subnet)).encode()
+        pac_body = _pac_body(
+            [p.host.address_on(subnet) for p in proxies]
+        ).encode()
         pac_host.bind(
             HTTP_PORT,
             lambda h, src, req, body=pac_body: http.ok(body),
@@ -134,11 +175,17 @@ def build_deployment(
         net.subnets[subnet].dhcp_options[DHCP_PAC_OPTION] = (
             f"http://{pac_host.address_on(subnet)}/wpad.dat"
         )
-        client_domain = ClientDomain(name=domain_name, subnet=subnet, proxy=proxy)
+        client_domain = ClientDomain(
+            name=domain_name, subnet=subnet, proxy=proxies[0], proxies=proxies
+        )
         for b in range(browsers_per_domain):
             browser_host = net.create_host(f"{domain_name}-client{b}", subnet)
             browser = Browser(
-                browser_host, subnet, verify_content=verify_at_client
+                browser_host,
+                subnet,
+                dns=deployment.dns_client(browser_host),
+                verify_content=verify_at_client,
+                retry_policy=retry_policy,
             )
             browser.configure()
             client_domain.browsers.append(browser)

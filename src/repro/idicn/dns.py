@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .retry import Retrier, RetryPolicy
 from .simnet import DNS_PORT, MDNS_PORT, Host, SimNetError
 
 
@@ -82,17 +83,28 @@ class DnsClient:
         host: Host,
         server_address: str | None = None,
         mdns_subnet: str | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.host = host
         self.server_address = server_address
         self.mdns_subnet = mdns_subnet
+        self._retrier = Retrier(retry_policy)
+
+    @property
+    def retries(self) -> int:
+        """Server-query retries performed (0 when the network is healthy)."""
+        return self._retrier.retries
 
     def resolve(self, name: str) -> str | None:
-        """Resolve ``name`` to an address, or None."""
+        """Resolve ``name`` to an address, or None.
+
+        A configured server is retried under the retry policy; when it
+        stays unreachable the client degrades to the mDNS fallback.
+        """
         if self.server_address is not None:
             try:
-                answer = self.host.call(
-                    self.server_address, DNS_PORT, DnsQuery(name=name)
+                answer = self._retrier.call(
+                    self.host, self.server_address, DNS_PORT, DnsQuery(name=name)
                 )
             except SimNetError:
                 answer = None
@@ -113,7 +125,8 @@ class DnsClient:
             return False
         try:
             return bool(
-                self.host.call(
+                self._retrier.call(
+                    self.host,
                     self.server_address,
                     DNS_PORT,
                     DnsUpdate(name=name, address=address, token=token),

@@ -1,0 +1,187 @@
+"""Deterministic fault injection for the simulated network.
+
+The paper's incremental-deployment story (Section 6) leans on standard
+failover machinery — PAC proxy lists, Metalink mirror metadata, mDNS
+fallback — and Section 7 argues edge caching retains flood/failure
+resilience.  Exercising any of that requires failures richer than the
+binary ``set_online`` flag, so a :class:`FaultPlane` attaches to a
+:class:`repro.idicn.simnet.SimNet` and injects three hazard classes on
+the unicast delivery path:
+
+* **scheduled outages** — clock-driven crash/recovery windows per host
+  (``schedule_outage``), evaluated against ``SimNet.clock``;
+* **per-call probabilistic faults** — message drops (timeouts) and
+  explicit call errors, globally or per destination host;
+* **slow responses** — a call occasionally costs extra simulated time
+  (the clock advances) before being delivered.
+
+Everything is driven by one seeded PRNG and logged as a sequence of
+:class:`FaultEvent` records, so a given seed yields a byte-identical
+event sequence (``signature()``) across runs — the property the
+determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from .simnet import DroppedMessageError, Host, InjectedCallError, SimNet
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One scheduled crash window: down for ``start <= clock < end``."""
+
+    host: str
+    start: float
+    end: float
+
+    def covers(self, now: float) -> bool:
+        """Whether the host is inside this window at ``now``."""
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded in the deterministic event log."""
+
+    seq: int
+    clock: float
+    kind: str  # "drop" | "error" | "slow"
+    src: str
+    dst: str
+    port: int
+
+
+class FaultPlane:
+    """Seeded fault injector for one :class:`SimNet`.
+
+    Construct with the network (or attach later via
+    ``net.install_faults``), configure hazards, and run the scenario;
+    every injected fault is appended to :attr:`events`.
+    """
+
+    def __init__(self, net: SimNet | None = None, seed: int = 0):
+        self.net = net
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.drop_rate = 0.0
+        self.error_rate = 0.0
+        self.slow_rate = 0.0
+        self.slow_delay = 1.0
+        self._host_drop: dict[str, float] = {}
+        self._host_error: dict[str, float] = {}
+        self._outages: list[Outage] = []
+        self.events: list[FaultEvent] = []
+        self.drops = 0
+        self.errors = 0
+        self.slow_calls = 0
+        if net is not None:
+            net.install_faults(self)
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def set_drop_rate(self, rate: float, host: str | None = None) -> None:
+        """Probability a delivery is silently dropped (per-host overrides
+        the global rate for calls to that destination)."""
+        _check_rate(rate)
+        if host is None:
+            self.drop_rate = rate
+        else:
+            self._host_drop[host] = rate
+
+    def set_error_rate(self, rate: float, host: str | None = None) -> None:
+        """Probability a delivery fails with an explicit error."""
+        _check_rate(rate)
+        if host is None:
+            self.error_rate = rate
+        else:
+            self._host_error[host] = rate
+
+    def set_slow_rate(self, rate: float, delay: float = 1.0) -> None:
+        """Probability a delivery costs ``delay`` extra simulated seconds."""
+        _check_rate(rate)
+        if delay < 0:
+            raise ValueError("slow-call delay must be >= 0")
+        self.slow_rate = rate
+        self.slow_delay = delay
+
+    def schedule_outage(self, host: str, start: float, end: float) -> Outage:
+        """Crash ``host`` for clock in ``[start, end)``; returns the window."""
+        if end <= start:
+            raise ValueError(f"empty outage window [{start}, {end})")
+        outage = Outage(host=host, start=start, end=end)
+        self._outages.append(outage)
+        return outage
+
+    # ------------------------------------------------------------------
+    # Queries and the delivery hook
+    # ------------------------------------------------------------------
+    def host_down(self, host: str, now: float) -> bool:
+        """Whether ``host`` is inside a scheduled outage at ``now``."""
+        return any(o.host == host and o.covers(now) for o in self._outages)
+
+    def before_deliver(self, net: SimNet, src: Host, dst: Host, port: int) -> None:
+        """Delivery hook: raise an injected fault or charge a slowdown.
+
+        Hazards are evaluated in a fixed order (drop, error, slow) with
+        one PRNG draw per configured hazard, keeping the event stream a
+        pure function of (seed, call sequence).
+        """
+        drop = self._host_drop.get(dst.name, self.drop_rate)
+        if drop > 0.0 and self._rng.random() < drop:
+            self.drops += 1
+            self._log(net, "drop", src, dst, port)
+            raise DroppedMessageError(
+                f"message {src.name!r} -> {dst.name!r}:{port} dropped"
+            )
+        error = self._host_error.get(dst.name, self.error_rate)
+        if error > 0.0 and self._rng.random() < error:
+            self.errors += 1
+            self._log(net, "error", src, dst, port)
+            raise InjectedCallError(
+                f"call {src.name!r} -> {dst.name!r}:{port} failed"
+            )
+        if self.slow_rate > 0.0 and self._rng.random() < self.slow_rate:
+            self.slow_calls += 1
+            self._log(net, "slow", src, dst, port)
+            net.advance(self.slow_delay)
+
+    # ------------------------------------------------------------------
+    # Determinism accounting
+    # ------------------------------------------------------------------
+    def _log(self, net: SimNet, kind: str, src: Host, dst: Host, port: int) -> None:
+        self.events.append(
+            FaultEvent(
+                seq=len(self.events),
+                clock=net.clock,
+                kind=kind,
+                src=src.name,
+                dst=dst.name,
+                port=port,
+            )
+        )
+
+    def event_bytes(self) -> bytes:
+        """The event log as a canonical byte string."""
+        return "\n".join(
+            f"{e.seq}\t{e.clock!r}\t{e.kind}\t{e.src}\t{e.dst}\t{e.port}"
+            for e in self.events
+        ).encode()
+
+    def signature(self) -> str:
+        """SHA-256 over the canonical event log (reproducibility check)."""
+        return hashlib.sha256(self.event_bytes()).hexdigest()
+
+    @property
+    def injected_faults(self) -> int:
+        """Total faults injected (drops + errors; slow calls excluded)."""
+        return self.drops + self.errors
+
+
+def _check_rate(rate: float) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")

@@ -86,9 +86,29 @@ class HttpResponse:
         return replace(self, headers=headers)
 
 
+#: The RFC 7234 ``Warning`` value marking a response served past its
+#: freshness lifetime because the origin/upstream was unreachable.
+STALE_WARNING = '110 - "Response is Stale"'
+
+
 def get(url: str, headers: dict[str, str] | None = None) -> HttpRequest:
     """Convenience constructor for a GET request."""
     return HttpRequest(method="GET", url=url, headers=headers or {})
+
+
+def mark_stale(response: HttpResponse) -> HttpResponse:
+    """Tag a response as served-stale (origin down, cache answering).
+
+    Proxies losing their upstream keep serving what they have — "an AD
+    losing backbone connectivity keeps serving what it has" — but honest
+    HTTP semantics require flagging the staleness so clients can tell.
+    """
+    return response.with_header("warning", STALE_WARNING)
+
+
+def is_stale(response: HttpResponse) -> bool:
+    """Whether a response carries the served-stale warning."""
+    return response.header("warning") == STALE_WARNING
 
 
 def ok(body: bytes, headers: dict[str, str] | None = None) -> HttpResponse:

@@ -29,6 +29,7 @@ from .metalink import METALINK_HEADER, Metalink, verify_metalink
 from .names import IcnName, name_matches_key, parse_domain
 from .crypto import PublicKey
 from .resolution import ResolutionClient
+from .retry import Retrier, RetryPolicy
 from .simnet import HTTP_PORT, Host, SimNetError
 
 _MAX_AGE_RE = re.compile(r"max-age=([0-9.]+)")
@@ -69,18 +70,30 @@ class EdgeProxy:
         resolver: ResolutionClient | None = None,
         dns: DnsClient | None = None,
         capacity: int = 1024,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.host = host
         self.resolver = resolver
         self.dns = dns
         self._cache = LRUCache(capacity=capacity)
         self._store: dict[str, CacheEntry] = {}
+        self._retrier = Retrier(retry_policy)
         self.hits = 0
         self.misses = 0
         self.revalidations = 0
         self.revalidations_304 = 0
         self.verification_failures = 0
+        #: Requests served from a non-primary source after the primary
+        #: location failed (Metalink mirror failover).
+        self.mirror_failovers = 0
+        #: Stale entries served because every upstream was unreachable.
+        self.stale_served = 0
         host.bind(HTTP_PORT, self._serve)
+
+    @property
+    def retries(self) -> int:
+        """Upstream-call retries performed (0 when the network is healthy)."""
+        return self._retrier.retries
 
     # ------------------------------------------------------------------
     # Request handling
@@ -101,7 +114,8 @@ class EdgeProxy:
         key = f"icn:{name.flat}"
         cached = self._lookup(key, name)
         if cached is not None:
-            return self._respond(cached, request)
+            entry, stale = cached
+            return self._respond(entry, request, stale=stale)
         if self.resolver is None:
             return http.bad_gateway("no resolver configured")
         locations = self.resolver.resolve(name)
@@ -113,6 +127,10 @@ class EdgeProxy:
             entry = self._fetch_and_verify(name, location)
             if entry is None:
                 continue
+            if index > 1:
+                # Served from a fallback source: the primary location
+                # was down, unverifiable, or unreachable.
+                self.mirror_failovers += 1
             # Discover additional mirrors from the metadata itself.
             if entry.metalink_xml is not None:
                 try:
@@ -130,15 +148,16 @@ class EdgeProxy:
         key = f"url:{request.host}{request.path}"
         cached = self._lookup(key, None)
         if cached is not None:
-            return self._respond(cached, request)
+            entry, stale = cached
+            return self._respond(entry, request, stale=stale)
         if self.dns is None:
             return http.bad_gateway("no DNS configured")
         address = self.dns.resolve(request.host)
         if address is None:
             return http.bad_gateway(f"cannot resolve {request.host!r}")
         try:
-            upstream = self.host.call(
-                address, HTTP_PORT, http.HttpRequest("GET", request.url)
+            upstream = self._retrier.call(
+                self.host, address, HTTP_PORT, http.HttpRequest("GET", request.url)
             )
         except SimNetError:
             return http.bad_gateway(f"upstream {request.host!r} unreachable")
@@ -170,7 +189,7 @@ class EdgeProxy:
         if conditional_etag is not None:
             request = request.with_header("if-none-match", conditional_etag)
         try:
-            response = self.host.call(server, HTTP_PORT, request)
+            response = self._retrier.call(self.host, server, HTTP_PORT, request)
         except SimNetError:
             return None
         if response.status == 304:
@@ -211,7 +230,10 @@ class EdgeProxy:
     # ------------------------------------------------------------------
     # Cache plumbing
     # ------------------------------------------------------------------
-    def _lookup(self, key: str, name: IcnName | None) -> CacheEntry | None:
+    def _lookup(
+        self, key: str, name: IcnName | None
+    ) -> tuple[CacheEntry, bool] | None:
+        """A servable cached entry and whether it is being served stale."""
         if not self._cache.lookup(key):
             self.misses += 1
             return None
@@ -219,7 +241,7 @@ class EdgeProxy:
         now = self.host.net.clock
         if entry.is_fresh(now):
             self.hits += 1
-            return entry
+            return entry, False
         # Stale: revalidate with a conditional GET where possible.
         self.revalidations += 1
         renewed = None
@@ -230,9 +252,11 @@ class EdgeProxy:
         elif entry.location is not None:
             renewed = self._revalidate_legacy(entry)
         if renewed is None:
-            # Upstream unreachable: serve the stale copy rather than fail.
+            # Upstream unreachable: serve the stale copy rather than
+            # fail, flagging it per RFC 7234 (Warning: 110).
             self.hits += 1
-            return entry
+            self.stale_served += 1
+            return entry, True
         if renewed.body == b"" and renewed.etag == entry.etag:
             self.revalidations_304 += 1
             entry = replace(entry, fetched_at=renewed.fetched_at)
@@ -240,7 +264,7 @@ class EdgeProxy:
             entry = renewed
         self._store[key] = entry
         self.hits += 1
-        return entry
+        return entry, False
 
     def _revalidate_legacy(self, entry: CacheEntry) -> CacheEntry | None:
         try:
@@ -248,7 +272,7 @@ class EdgeProxy:
             request = http.get(entry.location)
             if entry.etag is not None:
                 request = request.with_header("if-none-match", entry.etag)
-            response = self.host.call(server, HTTP_PORT, request)
+            response = self._retrier.call(self.host, server, HTTP_PORT, request)
         except (ValueError, SimNetError):
             return None
         if response.status == 304:
@@ -275,7 +299,7 @@ class EdgeProxy:
             self._store[key] = entry
 
     def _respond(
-        self, entry: CacheEntry, request: http.HttpRequest
+        self, entry: CacheEntry, request: http.HttpRequest, stale: bool = False
     ) -> http.HttpResponse:
         byte_range = request.byte_range()
         if byte_range is not None:
@@ -285,6 +309,8 @@ class EdgeProxy:
         if entry.metalink_xml is not None:
             response = response.with_header(METALINK_HEADER,
                                             entry.metalink_xml)
+        if stale:
+            response = http.mark_stale(response)
         return response
 
     @property

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from .crypto import KeyPair, PublicKey, sign, verify
 from .names import IcnName, principal_of
+from .retry import Retrier, RetryPolicy
 from .simnet import RESOLVER_PORT, Host, SimNetError
 
 #: Prefix marking a delegation to another resolver instead of content.
@@ -109,9 +110,20 @@ class NameResolutionSystem:
 class ResolutionClient:
     """Client-side stub: registration plus delegation-following resolve."""
 
-    def __init__(self, host: Host, resolver_address: str):
+    def __init__(
+        self,
+        host: Host,
+        resolver_address: str,
+        retry_policy: RetryPolicy | None = None,
+    ):
         self.host = host
         self.resolver_address = resolver_address
+        self._retrier = Retrier(retry_policy)
+
+    @property
+    def retries(self) -> int:
+        """Resolver-call retries performed (0 when the network is healthy)."""
+        return self._retrier.retries
 
     def register(
         self, name: IcnName, locations: tuple[str, ...], keypair: KeyPair
@@ -135,8 +147,8 @@ class ResolutionClient:
         address = self.resolver_address
         for _ in range(max_hops + 1):
             try:
-                answer = self.host.call(
-                    address, RESOLVER_PORT, ResolveRequest(name=name.flat)
+                answer = self._retrier.call(
+                    self.host, address, RESOLVER_PORT, ResolveRequest(name=name.flat)
                 )
             except SimNetError:
                 return ()
@@ -152,6 +164,6 @@ class ResolutionClient:
 
     def _send(self, address: str, request: RegisterRequest) -> bool:
         try:
-            return bool(self.host.call(address, RESOLVER_PORT, request))
+            return bool(self._retrier.call(self.host, address, RESOLVER_PORT, request))
         except SimNetError:
             return False

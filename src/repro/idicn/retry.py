@@ -1,0 +1,98 @@
+"""Retry with exponential backoff for simulated-network calls.
+
+idICN degrades gracefully instead of failing hard: browsers retry their
+proxy, resolvers retry their server before falling back to mDNS, and
+proxies retry upstreams before failing over across PAC entries or
+Metalink mirrors.  A :class:`RetryPolicy` captures the knobs (attempt
+cap, exponential backoff with seeded jitter, per-request time budget)
+and a :class:`Retrier` executes calls under one policy while counting
+the retries it performed — the honesty counter the resilience
+benchmarks report against ``SimNet.messages_attempted``.
+
+Backoff consumes *simulated* time: each delay advances the network
+clock, so retries interact correctly with scheduled outage windows and
+HTTP freshness lifetimes (a retry storm can age a cache entry).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from .simnet import Host, SimNetError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a caller retries failed network calls.
+
+    ``max_attempts`` bounds total tries (1 = no retries); delays grow as
+    ``base_delay * multiplier**retry`` with a uniform ``±jitter``
+    fraction applied, and ``budget`` (if set) caps the summed backoff
+    per request — once exceeded, the caller gives up early.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    budget: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.budget is not None and self.budget < 0:
+            raise ValueError("budget must be >= 0")
+
+    def backoff_delay(self, retry_index: int, rng: random.Random) -> float:
+        """The delay before retry ``retry_index`` (0-based), jittered."""
+        delay = self.base_delay * self.multiplier**retry_index
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+class Retrier:
+    """Executes calls under one :class:`RetryPolicy`, counting retries.
+
+    A ``None`` policy is the null retrier: exactly one attempt, zero
+    bookkeeping overhead — existing no-fault code paths are unchanged.
+    """
+
+    def __init__(self, policy: RetryPolicy | None = None):
+        self.policy = policy
+        self._rng = random.Random(policy.seed if policy else 0)
+        self.retries = 0
+        self.giveups = 0
+
+    def call(self, host: Host, address: str, port: int, payload: Any) -> Any:
+        """``host.call`` with retries; re-raises the last failure."""
+        policy = self.policy
+        if policy is None:
+            return host.call(address, port, payload)
+        spent = 0.0
+        last: SimNetError | None = None
+        for attempt in range(policy.max_attempts):
+            try:
+                return host.call(address, port, payload)
+            except SimNetError as exc:
+                last = exc
+                if attempt + 1 >= policy.max_attempts:
+                    break
+                delay = policy.backoff_delay(attempt, self._rng)
+                if policy.budget is not None and spent + delay > policy.budget:
+                    break
+                spent += delay
+                host.net.advance(delay)
+                self.retries += 1
+        self.giveups += 1
+        assert last is not None
+        raise last

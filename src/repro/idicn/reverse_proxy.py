@@ -21,6 +21,7 @@ from .metalink import METALINK_HEADER, Metalink, build_metalink
 from .names import IcnName, make_name, parse_domain
 from .origin import OriginServer  # noqa: F401  (documented collaborator)
 from .resolution import ResolutionClient
+from .retry import Retrier, RetryPolicy
 from .simnet import HTTP_PORT, Host, SimNetError
 
 
@@ -36,6 +37,7 @@ class ReverseProxy:
         dns_register: "callable | None" = None,
         mirrors: tuple[str, ...] = (),
         max_age: float | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.host = host
         self.origin_address = origin_address
@@ -43,6 +45,7 @@ class ReverseProxy:
         self.resolver = resolver
         self.dns_register = dns_register
         self.mirrors = mirrors
+        self._retrier = Retrier(retry_policy)
         #: Freshness lifetime advertised via Cache-Control (None = no
         #: expiry; downstream proxies may serve the copy forever).
         self.max_age = max_age
@@ -147,8 +150,11 @@ class ReverseProxy:
 
     def _fetch_origin(self, label: str) -> bytes | None:
         try:
-            response = self.host.call(
-                self.origin_address, HTTP_PORT, http.get(f"http://origin/{label}")
+            response = self._retrier.call(
+                self.host,
+                self.origin_address,
+                HTTP_PORT,
+                http.get(f"http://origin/{label}"),
             )
         except SimNetError:
             return None

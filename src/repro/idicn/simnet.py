@@ -41,6 +41,18 @@ class AddressInUseError(SimNetError):
     """Another host already claimed the address on this subnet."""
 
 
+class InjectedFaultError(SimNetError):
+    """Base class for failures injected by a fault plane."""
+
+
+class DroppedMessageError(InjectedFaultError):
+    """The fault plane silently dropped the message (a timeout)."""
+
+
+class InjectedCallError(InjectedFaultError):
+    """The fault plane made the call fail with an explicit error."""
+
+
 @dataclass
 class Subnet:
     """One broadcast domain with optional DHCP-style options.
@@ -58,10 +70,17 @@ class Subnet:
     routed: bool = True
 
     def allocate_address(self) -> str:
-        """Next DHCP-style address on this subnet."""
-        address = f"{self.prefix}.{self.next_suffix}"
-        self.next_suffix += 1
-        return address
+        """Next free DHCP-style address on this subnet.
+
+        Addresses already claimed (statically attached hosts, earlier
+        allocations) are skipped, so a DHCP lease can never silently
+        displace an existing host from ``hosts``.
+        """
+        while True:
+            address = f"{self.prefix}.{self.next_suffix}"
+            self.next_suffix += 1
+            if address not in self.hosts:
+                return address
 
 
 class Host:
@@ -119,11 +138,25 @@ class SimNet:
     def __init__(self) -> None:
         self.subnets: dict[str, Subnet] = {}
         self.hosts: dict[str, Host] = {}
-        self.messages_sent = 0
+        #: Unicast delivery accounting.  ``attempted`` counts every
+        #: ``call`` entered, ``delivered`` the calls whose handler ran
+        #: and returned, ``failed`` the calls that raised a
+        #: :class:`SimNetError` (routing, partition, injected fault).
+        self.messages_attempted = 0
+        self.messages_delivered = 0
+        self.messages_failed = 0
         self.multicasts_sent = 0
+        #: Optional :class:`repro.idicn.faults.FaultPlane` consulted on
+        #: every delivery; ``None`` means a perfectly healthy network.
+        self.fault_plane = None
         #: Logical wall clock in seconds, advanced explicitly by tests
         #: and scenarios; used for HTTP cache freshness.
         self.clock = 0.0
+
+    @property
+    def messages_sent(self) -> int:
+        """Legacy alias: every unicast send attempt (see ``messages_attempted``)."""
+        return self.messages_attempted
 
     def advance(self, seconds: float) -> float:
         """Advance the logical clock (e.g. to age cached content)."""
@@ -195,6 +228,19 @@ class SimNet:
         """Partition or heal a host."""
         host.online = online
 
+    def install_faults(self, plane) -> None:
+        """Attach a :class:`repro.idicn.faults.FaultPlane` to this network."""
+        self.fault_plane = plane
+        if plane is not None:
+            plane.net = self
+
+    def host_is_up(self, host: Host) -> bool:
+        """Whether ``host`` is online and outside any scheduled outage."""
+        if not host.online:
+            return False
+        plane = self.fault_plane
+        return plane is None or not plane.host_down(host.name, self.clock)
+
     def dhcp_options(self, subnet: str) -> dict[str, str]:
         """DHCP options announced on ``subnet`` (e.g. the WPAD PAC URL)."""
         return dict(self._subnet(subnet).dhcp_options)
@@ -203,10 +249,26 @@ class SimNet:
     # Delivery
     # ------------------------------------------------------------------
     def call(self, src: Host, dst_address: str, port: int, payload: Any) -> Any:
-        """Synchronous unicast request/response."""
-        if not src.online:
+        """Synchronous unicast request/response.
+
+        Every entry bumps ``messages_attempted``; a handler that runs to
+        completion bumps ``messages_delivered``, any
+        :class:`SimNetError` (including injected faults) bumps
+        ``messages_failed`` — so retry overhead is visible as
+        ``attempted - delivered``.
+        """
+        self.messages_attempted += 1
+        try:
+            response = self._deliver(src, dst_address, port, payload)
+        except SimNetError:
+            self.messages_failed += 1
+            raise
+        self.messages_delivered += 1
+        return response
+
+    def _deliver(self, src: Host, dst_address: str, port: int, payload: Any) -> Any:
+        if not self.host_is_up(src):
             raise HostDownError(f"source host {src.name!r} is offline")
-        self.messages_sent += 1
         dst, subnet = self._locate(dst_address)
         if subnet in src.addresses:
             src_address = src.addresses[subnet]
@@ -231,8 +293,11 @@ class SimNet:
                 f"{dst_address} is link-local on {subnet!r}; "
                 f"{src.name!r} is not attached"
             )
-        if not dst.online:
+        if not self.host_is_up(dst):
             raise HostDownError(f"destination {dst.name!r} is offline")
+        if self.fault_plane is not None:
+            # May raise an injected fault or advance the clock (slow call).
+            self.fault_plane.before_deliver(self, src, dst, port)
         handler = dst.services.get(port)
         if handler is None:
             raise NoServiceError(f"{dst.name!r} has no service on port {port}")
@@ -247,7 +312,7 @@ class SimNet:
         are silently skipped — multicast queries are best-effort, like
         mDNS.
         """
-        if not src.online:
+        if not self.host_is_up(src):
             raise HostDownError(f"source host {src.name!r} is offline")
         if subnet not in src.addresses:
             raise NoRouteError(f"{src.name!r} is not attached to {subnet!r}")
@@ -255,7 +320,7 @@ class SimNet:
         src_address = src.addresses[subnet]
         replies = []
         for address, host in sorted(self._subnet(subnet).hosts.items()):
-            if host is src or not host.online:
+            if host is src or not self.host_is_up(host):
                 continue
             handler = host.services.get(port)
             if handler is None:

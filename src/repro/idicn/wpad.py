@@ -108,19 +108,40 @@ class PacFile:
         return cls(rules=tuple(rules))
 
 
+def proxy_candidates(decision: str) -> tuple[str | None, ...]:
+    """Every entry of a PAC decision, in failover order.
+
+    ``PROXY a:80; PROXY b:80; DIRECT`` yields ``(a, b, None)`` — real
+    browsers walk this list when a proxy is unreachable, which is
+    exactly the failover :class:`repro.idicn.client.Browser` performs.
+    ``None`` entries mean DIRECT; duplicate consecutive separators and
+    surrounding whitespace are tolerated.
+    """
+    candidates: list[str | None] = []
+    for part in decision.split(";"):
+        entry = part.strip()
+        if not entry:
+            continue
+        if entry.upper() == DIRECT:
+            candidates.append(None)
+            continue
+        kind, _, target = entry.partition(" ")
+        if kind.upper() != "PROXY" or not target.strip():
+            raise ValueError(f"unparseable PAC decision {decision!r}")
+        candidates.append(target.strip().split(":")[0])
+    if not candidates:
+        raise ValueError(f"empty PAC decision {decision!r}")
+    return tuple(candidates)
+
+
 def proxy_address(decision: str) -> str | None:
     """Extract the proxy address from a PAC decision (None for DIRECT).
 
     Decisions look like ``PROXY 10.0.0.2:80`` or ``PROXY 10.0.0.2``;
-    fallback lists (``PROXY a; PROXY b``) yield the first entry.
+    fallback lists (``PROXY a; PROXY b``) yield the first entry — use
+    :func:`proxy_candidates` for the full failover list.
     """
-    first = decision.split(";")[0].strip()
-    if first.upper() == DIRECT:
-        return None
-    kind, _, target = first.partition(" ")
-    if kind.upper() != "PROXY" or not target.strip():
-        raise ValueError(f"unparseable PAC decision {decision!r}")
-    return target.strip().split(":")[0]
+    return proxy_candidates(decision)[0]
 
 
 def discover_pac_url(host: Host, subnet: str, dns: DnsClient | None = None) -> str | None:

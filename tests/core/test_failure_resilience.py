@@ -1,0 +1,202 @@
+"""Failed cache nodes: route-around semantics and fallback accounting.
+
+A failed node carries no cache, serves nothing, and takes no copies;
+routing walks past it and the run reports how many measured requests
+had to do so (``fallback_served``).  Origins never fail.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EDGE,
+    EDGE_COOP,
+    ICN_NR,
+    ICN_NR_GLOBAL,
+    ICN_SP,
+    Simulator,
+)
+from repro.core.routing import ReplicaDirectory
+from repro.workload import generate_workload
+
+from tests.core.test_engine import make_workload, run
+
+
+class TestValidation:
+    def test_out_of_range_node_rejected(self, small_network):
+        workload = make_workload([(0, 3, 0)], origins=[3])
+        budgets = [10.0] * small_network.num_nodes
+        with pytest.raises(ValueError):
+            Simulator(small_network, EDGE, workload, budgets,
+                      failed_nodes={small_network.num_nodes})
+        with pytest.raises(ValueError):
+            Simulator(small_network, EDGE, workload, budgets,
+                      failed_nodes={-1})
+
+    def test_failed_nodes_carry_no_cache(self, small_network):
+        workload = make_workload([(0, 3, 0)], origins=[3])
+        leaf = small_network.gid(0, 3)
+        _, sim = run(small_network, EDGE, workload, failed_nodes={leaf})
+        assert leaf not in sim.caches
+        other = small_network.gid(0, 4)
+        assert other in sim.caches
+
+
+class TestEdgeFailures:
+    def test_failed_leaf_sends_requests_to_origin(self, small_network):
+        leaf = small_network.gid(0, 3)
+        workload = make_workload([(0, 3, 0)] * 3, origins=[3])
+        result, _ = run(small_network, EDGE, workload, failed_nodes={leaf})
+        # Without the leaf cache nothing is ever a hit.
+        assert result.cache_served == 0
+        assert result.total_origin_load == 3.0
+        assert result.fallback_served == 3
+        assert result.availability == 0.0
+
+    def test_healthy_leaves_unaffected(self, small_network):
+        failed_leaf = small_network.gid(0, 3)
+        workload = make_workload([(0, 4, 0)] * 2, origins=[3])
+        result, _ = run(small_network, EDGE, workload,
+                        failed_nodes={failed_leaf})
+        assert result.cache_served == 1
+        assert result.fallback_served == 0
+        assert result.availability == 1.0
+
+    def test_no_failures_means_no_fallbacks(self, small_network):
+        workload = make_workload([(0, 3, 0)] * 3, origins=[3])
+        result, _ = run(small_network, EDGE, workload)
+        assert result.fallback_served == 0
+        assert result.fallback_ratio == 0.0
+        assert result.availability == 1.0
+
+    def test_coop_skips_failed_sibling(self, small_network):
+        # Leaf 3 is dead; leaf 4's sibling lookup must skip it cleanly.
+        failed_leaf = small_network.gid(0, 3)
+        workload = make_workload([(0, 3, 0), (0, 4, 0)], origins=[3])
+        result, _ = run(small_network, EDGE_COOP, workload,
+                        failed_nodes={failed_leaf})
+        assert result.coop_served == 0
+        assert result.total_origin_load == 2.0
+
+
+class TestRouteAround:
+    def test_sp_walks_past_failed_parent(self, small_network):
+        # Leaves 3 and 4 share parent (0,1).  With it dead, request 2
+        # must skip it and hit the pop-0 root, cached by request 1's
+        # response path; both requests walked past the dead node.
+        failed_parent = small_network.gid(0, 1)
+        workload = make_workload([(0, 3, 0), (0, 4, 0)], origins=[3])
+        result, sim = run(small_network, ICN_SP, workload,
+                          failed_nodes={failed_parent})
+        assert result.cache_served == 1
+        assert result.fallback_served == 2
+        root = small_network.root_gid(0)
+        assert 0 in sim.caches[root]
+        # Request 2 served from the root: 2 hops instead of 1.
+        leaf3 = small_network.gid(0, 3)
+        first = small_network.distance(leaf3, small_network.root_gid(3))
+        assert result.total_latency == first + 2
+
+    def test_nr_scoped_skips_failed_candidates(self, small_network):
+        failed_parent = small_network.gid(0, 1)
+        workload = make_workload([(0, 3, 0), (0, 4, 0)], origins=[3])
+        result, _ = run(small_network, ICN_NR, workload,
+                        failed_nodes={failed_parent})
+        assert result.cache_served >= 1
+        assert result.fallback_served >= 1
+
+    def test_no_insertion_at_failed_nodes(self, small_network):
+        failed_parent = small_network.gid(0, 1)
+        workload = make_workload([(0, 3, 0)], origins=[3])
+        _, sim = run(small_network, ICN_SP, workload,
+                     failed_nodes={failed_parent})
+        assert failed_parent not in sim.caches
+        # The rest of the response path still took copies.
+        assert 0 in sim.caches[small_network.gid(0, 3)]
+
+    def test_origin_at_failed_root_still_serves(self, small_network):
+        # Failing the origin pop's root kills its *cache*, never the
+        # origin store behind it.
+        origin_root = small_network.root_gid(3)
+        workload = make_workload([(3, 3, 0)] * 2, origins=[3])
+        result, _ = run(small_network, ICN_SP, workload,
+                        failed_nodes={origin_root})
+        assert result.total_origin_load == 1.0  # leaf cached request 1
+        assert result.cache_served == 1
+
+
+class TestOracleDirectory:
+    def test_directory_never_records_failed_nodes(self, small_network):
+        failed = small_network.gid(0, 3)
+        directory = ReplicaDirectory(small_network,
+                                     failed_nodes=frozenset({failed}))
+        directory.add(0, failed)
+        assert directory.num_replicas(0) == 0
+        assert directory.nearest(0, small_network.gid(0, 4)) is None
+        live = small_network.gid(0, 4)
+        directory.add(0, live)
+        assert directory.holders(0) == [live]
+
+    def test_nr_global_never_serves_failed_nodes(self, small_network, rng):
+        failed = frozenset(
+            small_network.gid(pop, local)
+            for pop in range(small_network.num_pops)
+            for local in (1, 3)
+        )
+        workload = generate_workload(small_network, 40, 1500, 1.0, rng)
+        _, sim = run(small_network, ICN_NR_GLOBAL, workload, budget=5.0,
+                     failed_nodes=failed)
+        for node in failed:
+            assert node not in sim.caches
+        for obj in range(40):
+            assert not set(sim.directory.holders(obj)) & failed
+
+
+def _result_key(result):
+    return (
+        result.architecture,
+        result.num_requests,
+        result.total_latency,
+        result.max_link_transfers,
+        result.total_transfers,
+        result.max_origin_load,
+        result.total_origin_load,
+        result.cache_served,
+        result.coop_served,
+        result.fallback_served,
+        result.link_transfers.tobytes(),
+        result.origin_serves.tobytes(),
+    )
+
+
+class TestDeterminism:
+    def test_identical_runs_yield_identical_metrics(self, small_network):
+        workload = generate_workload(
+            small_network, 60, 2000, 0.8, np.random.default_rng(7)
+        )
+        failed = frozenset({small_network.gid(0, 3),
+                            small_network.gid(1, 1)})
+
+        def one_run(arch):
+            result, _ = run(small_network, arch, workload, budget=5.0,
+                            failed_nodes=failed)
+            return _result_key(result)
+
+        for arch in (EDGE, ICN_SP, ICN_NR, ICN_NR_GLOBAL):
+            assert one_run(arch) == one_run(arch)
+
+    def test_failures_shift_load_to_origins(self, small_network):
+        workload = generate_workload(
+            small_network, 60, 4000, 0.8, np.random.default_rng(7)
+        )
+        healthy, _ = run(small_network, EDGE, workload, budget=5.0)
+        failed = frozenset(
+            small_network.gid(pop, local)
+            for pop in range(small_network.num_pops)
+            for local in (3, 4)
+        )
+        degraded, _ = run(small_network, EDGE, workload, budget=5.0,
+                          failed_nodes=failed)
+        assert degraded.total_origin_load >= healthy.total_origin_load
+        assert degraded.cache_hit_ratio <= healthy.cache_hit_ratio
+        assert degraded.fallback_served > 0

@@ -1,0 +1,381 @@
+"""Tests for the fault-injection plane, retry policies, and failover.
+
+The robustness layer has three contracts worth pinning down: faults are
+reproducible (one seed, one byte-identical event log), retries consume
+simulated time and stop at their caps, and the degradation paths — PAC
+proxy failover, Metalink mirror failover, serve-stale — keep a default
+deployment serving through the acceptance scenario of 20% message drops
+plus a mid-run proxy crash.
+"""
+
+import pytest
+
+from repro.idicn import (
+    DroppedMessageError,
+    FaultPlane,
+    HostDownError,
+    InjectedCallError,
+    Outage,
+    Retrier,
+    RetryPolicy,
+    SimNet,
+    SimNetError,
+    build_deployment,
+    is_stale,
+)
+
+
+@pytest.fixture
+def net():
+    network = SimNet()
+    network.create_subnet("lan", "10.0.0")
+    return network
+
+
+def echo_pair(net):
+    a = net.create_host("a", "lan")
+    b = net.create_host("b", "lan")
+    b.bind(80, lambda host, src, payload: f"echo:{payload}")
+    return a, b
+
+
+class TestOutages:
+    def test_window_is_half_open(self):
+        outage = Outage(host="x", start=1.0, end=2.0)
+        assert not outage.covers(0.5)
+        assert outage.covers(1.0)
+        assert outage.covers(1.9)
+        assert not outage.covers(2.0)
+
+    def test_scheduled_crash_and_recovery(self, net):
+        a, b = echo_pair(net)
+        plane = FaultPlane(net, seed=1)
+        plane.schedule_outage("b", start=0.0, end=5.0)
+        with pytest.raises(HostDownError):
+            a.call(b.address, 80, "x")
+        net.advance(5.0)  # the host comes back
+        assert a.call(b.address, 80, "x") == "echo:x"
+
+    def test_outage_not_yet_started(self, net):
+        a, b = echo_pair(net)
+        plane = FaultPlane(net, seed=1)
+        plane.schedule_outage("b", start=10.0, end=20.0)
+        assert a.call(b.address, 80, "x") == "echo:x"
+        net.advance(10.0)
+        with pytest.raises(HostDownError):
+            a.call(b.address, 80, "x")
+
+    def test_down_source_cannot_send(self, net):
+        a, b = echo_pair(net)
+        plane = FaultPlane(net, seed=1)
+        plane.schedule_outage("a", start=0.0, end=1.0)
+        with pytest.raises(HostDownError):
+            a.call(b.address, 80, "x")
+
+    def test_empty_window_rejected(self, net):
+        plane = FaultPlane(net, seed=1)
+        with pytest.raises(ValueError):
+            plane.schedule_outage("b", start=2.0, end=2.0)
+
+
+class TestHazards:
+    def test_certain_drop(self, net):
+        a, b = echo_pair(net)
+        plane = FaultPlane(net, seed=1)
+        plane.set_drop_rate(1.0)
+        with pytest.raises(DroppedMessageError):
+            a.call(b.address, 80, "x")
+        assert plane.drops == 1 and plane.injected_faults == 1
+        assert [e.kind for e in plane.events] == ["drop"]
+        assert net.messages_failed == 1 and net.messages_delivered == 0
+
+    def test_certain_error(self, net):
+        a, b = echo_pair(net)
+        plane = FaultPlane(net, seed=1)
+        plane.set_error_rate(1.0)
+        with pytest.raises(InjectedCallError):
+            a.call(b.address, 80, "x")
+        assert plane.errors == 1
+        assert [e.kind for e in plane.events] == ["error"]
+
+    def test_slow_call_advances_clock_but_succeeds(self, net):
+        a, b = echo_pair(net)
+        plane = FaultPlane(net, seed=1)
+        plane.set_slow_rate(1.0, delay=2.5)
+        assert a.call(b.address, 80, "x") == "echo:x"
+        assert net.clock == 2.5
+        assert plane.slow_calls == 1 and plane.injected_faults == 0
+
+    def test_per_host_rate_overrides_global(self, net):
+        a, b = echo_pair(net)
+        c = net.create_host("c", "lan")
+        c.bind(80, lambda host, src, payload: "ok")
+        plane = FaultPlane(net, seed=1)
+        plane.set_drop_rate(1.0, host="b")
+        with pytest.raises(DroppedMessageError):
+            a.call(b.address, 80, "x")
+        assert a.call(c.address, 80, "x") == "ok"  # global rate still 0
+
+    def test_rate_validation(self, net):
+        plane = FaultPlane(net, seed=1)
+        with pytest.raises(ValueError):
+            plane.set_drop_rate(1.5)
+        with pytest.raises(ValueError):
+            plane.set_error_rate(-0.1)
+        with pytest.raises(ValueError):
+            plane.set_slow_rate(0.5, delay=-1.0)
+
+    def test_healthy_plane_injects_nothing(self, net):
+        a, b = echo_pair(net)
+        plane = FaultPlane(net, seed=1)
+        for i in range(50):
+            assert a.call(b.address, 80, i) == f"echo:{i}"
+        assert plane.events == [] and plane.injected_faults == 0
+        assert net.messages_failed == 0
+
+
+def _mixed_hazard_run(seed):
+    """A fixed scenario under drop/error/slow hazards; returns outcomes."""
+    net = SimNet()
+    net.create_subnet("lan", "10.0.0")
+    a, b = echo_pair(net)
+    plane = FaultPlane(net, seed=seed)
+    plane.set_drop_rate(0.3)
+    plane.set_error_rate(0.2)
+    plane.set_slow_rate(0.1, delay=0.5)
+    outcomes = []
+    for i in range(200):
+        try:
+            a.call(b.address, 80, i)
+            outcomes.append("ok")
+        except SimNetError as exc:
+            outcomes.append(type(exc).__name__)
+    return outcomes, plane
+
+
+class TestDeterminism:
+    def test_same_seed_same_event_log(self):
+        outcomes1, plane1 = _mixed_hazard_run(seed=7)
+        outcomes2, plane2 = _mixed_hazard_run(seed=7)
+        assert outcomes1 == outcomes2
+        assert plane1.event_bytes() == plane2.event_bytes()
+        assert plane1.signature() == plane2.signature()
+        assert (plane1.drops, plane1.errors, plane1.slow_calls) == (
+            plane2.drops, plane2.errors, plane2.slow_calls
+        )
+
+    def test_different_seed_different_log(self):
+        _, plane1 = _mixed_hazard_run(seed=7)
+        _, plane2 = _mixed_hazard_run(seed=8)
+        assert plane1.signature() != plane2.signature()
+
+    def test_events_are_sequenced(self):
+        _, plane = _mixed_hazard_run(seed=7)
+        assert plane.events  # the rates make silence effectively impossible
+        assert [e.seq for e in plane.events] == list(range(len(plane.events)))
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(budget=-1.0)
+
+    def test_backoff_grows_exponentially_without_jitter(self):
+        import random
+
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.0)
+        rng = random.Random(0)
+        assert [policy.backoff_delay(i, rng) for i in range(3)] == [
+            pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.4)
+        ]
+
+    def test_jitter_stays_within_band(self):
+        import random
+
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.25)
+        rng = random.Random(3)
+        for _ in range(100):
+            assert 0.75 <= policy.backoff_delay(0, rng) <= 1.25
+
+
+class TestRetrier:
+    def test_null_policy_is_single_attempt(self, net):
+        a, _ = echo_pair(net)
+        retrier = Retrier(None)
+        with pytest.raises(SimNetError):
+            retrier.call(a, "10.0.0.99", 80, "x")
+        assert net.messages_attempted == 1
+        assert retrier.retries == 0
+
+    def test_backoff_rides_out_an_outage(self, net):
+        a, b = echo_pair(net)
+        plane = FaultPlane(net, seed=1)
+        plane.schedule_outage("b", start=0.0, end=0.1)
+        retrier = Retrier(RetryPolicy(max_attempts=3, base_delay=0.2,
+                                      jitter=0.0))
+        assert retrier.call(a, b.address, 80, "x") == "echo:x"
+        assert retrier.retries == 1 and retrier.giveups == 0
+        assert net.clock == pytest.approx(0.2)
+
+    def test_exhausts_attempts_and_reraises(self, net):
+        a, b = echo_pair(net)
+        plane = FaultPlane(net, seed=1)
+        plane.set_drop_rate(1.0)
+        retrier = Retrier(RetryPolicy(max_attempts=3, base_delay=0.1,
+                                      multiplier=2.0, jitter=0.0))
+        with pytest.raises(DroppedMessageError):
+            retrier.call(a, b.address, 80, "x")
+        assert net.messages_attempted == 3
+        assert retrier.retries == 2 and retrier.giveups == 1
+        # Backoff consumed simulated time: 0.1 + 0.2.
+        assert net.clock == pytest.approx(0.3)
+
+    def test_budget_caps_backoff(self, net):
+        a, b = echo_pair(net)
+        plane = FaultPlane(net, seed=1)
+        plane.set_drop_rate(1.0)
+        retrier = Retrier(RetryPolicy(max_attempts=5, base_delay=0.5,
+                                      jitter=0.0, budget=0.0))
+        with pytest.raises(DroppedMessageError):
+            retrier.call(a, b.address, 80, "x")
+        assert net.messages_attempted == 1  # first delay blows the budget
+        assert retrier.retries == 0 and retrier.giveups == 1
+
+
+class TestDeploymentDegradation:
+    def _deployment(self, **kwargs):
+        kwargs.setdefault("retry_policy",
+                          RetryPolicy(max_attempts=3, base_delay=0.01,
+                                      jitter=0.0))
+        d = build_deployment(**kwargs)
+        d.providers[0].publish("page", b"the content")
+        return d
+
+    def _url(self, deployment):
+        record = deployment.providers[0].reverse_proxy.published["page"]
+        return f"http://{record.domain}/"
+
+    def test_zero_retries_when_healthy(self):
+        deployment = self._deployment(proxies_per_domain=2)
+        browser = deployment.domains[0].browsers[0]
+        assert browser.get(self._url(deployment)).ok
+        assert browser.retries == 0 and browser.failovers == 0
+        assert all(p.retries == 0 for p in deployment.domains[0].proxies)
+        assert deployment.net.messages_failed == 0
+
+    def test_pac_failover_to_backup_proxy(self):
+        deployment = self._deployment(proxies_per_domain=2)
+        domain = deployment.domains[0]
+        deployment.net.set_online(domain.proxy.host, False)
+        browser = domain.browsers[0]
+        response = browser.get(self._url(deployment))
+        assert response.ok and response.body == b"the content"
+        assert browser.failovers == 1
+        assert domain.proxies[1].misses == 1  # the backup actually served
+
+    def test_direct_fallback_when_every_proxy_down(self):
+        deployment = self._deployment(proxies_per_domain=2)
+        domain = deployment.domains[0]
+        for proxy in domain.proxies:
+            deployment.net.set_online(proxy.host, False)
+        browser = domain.browsers[0]
+        # The PAC chain ends in DIRECT: resolve via DNS, fetch from the
+        # reverse proxy itself.
+        response = browser.get(self._url(deployment))
+        assert response.ok and response.body == b"the content"
+        assert browser.failovers == 2
+
+    def test_all_candidates_down_is_502(self):
+        deployment = self._deployment(proxies_per_domain=2)
+        domain = deployment.domains[0]
+        for proxy in domain.proxies:
+            deployment.net.set_online(proxy.host, False)
+        deployment.net.set_online(
+            deployment.providers[0].reverse_proxy.host, False
+        )
+        deployment.net.set_online(deployment.dns_server.host, False)
+        response = domain.browsers[0].get(self._url(deployment))
+        assert response.status == 502
+
+    def test_stale_response_carries_warning(self):
+        # Cold-start a deployment whose provider sets a freshness
+        # lifetime, expire the proxy copy, then cut the backbone.
+        deployment = self._deployment()
+        reverse = deployment.providers[0].reverse_proxy
+        reverse.max_age = 60.0
+        deployment.providers[0].publish("fresh", b"v1")
+        record = reverse.published["fresh"]
+        browser = deployment.domains[0].browsers[0]
+        url = f"http://{record.domain}/"
+        assert not is_stale(browser.get(url))
+        deployment.net.advance(120.0)  # past max-age
+        deployment.net.set_online(reverse.host, False)
+        response = browser.get(url)
+        assert response.ok and response.body == b"v1"
+        assert is_stale(response)
+        assert deployment.domains[0].proxy.stale_served == 1
+
+
+class TestAcceptanceScenario:
+    """ISSUE acceptance: 20% drops + a mid-run proxy crash, every GET ok."""
+
+    def test_gets_succeed_under_drops_and_proxy_crash(self):
+        deployment = build_deployment(
+            proxies_per_domain=2,
+            retry_policy=RetryPolicy(),  # the default policy must suffice
+        )
+        provider = deployment.providers[0]
+        urls = [
+            f"http://{provider.publish(f'obj{i}', b'payload %d' % i)}/"
+            for i in range(6)
+        ]
+        plane = FaultPlane(deployment.net, seed=2013)
+        plane.set_drop_rate(0.2)
+        domain = deployment.domains[0]
+        browser = domain.browsers[0]
+        for url in urls[:3]:
+            response = browser.get(url)
+            assert response.ok, url
+        # Mid-run, the primary proxy crashes for a long window.
+        crash_at = deployment.net.clock
+        plane.schedule_outage(domain.proxy.host.name, crash_at,
+                              crash_at + 1e6)
+        for url in urls[3:]:
+            response = browser.get(url)
+            assert response.ok, url
+        # The backup proxy (or DIRECT) picked up the load.
+        assert browser.failovers > 0
+        # Drops really happened and were retried through.
+        assert plane.drops > 0
+        assert deployment.net.messages_failed > 0
+
+    def test_acceptance_run_is_reproducible(self):
+        def run():
+            deployment = build_deployment(
+                proxies_per_domain=2, retry_policy=RetryPolicy()
+            )
+            provider = deployment.providers[0]
+            urls = [
+                f"http://{provider.publish(f'obj{i}', b'x%d' % i)}/"
+                for i in range(4)
+            ]
+            plane = FaultPlane(deployment.net, seed=99)
+            plane.set_drop_rate(0.2)
+            plane.set_slow_rate(0.1, delay=0.2)
+            browser = deployment.domains[0].browsers[0]
+            statuses = [browser.get(url).status for url in urls]
+            return statuses, plane.signature(), (
+                deployment.net.messages_attempted,
+                deployment.net.messages_delivered,
+                deployment.net.messages_failed,
+            )
+
+        assert run() == run()

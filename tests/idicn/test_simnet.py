@@ -64,6 +64,74 @@ class TestTopology:
         assert net.dhcp_options("lan") == {"pac_url": "http://x/p"}
 
 
+class TestAddressAllocation:
+    def test_dhcp_skips_statically_claimed_address(self, net):
+        # Regression: DHCP used to hand out 10.0.0.1 even when a static
+        # host already owned it, silently displacing the owner.
+        squatter = net.create_host("squatter")
+        net.attach(squatter, "lan", address="10.0.0.1")
+        a = net.create_host("a", "lan")
+        assert a.address == "10.0.0.2"
+        assert net.subnets["lan"].hosts["10.0.0.1"] is squatter
+
+    def test_dhcp_skips_a_run_of_claimed_addresses(self, net):
+        for i in (1, 2, 3):
+            host = net.create_host(f"static{i}")
+            net.attach(host, "lan", address=f"10.0.0.{i}")
+        a = net.create_host("a", "lan")
+        assert a.address == "10.0.0.4"
+
+    def test_each_host_keeps_its_own_address(self, net):
+        squatter = net.create_host("squatter")
+        net.attach(squatter, "lan", address="10.0.0.1")
+        squatter.bind(80, lambda *args: "squatter")
+        a = net.create_host("a", "lan")
+        a.bind(80, lambda *args: "a")
+        probe = net.create_host("probe", "lan")
+        assert probe.call("10.0.0.1", 80, "?") == "squatter"
+        assert probe.call(a.address, 80, "?") == "a"
+
+
+class TestMessageCounters:
+    def test_delivered_and_failed_split(self, net):
+        a = net.create_host("a", "lan")
+        b = net.create_host("b", "lan")
+        b.bind(80, lambda host, src, payload: "ok")
+        a.call(b.address, 80, "x")
+        assert (net.messages_attempted, net.messages_delivered,
+                net.messages_failed) == (1, 1, 0)
+        with pytest.raises(NoRouteError):
+            a.call("10.0.0.99", 80, "x")
+        assert (net.messages_attempted, net.messages_delivered,
+                net.messages_failed) == (2, 1, 1)
+        net.set_online(b, False)
+        with pytest.raises(HostDownError):
+            a.call(b.address, 80, "x")
+        assert net.messages_failed == 2
+
+    def test_messages_sent_aliases_attempted(self, net):
+        a = net.create_host("a", "lan")
+        b = net.create_host("b", "lan")
+        b.bind(80, lambda host, src, payload: "ok")
+        a.call(b.address, 80, "x")
+        with pytest.raises(NoRouteError):
+            a.call("10.0.0.99", 80, "x")
+        assert net.messages_sent == net.messages_attempted == 2
+
+    def test_handler_exceptions_are_not_network_failures(self, net):
+        a = net.create_host("a", "lan")
+        b = net.create_host("b", "lan")
+
+        def broken(host, src, payload):
+            raise RuntimeError("application bug")
+
+        b.bind(80, broken)
+        with pytest.raises(RuntimeError):
+            a.call(b.address, 80, "x")
+        # Application errors surface to the caller, not the counters.
+        assert net.messages_failed == 0 and net.messages_delivered == 0
+
+
 class TestUnicast:
     def test_request_response(self, net):
         a = net.create_host("a", "lan")
