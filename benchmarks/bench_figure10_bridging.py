@@ -9,7 +9,7 @@ budgets plus cooperation shrink even the best case to ~6%, and a
 doubled edge budget can make EDGE beat ICN-NR.
 """
 
-from conftest import emit, leaf_scaled_config
+from conftest import ENGINE, emit, leaf_scaled_config
 from repro.analysis import format_table
 from repro.core import (
     EDGE,
@@ -33,7 +33,8 @@ def best_case_config():
 def test_figure10_edge_variants_bridge_the_gap(once):
     def run():
         config = best_case_config()
-        outcome = run_experiment(config, (ICN_NR, *EDGE_VARIANTS))
+        outcome = run_experiment(config, (ICN_NR, *EDGE_VARIANTS),
+                                 engine=ENGINE)
         rows = []
         for variant in EDGE_VARIANTS:
             gap = outcome.gap("ICN-NR", variant.name)
@@ -42,13 +43,14 @@ def test_figure10_edge_variants_bridge_the_gap(once):
             )
         # Reference point 1: the Section 4 baseline configuration.
         section4 = run_experiment(leaf_scaled_config("abilene"),
-                                  (ICN_NR, EDGE)).gap()
+                                  (ICN_NR, EDGE), engine=ENGINE).gap()
         rows.append(
             ["Section-4", section4.latency, section4.congestion,
              section4.origin_load]
         )
         # Reference point 2: infinite caches on both sides.
-        infinite = run_experiment(config, (ICN_NR_INF, EDGE_INF)).gap(
+        infinite = run_experiment(config, (ICN_NR_INF, EDGE_INF),
+                                  engine=ENGINE).gap(
             "ICN-NR-Inf", "EDGE-Inf"
         )
         rows.append(

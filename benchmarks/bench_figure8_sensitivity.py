@@ -9,9 +9,16 @@ per metric:
 * (c) spatial skew — the gap grows with skew.
 """
 
-from conftest import SCALE, emit, leaf_scaled_config
-from repro.analysis import format_series, sweep_gap
+from functools import partial
+
+from conftest import ENGINE, SCALE, WORKERS, emit, leaf_scaled_config
+from repro.analysis import format_series
+from repro.analysis import sweep_gap as _sweep_gap
 from repro.core import EDGE, ICN_NR
+
+#: Every Figure 8 sweep goes through the parallel sweep runner with the
+#: bench-wide engine/worker knobs.
+sweep_gap = partial(_sweep_gap, engine=ENGINE, workers=WORKERS)
 
 ALPHAS = (0.1, 0.4, 0.7, 1.0, 1.2, 1.4, 1.6)
 BUDGETS = (1e-5, 1e-4, 1e-3, 0.01, 0.02, 0.05, 0.2, 1.0)

@@ -7,9 +7,9 @@ The paper: even the best combination gives ICN-NR at most ~17% over
 EDGE.
 """
 
-from conftest import emit, leaf_scaled_config
+from conftest import ENGINE, WORKERS, emit, leaf_scaled_config
 from repro.analysis import format_table
-from repro.core import EDGE, ICN_NR, run_experiment
+from repro.core import EDGE, ICN_NR, SweepPoint, run_sweep
 
 def test_figure9_progressive_best_case(once):
     def run():
@@ -25,10 +25,19 @@ def test_figure9_progressive_best_case(once):
         config = config.with_(budget_fraction=0.02)
         steps.append(("Node-Budget*", config))
 
+        outcome = run_sweep(
+            [
+                SweepPoint(key=label, config=step_config,
+                           architectures=(ICN_NR, EDGE))
+                for label, step_config in steps
+            ],
+            workers=WORKERS,
+            engine=ENGINE,
+        )
+        outcome.raise_on_failure()
         rows = []
-        for label, step_config in steps:
-            outcome = run_experiment(step_config, (ICN_NR, EDGE))
-            gap = outcome.gap()
+        for label, _ in steps:
+            gap = outcome.results[label].gap()
             rows.append(
                 [label, gap.latency, gap.congestion, gap.origin_load]
             )

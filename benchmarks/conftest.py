@@ -7,6 +7,12 @@ can be diffed across runs.
 
 Scale knob: set ``REPRO_BENCH_SCALE`` (default 1.0) to shrink or grow
 every workload; 0.2 gives a quick smoke run, 1.0 the reported numbers.
+
+Engine knobs: ``REPRO_BENCH_ENGINE`` picks the simulation engine
+("fast" by default — bit-identical to "reference", just quicker),
+``REPRO_BENCH_WORKERS`` fans sweep points out over that many processes
+(0 = serial), and ``REPRO_BENCH_SEED`` is the single base seed every
+bench derives its workloads from.
 """
 
 from __future__ import annotations
@@ -21,6 +27,16 @@ from repro.core import ExperimentConfig
 
 #: Workload scale multiplier for every bench.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Simulation engine for every bench ("fast" and "reference" produce
+#: identical results; tests/core/test_fastpath_equivalence.py pins this).
+ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "fast")
+
+#: Worker processes for sweep-shaped benches (0 = serial in-process).
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+
+#: The single base seed every bench workload derives from.
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "2013"))
 
 #: Baseline request volume and catalog size at SCALE = 1.  The ratio is
 #: calibrated (see DESIGN.md) so per-leaf request volumes resemble the
@@ -47,7 +63,7 @@ def bench_config(**overrides) -> ExperimentConfig:
         num_requests=max(1000, int(BASE_REQUESTS * SCALE)),
         num_objects=max(100, int(BASE_OBJECTS * SCALE)),
         warmup_fraction=0.2,
-        seed=2013,
+        seed=SEED,
     )
     params.update(overrides)
     return ExperimentConfig(**params)

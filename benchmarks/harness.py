@@ -4,9 +4,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from conftest import bench_config, leaf_scaled_config
+from conftest import ENGINE, WORKERS, bench_config, leaf_scaled_config
 from repro.analysis import format_table
-from repro.core import ExperimentConfig, ExperimentResult, run_experiment
+from repro.core import (
+    ExperimentConfig,
+    ExperimentResult,
+    SweepPoint,
+    run_experiment,
+    run_sweep,
+)
 from repro.core.metrics import METRIC_NAMES
 from repro.topology import TOPOLOGY_NAMES
 from repro.workload import region_object_stream
@@ -36,16 +42,32 @@ def run_topologies(
     architectures,
     topologies=TOPOLOGY_NAMES,
     trace_driven: bool = True,
+    engine: str = ENGINE,
+    workers: int = WORKERS,
     **config_overrides,
 ) -> dict[str, ExperimentResult]:
-    """Run the architecture line-up on each topology over one workload."""
-    outcomes = {}
+    """Run the architecture line-up on each topology over one workload.
+
+    Each topology is one :class:`SweepPoint`; the sweep runner executes
+    them (in parallel when ``workers`` > 1) and a failing topology is
+    raised rather than silently missing from a figure.  Every point's
+    workload derives from the single bench seed (``REPRO_BENCH_SEED``).
+    """
+    points = []
     for name in topologies:
         config = leaf_scaled_config(name, **config_overrides)
         objects = asia_trace_objects(config) if trace_driven else None
-        outcomes[name] = run_experiment(config, architectures,
-                                        objects=objects)
-    return outcomes
+        points.append(
+            SweepPoint(
+                key=name,
+                config=config,
+                architectures=tuple(architectures),
+                objects=objects,
+            )
+        )
+    outcome = run_sweep(points, workers=workers, engine=engine)
+    outcome.raise_on_failure()
+    return {name: outcome.results[name] for name in topologies}
 
 
 def improvement_table(

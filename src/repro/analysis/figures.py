@@ -13,7 +13,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.architectures import Architecture
-from ..core.experiment import ExperimentConfig, run_experiment
 from ..core.metrics import METRIC_NAMES, Improvements
 
 
@@ -43,18 +42,33 @@ def sweep_gap(
     make_config: "callable",
     arch_a: Architecture,
     arch_b: Architecture,
+    engine: str = "reference",
+    workers: int = 0,
 ) -> GapSweep:
     """Run (arch_a, arch_b) across configs and collect per-metric gaps.
 
     ``make_config(value)`` must return the :class:`ExperimentConfig` for
-    one sweep point; the gap is ``RelImprov(a) - RelImprov(b)``.
+    one sweep point; the gap is ``RelImprov(a) - RelImprov(b)``.  The
+    points go through :func:`repro.core.run_sweep`, so ``workers`` > 1
+    fans them out over processes and a failing point raises instead of
+    leaving a hole in the series.
     """
+    from ..core.sweep import SweepPoint, run_sweep
+
     values = tuple(values)
+    points = [
+        SweepPoint(
+            key=f"{parameter}={value!r}",
+            config=make_config(value),
+            architectures=(arch_a, arch_b),
+        )
+        for value in values
+    ]
+    outcome = run_sweep(points, workers=workers, engine=engine)
+    outcome.raise_on_failure()
     per_metric: dict[str, list[float]] = {m: [] for m in METRIC_NAMES}
-    for value in values:
-        config = make_config(value)
-        outcome = run_experiment(config, (arch_a, arch_b))
-        gap = outcome.gap(arch_a.name, arch_b.name)
+    for point in points:
+        gap = outcome.results[point.key].gap(arch_a.name, arch_b.name)
         for metric in METRIC_NAMES:
             per_metric[metric].append(getattr(gap, metric))
     return GapSweep(

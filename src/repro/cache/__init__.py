@@ -8,6 +8,13 @@ from .budget import (
     total_budget,
     uniform_node_budgets,
 )
+from .fast import (
+    FastFIFO,
+    FastInfinite,
+    FastLFU,
+    FastLRU,
+    make_fast_cache,
+)
 from .fifo import FIFOCache
 from .infinite import InfiniteCache
 from .lfu import LFUCache
@@ -35,11 +42,16 @@ __all__ = [
     "Cache",
     "DEFAULT_BUDGET_FRACTION",
     "FIFOCache",
+    "FastFIFO",
+    "FastInfinite",
+    "FastLFU",
+    "FastLRU",
     "InfiniteCache",
     "LFUCache",
     "LRUCache",
     "POLICIES",
     "make_cache",
+    "make_fast_cache",
     "node_budgets",
     "proportional_node_budgets",
     "total_budget",

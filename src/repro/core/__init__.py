@@ -15,7 +15,7 @@ from .architectures import (
     architecture,
 )
 from .capacity import CapacityModel, CapacityTracker
-from .engine import Simulator, simulate_no_cache
+from .engine import ENGINES, Simulator, simulate_no_cache
 from .experiment import (
     ASIA_ALPHA,
     ExperimentConfig,
@@ -41,6 +41,13 @@ from .metrics import (
     improvements,
 )
 from .routing import ReplicaDirectory
+from .sweep import (
+    SweepOutcome,
+    SweepPoint,
+    run_sweep,
+    seeded_configs,
+    spawn_seeds,
+)
 
 __all__ = [
     "ASIA_ALPHA",
@@ -49,6 +56,7 @@ __all__ = [
     "CapacityModel",
     "CapacityTracker",
     "EDGE",
+    "ENGINES",
     "EDGE_COOP",
     "EDGE_INF",
     "EDGE_NORM",
@@ -66,6 +74,8 @@ __all__ = [
     "ReplicaDirectory",
     "SimulationResult",
     "Simulator",
+    "SweepOutcome",
+    "SweepPoint",
     "architecture",
     "arithmetic_hop_costs",
     "build_network",
@@ -76,6 +86,9 @@ __all__ = [
     "improvements",
     "performance_gap",
     "run_experiment",
+    "run_sweep",
+    "seeded_configs",
     "simulate_no_cache",
+    "spawn_seeds",
     "unit_hop_costs",
 ]

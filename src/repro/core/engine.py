@@ -30,6 +30,12 @@ from .capacity import CapacityModel, CapacityTracker
 from .metrics import MetricsCollector, SimulationResult
 from .routing import ReplicaDirectory
 
+#: Available execution engines.  "reference" is the readable per-request
+#: loop below; "fast" is the flat-array engine of
+#: :mod:`repro.core.fastpath`, which produces field-for-field identical
+#: :class:`SimulationResult` objects (pinned by the differential suite).
+ENGINES = ("reference", "fast")
+
 
 class Simulator:
     """Runs one architecture over one workload on one network."""
@@ -47,6 +53,7 @@ class Simulator:
         preload: dict[int, list[int]] | None = None,
         frozen_caches: bool = False,
         failed_nodes: frozenset[int] | set[int] | tuple[int, ...] = (),
+        engine: str = "reference",
     ):
         """See the module docstring for the simulation semantics.
 
@@ -62,7 +69,19 @@ class Simulator:
         ``fallback_served`` counter (availability accounting).  Origins
         are never failed — the origin store at a failed root still
         answers, matching the paper's always-available origin model.
+
+        ``engine`` selects the execution strategy: "reference" runs the
+        readable per-request loop in this module; "fast" runs the flat-
+        array engine (:mod:`repro.core.fastpath`) with identical output.
+        The fast engine rebuilds its state from this constructor's
+        configuration on every :meth:`run` call, so each fast run starts
+        from the post-preload state (the reference engine instead keeps
+        mutating ``self.caches`` across repeated runs).
         """
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
         if len(budgets) != network.num_nodes:
             raise ValueError("budgets must have one entry per network node")
         if not 0.0 <= warmup_fraction < 1.0:
@@ -76,6 +95,8 @@ class Simulator:
         self.workload = workload
         self.costs = hop_costs if hop_costs is not None else network.unit_hop_costs()
         self.warmup_fraction = warmup_fraction
+        self.engine = engine
+        self.policy = policy
 
         tree = network.tree
         self._tree_size = network.tree_size
@@ -115,6 +136,7 @@ class Simulator:
         )
         self._chains = network._chain  # tree-local path-to-root per local index
         self.frozen_caches = frozen_caches
+        self._preload = preload
         if preload:
             sizes = workload.sizes
             for node, objs in preload.items():
@@ -127,6 +149,10 @@ class Simulator:
 
     def run(self) -> SimulationResult:
         """Simulate the full request stream and return measured aggregates."""
+        if self.engine == "fast":
+            from .fastpath import FastEngine
+
+            return FastEngine(self).run()
         network = self.network
         workload = self.workload
         tree_size = self._tree_size
@@ -387,11 +413,18 @@ def simulate_no_cache(
     workload: Workload,
     hop_costs: HopCosts | None = None,
     warmup_fraction: float = 0.0,
+    engine: str = "reference",
 ) -> SimulationResult:
     """The normalization baseline: every request is served by its origin."""
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
     costs = hop_costs if hop_costs is not None else network.unit_hop_costs()
+    if engine == "fast":
+        from .fastpath import fast_no_cache
+
+        return fast_no_cache(network, workload, costs, warmup_fraction)
     tree_size = network.tree_size
     collector = MetricsCollector(network.num_links, network.num_pops)
     pops = workload.pops

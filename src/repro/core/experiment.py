@@ -126,8 +126,13 @@ def run_experiment(
     architectures: Iterable[Architecture] = BASELINE_ARCHITECTURES,
     objects: np.ndarray | None = None,
     pop_topology: PopTopology | None = None,
+    engine: str = "reference",
 ) -> ExperimentResult:
-    """Run the baseline and every architecture over one shared workload."""
+    """Run the baseline and every architecture over one shared workload.
+
+    ``engine`` selects the simulation engine ("reference" or "fast");
+    both produce identical results, so it only changes wall-clock time.
+    """
     network = build_network(config, pop_topology)
     workload = build_workload(config, network, objects=objects)
     costs = build_hop_costs(
@@ -137,7 +142,11 @@ def run_experiment(
         network, config.budget_fraction, config.num_objects, config.budget_split
     )
     baseline = simulate_no_cache(
-        network, workload, costs, warmup_fraction=config.warmup_fraction
+        network,
+        workload,
+        costs,
+        warmup_fraction=config.warmup_fraction,
+        engine=engine,
     )
     results: dict[str, SimulationResult] = {}
     improved: dict[str, Improvements] = {}
@@ -151,6 +160,7 @@ def run_experiment(
             hop_costs=costs,
             capacity=config.capacity,
             warmup_fraction=config.warmup_fraction,
+            engine=engine,
         )
         result = simulator.run()
         results[architecture.name] = result

@@ -1,0 +1,507 @@
+"""Flat-array fast path for the request-level simulator.
+
+``Simulator(engine="fast")`` routes :meth:`Simulator.run` through this
+module.  The fast engine is *observationally identical* to the
+reference per-request loop — the differential suite
+(``tests/core/test_fastpath_equivalence.py``) asserts field-for-field
+equal :class:`SimulationResult` objects — but restructures the work so
+CPython spends its time on arithmetic instead of attribute lookups:
+
+* the workload's NumPy columns are converted to flat Python lists once
+  (per-request ``int(arr[i])`` extraction is the reference loop's
+  single biggest cost);
+* per-``(serving node, leaf)`` latency, response-path link ids, and
+  insertable cache nodes are computed once through the reference
+  :class:`~repro.topology.network.Network` oracles and memoized — so
+  every float and every link ordering is bit-identical by construction;
+* cache state lives in the flat structs of :mod:`repro.cache.fast`
+  (membership bitmaps + insertion-ordered dicts) instead of
+  ``OrderedDict`` objects behind two layers of method calls;
+* metrics accumulate into preallocated flat counters and are converted
+  to the NumPy arrays of :class:`SimulationResult` once, at the end,
+  with the same reduction calls the reference collector uses.
+
+The routing walks (shortest-path, scoped nearest-replica, global
+oracle), capacity bookkeeping, failure fallbacks, and the probabilistic
+insertion RNG consume state in exactly the reference order, so cache
+contents — and therefore every downstream decision — never diverge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache import InfiniteCache
+from ..cache.fast import FastInfinite, make_fast_cache
+from ..topology.network import HopCosts, Network
+from ..workload.generator import Workload
+from .metrics import SimulationResult
+from .routing import ReplicaDirectory
+
+__all__ = ["FastEngine", "fast_no_cache"]
+
+
+class FastEngine:
+    """One-shot fast executor for a configured :class:`Simulator`.
+
+    Built inside :meth:`Simulator.run`; reads the simulator's validated
+    configuration and rebuilds cache/directory state in flat form
+    (replaying any preload in the reference insertion order), so each
+    ``run()`` starts from the constructor state.
+    """
+
+    def __init__(self, sim) -> None:
+        self._sim = sim
+        network = sim.network
+        workload = sim.workload
+        self._network = network
+        self._costs = sim.costs
+        ts = network.tree_size
+        self._ts = ts
+        num_objects = workload.num_objects
+
+        # Workload columns as flat Python lists (one-time conversion).
+        self._pops = workload.pops.tolist()
+        self._leaves = workload.leaves.tolist()
+        self._objects = workload.objects.tolist()
+        self._sizes = workload.sizes.tolist()
+        self._origins = workload.origins.tolist()
+
+        # Cache-enabled locals as an O(1) bitmap.
+        self._is_cache = bytearray(ts)
+        for local in sim._cache_local_set:
+            self._is_cache[local] = 1
+        self._depth = [network.tree.depth_of(local) for local in range(ts)]
+
+        # Flat cache structs mirroring the reference caches' capacities
+        # (multipliers already applied by the Simulator constructor).
+        arch = sim.architecture
+        num_nodes = network.num_nodes
+        self._caches: list = [None] * num_nodes
+        #: Shared views of each struct's membership bitmap / order dict,
+        #: indexed by global node id — the hot loop reads these directly
+        #: (same underlying objects, so struct calls stay consistent).
+        self._members: list = [None] * num_nodes
+        self._orders: list = [None] * num_nodes
+        self._capacities: list = [0.0] * num_nodes
+        for node, ref_cache in sim.caches.items():
+            if isinstance(ref_cache, InfiniteCache):
+                struct = FastInfinite(num_objects)
+            else:
+                struct = make_fast_cache(
+                    sim.policy, ref_cache.capacity, num_objects, self._sizes
+                )
+                self._capacities[node] = struct.capacity
+                if hasattr(struct, "order"):
+                    self._orders[node] = struct.order
+            self._caches[node] = struct
+            # LFU's frequency table doubles as its membership test
+            # (freq > 0 iff cached), so every policy exposes an O(1)
+            # truthy-per-object view here.
+            self._members[node] = getattr(struct, "member", None)
+            if self._members[node] is None:
+                self._members[node] = struct.freq
+        self._directory = (
+            ReplicaDirectory(network, failed_nodes=sim._failed)
+            if arch.routing == "nr-global"
+            else None
+        )
+        if sim._preload:
+            for node, objs in sim._preload.items():
+                for obj in objs:
+                    self._insert_directory_aware(node, int(obj))
+        #: Post-preload used-budget snapshot; the single source of truth
+        #: when the inline LRU insert path is active (the structs'
+        #: ``insert`` is never called on that configuration).
+        self._useds: list = [
+            getattr(struct, "used", 0.0) if struct is not None else 0.0
+            for struct in self._caches
+        ]
+
+        # Memoized per-(serving, leaf) path data; filled on first use.
+        self._path_entries: dict[int, tuple[float, tuple[int, ...], tuple[int, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    # Path memoization
+    # ------------------------------------------------------------------
+    def _path_entry(
+        self, serving: int, leaf_gid: int
+    ) -> tuple[float, tuple[int, ...], tuple[int, ...]]:
+        """(latency, response links, insertable cache nodes) for one pair.
+
+        Computed through the reference Network oracles so the float
+        arithmetic and link ordering match the reference engine bit for
+        bit; insertables are pre-filtered to cache-enabled, non-failed
+        nodes in response-path order (the exact sequence the reference
+        insertion loop — and its probabilistic RNG — visits).
+        """
+        network = self._network
+        ts = self._ts
+        is_cache = self._is_cache
+        failed = self._sim._failed
+        cost = network.path_cost(serving, leaf_gid, self._costs)
+        links = tuple(network.path_links(serving, leaf_gid))
+        inserts = tuple(
+            node
+            for node in network.path_nodes(serving, leaf_gid)[1:]
+            if is_cache[node % ts] and node not in failed
+        )
+        entry = (cost, links, inserts)
+        self._path_entries[serving * network.num_nodes + leaf_gid] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Directory-aware insertion (nr-global only)
+    # ------------------------------------------------------------------
+    def _insert_directory_aware(self, node: int, obj: int) -> None:
+        cache = self._caches[node]
+        directory = self._directory
+        if directory is None:
+            cache.insert(obj)
+            return
+        was_cached = obj in cache
+        evicted = cache.insert(obj)
+        for victim in evicted:
+            directory.remove(victim, node)
+        if not was_cached and obj in cache:
+            directory.add(obj, node)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Simulate the full request stream with flat state."""
+        sim = self._sim
+        network = self._network
+        arch = sim.architecture
+        routing = arch.routing
+        ts = self._ts
+        num_nodes = network.num_nodes
+        pops = self._pops
+        leaves = self._leaves
+        objects = self._objects
+        sizes = self._sizes
+        origins = self._origins
+        depth = self._depth
+        is_cache = self._is_cache
+        caches = self._caches
+        members = self._members
+        orders = self._orders
+        capacities = self._capacities
+        useds = self._useds
+        chains = network._chain
+        core_paths = network._core_paths
+        core_dist = network._core_dist
+        failed = sim._failed
+        any_failed = bool(failed)
+        cap = sim._capacity
+        coop_siblings = sim._coop_siblings
+        cooperation = arch.cooperation
+        nr_scope = sim._nr_scope_order
+        directory = self._directory
+        nearest_within = directory.nearest_within if directory else None
+        frozen = sim.frozen_caches
+        root_cached = bool(is_cache[0])
+        path_entries = self._path_entries
+        entry_of = self._path_entry
+
+        insertion = arch.insertion
+        ins_everywhere = insertion == "everywhere"
+        ins_lcd = insertion == "lcd"
+        insert_probability = arch.insertion_probability
+        insert_random = np.random.default_rng(0xC0FFEE).random
+
+        # Policy flags for the membership-first hot path: misses need no
+        # struct call at all; hits refresh recency inline (LRU), bump a
+        # frequency class (LFU), or do nothing (FIFO / infinite).
+        lru_mode = sim.policy == "lru" and not arch.infinite
+        lfu_mode = sim.policy == "lfu" and not arch.infinite
+        # Inline the entire insert when the configuration allows it: the
+        # dominant LRU + copy-everywhere + no-directory case.
+        inline_lru_insert = lru_mode and ins_everywhere and directory is None
+        inline_inf_insert = arch.infinite and ins_everywhere and directory is None
+
+        num_requests = len(objects)
+        first_measured = int(sim.warmup_fraction * num_requests)
+
+        measured = 0
+        total_latency = 0.0
+        cache_served = 0
+        coop_served = 0
+        fallback_served = 0
+        link_transfers = [0.0] * network.num_links
+        origin_serves = [0.0] * network.num_pops
+
+        sp_mode = routing == "sp"
+        nr_mode = routing == "nr"
+
+        for i, (pop, leaf_local, obj) in enumerate(zip(pops, leaves, objects)):
+            origin_pop = origins[obj]
+            base = pop * ts
+            leaf_gid = base + leaf_local
+            fallback = False
+            coop = False
+            serving = -1
+            served_origin = None
+
+            if sp_mode:
+                for local in chains[leaf_local]:
+                    if local == 0 and origin_pop == pop:
+                        break  # reached the origin store
+                    if is_cache[local]:
+                        node = base + local
+                        if any_failed and node in failed:
+                            fallback = True  # walk past the dead cache
+                            continue
+                        if members[node][obj]:
+                            if lru_mode:
+                                order = orders[node]
+                                del order[obj]
+                                order[obj] = None
+                            elif lfu_mode:
+                                caches[node].lookup(obj)
+                            if cap is None or cap.try_serve(node, i):
+                                serving = node
+                                break
+                        elif cooperation:
+                            for sib_local in coop_siblings[local]:
+                                sib = base + sib_local
+                                if any_failed and sib in failed:
+                                    continue
+                                if members[sib][obj]:
+                                    if lru_mode:
+                                        order = orders[sib]
+                                        del order[obj]
+                                        order[obj] = None
+                                    elif lfu_mode:
+                                        caches[sib].lookup(obj)
+                                    if cap is None or cap.try_serve(sib, i):
+                                        serving = sib
+                                        coop = True
+                                        break
+                            if serving >= 0:
+                                break
+                if serving < 0 and origin_pop != pop and root_cached:
+                    for transit_pop in core_paths[pop][origin_pop][1:]:
+                        if transit_pop == origin_pop:
+                            break
+                        node = transit_pop * ts
+                        if any_failed and node in failed:
+                            fallback = True
+                            continue
+                        if members[node][obj]:
+                            if lru_mode:
+                                order = orders[node]
+                                del order[obj]
+                                order[obj] = None
+                            elif lfu_mode:
+                                caches[node].lookup(obj)
+                            if cap is None or cap.try_serve(node, i):
+                                serving = node
+                                break
+            elif nr_mode:
+                own_origin = origin_pop == pop
+                origin_tree_dist = depth[leaf_local]
+                for dist, local in nr_scope[leaf_local]:
+                    if own_origin and dist >= origin_tree_dist:
+                        break  # the origin store is at least as close
+                    if is_cache[local]:
+                        node = base + local
+                        if any_failed and node in failed:
+                            fallback = True
+                            continue
+                        if members[node][obj]:
+                            if lru_mode:
+                                order = orders[node]
+                                del order[obj]
+                                order[obj] = None
+                            elif lfu_mode:
+                                caches[node].lookup(obj)
+                            if cap is None or cap.try_serve(node, i):
+                                serving = node
+                                break
+                if serving < 0 and not own_origin and root_cached:
+                    for transit_pop in core_paths[pop][origin_pop][1:]:
+                        if transit_pop == origin_pop:
+                            break
+                        node = transit_pop * ts
+                        if any_failed and node in failed:
+                            fallback = True
+                            continue
+                        if members[node][obj]:
+                            if lru_mode:
+                                order = orders[node]
+                                del order[obj]
+                                order[obj] = None
+                            elif lfu_mode:
+                                caches[node].lookup(obj)
+                            if cap is None or cap.try_serve(node, i):
+                                serving = node
+                                break
+            else:  # nr-global oracle
+                origin_root = origin_pop * ts
+                origin_dist = depth[leaf_local] + core_dist[pop][origin_pop]
+                # Replicas beyond the origin can never serve (ties
+                # prefer the replica: same latency, less origin load),
+                # so the bounded query prunes PoPs nearest() would
+                # still scan while picking the identical winner.
+                found = nearest_within(obj, leaf_gid, origin_dist)
+                if found is not None:
+                    node = found[0]
+                    caches[node].lookup(obj)
+                    if cap is None or cap.try_serve(node, i):
+                        serving = node
+
+            if serving < 0:
+                serving = origin_pop * ts
+                served_origin = origin_pop
+                if cap is not None:
+                    cap.force_serve(serving, i)
+
+            size = sizes[obj]
+            if serving != leaf_gid:
+                entry = path_entries.get(serving * num_nodes + leaf_gid)
+                if entry is None:
+                    entry = entry_of(serving, leaf_gid)
+                cost, links, inserts = entry
+                if i >= first_measured:
+                    measured += 1
+                    total_latency += cost
+                    for link in links:
+                        link_transfers[link] += size
+                    if fallback:
+                        fallback_served += 1
+                    if served_origin is None:
+                        if coop:
+                            coop_served += 1
+                        else:
+                            cache_served += 1
+                    else:
+                        origin_serves[served_origin] += 1
+                if not frozen:
+                    if inline_lru_insert:
+                        for node in inserts:
+                            member = members[node]
+                            if member[obj]:
+                                order = orders[node]
+                                del order[obj]
+                                order[obj] = None
+                            else:
+                                node_cap = capacities[node]
+                                if size <= node_cap:
+                                    used = useds[node]
+                                    order = orders[node]
+                                    while used + size > node_cap:
+                                        victim = next(iter(order))
+                                        del order[victim]
+                                        member[victim] = 0
+                                        used -= sizes[victim]
+                                    order[obj] = None
+                                    member[obj] = 1
+                                    useds[node] = used + size
+                    elif inline_inf_insert:
+                        for node in inserts:
+                            members[node][obj] = 1
+                    elif directory is None:
+                        if ins_everywhere:
+                            for node in inserts:
+                                caches[node].insert(obj)
+                        elif ins_lcd:
+                            # Leave-copy-down: only the first cache below
+                            # the serving node takes a copy.
+                            if inserts:
+                                caches[inserts[0]].insert(obj)
+                        else:  # probabilistic
+                            for node in inserts:
+                                if insert_random() < insert_probability:
+                                    caches[node].insert(obj)
+                    else:
+                        if ins_everywhere:
+                            for node in inserts:
+                                self._insert_directory_aware(node, obj)
+                        elif ins_lcd:
+                            if inserts:
+                                self._insert_directory_aware(inserts[0], obj)
+                        else:  # probabilistic
+                            for node in inserts:
+                                if insert_random() < insert_probability:
+                                    self._insert_directory_aware(node, obj)
+            elif i >= first_measured:
+                measured += 1
+                if fallback:
+                    fallback_served += 1
+                if served_origin is None:
+                    if coop:
+                        coop_served += 1
+                    else:
+                        cache_served += 1
+                else:
+                    origin_serves[served_origin] += 1
+
+        return SimulationResult.from_counters(
+            architecture=arch.name,
+            num_requests=measured,
+            total_latency=total_latency,
+            link_transfers=link_transfers,
+            origin_serves=origin_serves,
+            cache_served=cache_served,
+            coop_served=coop_served,
+            fallback_served=fallback_served,
+        )
+
+def fast_no_cache(
+    network: Network,
+    workload: Workload,
+    costs: HopCosts,
+    warmup_fraction: float,
+) -> SimulationResult:
+    """Flat-state twin of :func:`repro.core.engine.simulate_no_cache`."""
+    ts = network.tree_size
+    num_nodes = network.num_nodes
+    pops = workload.pops.tolist()
+    leaves = workload.leaves.tolist()
+    objects = workload.objects.tolist()
+    sizes = workload.sizes.tolist()
+    origins = workload.origins.tolist()
+    num_requests = len(objects)
+    first_measured = int(warmup_fraction * num_requests)
+
+    measured = 0
+    total_latency = 0.0
+    link_transfers = [0.0] * network.num_links
+    origin_serves = [0.0] * network.num_pops
+    path_entries: dict[int, tuple[float, tuple[int, ...]]] = {}
+    path_cost = network.path_cost
+    path_links = network.path_links
+
+    for i in range(first_measured, num_requests):
+        pop = pops[i]
+        obj = objects[i]
+        origin_pop = origins[obj]
+        leaf_gid = pop * ts + leaves[i]
+        origin_root = origin_pop * ts
+        key = origin_root * num_nodes + leaf_gid
+        entry = path_entries.get(key)
+        if entry is None:
+            entry = (
+                path_cost(origin_root, leaf_gid, costs),
+                tuple(path_links(origin_root, leaf_gid)),
+            )
+            path_entries[key] = entry
+        cost, links = entry
+        measured += 1
+        total_latency += cost
+        size = sizes[obj]
+        for link in links:
+            link_transfers[link] += size
+        origin_serves[origin_pop] += 1
+
+    return SimulationResult.from_counters(
+        architecture="NO-CACHE",
+        num_requests=measured,
+        total_latency=total_latency,
+        link_transfers=link_transfers,
+        origin_serves=origin_serves,
+        cache_served=0,
+        coop_served=0,
+    )

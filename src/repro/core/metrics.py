@@ -42,6 +42,43 @@ class SimulationResult:
     #: cache node (0 in a healthy network).
     fallback_served: int = 0
 
+    @classmethod
+    def from_counters(
+        cls,
+        architecture: str,
+        num_requests: int,
+        total_latency: float,
+        link_transfers,
+        origin_serves,
+        cache_served: int,
+        coop_served: int,
+        fallback_served: int = 0,
+    ) -> "SimulationResult":
+        """Finalize batched counters into a result.
+
+        ``link_transfers``/``origin_serves`` may be plain lists or
+        arrays; they are copied into fresh float64 arrays.  Both
+        simulation engines funnel through this constructor so the
+        derived aggregates come from the same reductions over the same
+        dtype — a precondition for bit-identical engine output.
+        """
+        link_arr = np.array(link_transfers, dtype=np.float64)
+        origin_arr = np.array(origin_serves, dtype=np.float64)
+        return cls(
+            architecture=architecture,
+            num_requests=num_requests,
+            total_latency=total_latency,
+            max_link_transfers=float(link_arr.max(initial=0.0)),
+            total_transfers=float(link_arr.sum()),
+            max_origin_load=float(origin_arr.max(initial=0.0)),
+            total_origin_load=float(origin_arr.sum()),
+            cache_served=cache_served,
+            coop_served=coop_served,
+            link_transfers=link_arr,
+            origin_serves=origin_arr,
+            fallback_served=fallback_served,
+        )
+
     @property
     def mean_latency(self) -> float:
         """Average hop-cost latency per measured request."""
@@ -174,17 +211,13 @@ class MetricsCollector:
 
     def result(self, architecture: str) -> SimulationResult:
         """Freeze the accumulated counters into a result."""
-        return SimulationResult(
+        return SimulationResult.from_counters(
             architecture=architecture,
             num_requests=self.num_requests,
             total_latency=self.total_latency,
-            max_link_transfers=float(self.link_transfers.max(initial=0.0)),
-            total_transfers=float(self.link_transfers.sum()),
-            max_origin_load=float(self.origin_serves.max(initial=0.0)),
-            total_origin_load=float(self.origin_serves.sum()),
+            link_transfers=self.link_transfers,
+            origin_serves=self.origin_serves,
             cache_served=self.cache_served,
             coop_served=self.coop_served,
-            link_transfers=self.link_transfers.copy(),
-            origin_serves=self.origin_serves.copy(),
             fallback_served=self.fallback_served,
         )

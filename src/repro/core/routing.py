@@ -121,3 +121,54 @@ class ReplicaDirectory:
                 )
                 best_node = other * self._tree_size + best_local
         return (best_node, best_dist) if best_dist != -1 else None
+
+    def nearest_within(
+        self, obj: int, leaf: int, bound: int
+    ) -> tuple[int, int] | None:
+        """Closest cached copy of ``obj`` at hop distance ``<= bound``.
+
+        ``bound`` is typically the leaf's hop distance to the object's
+        origin: a replica farther than that can never serve, so seeding
+        the scan with the bound prunes whole PoPs that :meth:`nearest`
+        would still examine.  When a replica qualifies, the returned
+        node is exactly the one :meth:`nearest` would return (same scan
+        order, same first-minimum tie-break); when none does, the
+        answer is ``None``.  Distances are integer hops, so the cutoff
+        ``bound + 1`` with strict ``<`` admits exactly ``d <= bound``.
+        """
+        by_pop = self._holders.get(obj)
+        if not by_pop:
+            return None
+        pop, leaf_local = divmod(leaf, self._tree_size)
+        depth = self._depth
+        leaf_depth = depth[leaf_local]
+        tree = self._tree
+        best_dist = bound + 1
+        best_node = -1
+        same = by_pop.get(pop)
+        if same:
+            for local in same:
+                d = tree.distance(leaf_local, local)
+                if d < best_dist:
+                    best_dist, best_node = d, pop * self._tree_size + local
+                    if d == 0:
+                        return best_node, 0
+        core_dist = self._core_dist[pop]
+        for other in self._pop_order[pop]:
+            if other == pop:
+                continue
+            lower_bound = leaf_depth + core_dist[other]
+            if lower_bound >= best_dist:
+                break  # PoPs are distance-sorted: nothing further can win.
+            locals_ = by_pop.get(other)
+            if not locals_:
+                continue
+            min_holder_depth = min(depth[local] for local in locals_)
+            d = lower_bound + min_holder_depth
+            if d < best_dist:
+                best_dist = d
+                best_local = next(
+                    local for local in locals_ if depth[local] == min_holder_depth
+                )
+                best_node = other * self._tree_size + best_local
+        return (best_node, best_dist) if best_node != -1 else None

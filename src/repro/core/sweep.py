@@ -1,0 +1,276 @@
+"""Parallel design-space sweeps (Section 4's grid, at production scale).
+
+The paper's evaluation is a grid — architectures x topologies x cache
+budgets x Zipf parameters — and every point is an independent
+:func:`~repro.core.experiment.run_experiment` call.  This module fans a
+grid out over worker processes:
+
+* each grid point is a :class:`SweepPoint` (a fully seeded
+  :class:`ExperimentConfig` plus its architecture line-up and optional
+  trace objects), so a point's result depends only on the point itself
+  — chunked parallel execution is bit-identical to serial execution
+  regardless of worker count;
+* per-point seeds are derived with :func:`spawn_seeds` from one base
+  seed via ``numpy.random.SeedSequence.spawn``, giving collision-free
+  independent streams without hand-picked offsets;
+* a point whose worker raises is retried (with the
+  :class:`~repro.idicn.retry.RetryPolicy` backoff shapes) and, if it
+  keeps failing, *reported* in :attr:`SweepOutcome.failures` — never
+  silently dropped; a deadline turns still-pending points into reported
+  failures while keeping every finished result (partial collection).
+
+Workers default to the fast engine (:mod:`repro.core.fastpath`); with
+``workers=0`` the sweep runs serially in-process, which is also the
+fallback when only one point is requested.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from random import Random
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..idicn.retry import RetryPolicy
+from .architectures import Architecture, BASELINE_ARCHITECTURES
+from .experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "SweepOutcome",
+    "SweepPoint",
+    "run_sweep",
+    "seeded_configs",
+    "spawn_seeds",
+]
+
+#: One retry per failing point, no backoff pause by default (sweep points
+#: are deterministic, so retries mostly paper over transient worker
+#: failures such as an OOM-killed process).
+DEFAULT_RETRY_POLICY = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: a key, a config, and its architecture line-up."""
+
+    key: str
+    config: ExperimentConfig
+    architectures: tuple[Architecture, ...] = BASELINE_ARCHITECTURES
+    #: Optional trace-driven object sequence (see ``run_experiment``).
+    objects: np.ndarray | None = None
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a sweep produced, successes and failures alike.
+
+    ``results`` maps point keys to experiment results; ``failures`` maps
+    the keys that never succeeded to their per-attempt error strings.
+    Every submitted key appears in exactly one of the two mappings.
+    ``attempts`` counts executions per key (1 = first try succeeded).
+    """
+
+    results: dict[str, ExperimentResult] = field(default_factory=dict)
+    failures: dict[str, list[str]] = field(default_factory=dict)
+    attempts: dict[str, int] = field(default_factory=dict)
+
+    def raise_on_failure(self) -> None:
+        """Raise if any point failed (for callers that need all points)."""
+        if self.failures:
+            summary = "; ".join(
+                f"{key}: {errors[-1]}" for key, errors in self.failures.items()
+            )
+            raise RuntimeError(f"sweep points failed: {summary}")
+
+
+def spawn_seeds(base_seed: int, count: int) -> tuple[int, ...]:
+    """``count`` collision-free child seeds derived from one base seed.
+
+    Uses ``SeedSequence.spawn`` so the streams are independent no matter
+    how points are chunked across workers; the same base seed always
+    yields the same children (reproducible reruns).
+    """
+    children = np.random.SeedSequence(base_seed).spawn(count)
+    return tuple(
+        int(child.generate_state(1, np.uint64)[0]) for child in children
+    )
+
+
+def seeded_configs(
+    base_seed: int, configs: Iterable[ExperimentConfig]
+) -> tuple[ExperimentConfig, ...]:
+    """Re-seed a grid of configs with independent per-point seeds."""
+    configs = tuple(configs)
+    seeds = spawn_seeds(base_seed, len(configs))
+    return tuple(
+        config.with_(seed=seed) for config, seed in zip(configs, seeds)
+    )
+
+
+def _run_point(point: SweepPoint, engine: str) -> ExperimentResult:
+    """Execute one grid point (also the worker-side entry)."""
+    return run_experiment(
+        point.config,
+        point.architectures,
+        objects=point.objects,
+        engine=engine,
+    )
+
+
+def _run_chunk(
+    points: Sequence[SweepPoint], engine: str, runner
+) -> list[tuple[str, bool, object]]:
+    """Worker task: run a chunk, reporting per-point success or error.
+
+    Exceptions are converted to strings here so one bad point never
+    poisons its chunk-mates or the process pool.
+    """
+    out: list[tuple[str, bool, object]] = []
+    for point in points:
+        try:
+            out.append((point.key, True, runner(point, engine)))
+        except Exception as exc:  # noqa: BLE001 - reported, never dropped
+            out.append((point.key, False, f"{type(exc).__name__}: {exc}"))
+    return out
+
+
+def _chunked(points: Sequence[SweepPoint], chunk_size: int):
+    for start in range(0, len(points), chunk_size):
+        yield points[start : start + chunk_size]
+
+
+def run_sweep(
+    points: Iterable[SweepPoint],
+    workers: int | None = None,
+    engine: str = "fast",
+    chunk_size: int | None = None,
+    retry_policy: RetryPolicy | None = DEFAULT_RETRY_POLICY,
+    timeout: float | None = None,
+    runner=_run_point,
+) -> SweepOutcome:
+    """Run a grid of sweep points, in parallel when it pays.
+
+    ``workers`` defaults to ``min(cpu_count, len(points))``; 0 or 1
+    forces the serial in-process path.  ``chunk_size`` groups points per
+    worker task (default: spread points evenly, ~4 chunks per worker).
+    ``retry_policy`` shapes re-execution of failing points
+    (``max_attempts`` tries with ``backoff_delay`` pauses); ``None``
+    means a single attempt.  ``timeout`` is a wall-clock deadline in
+    seconds for the whole sweep: finished points are kept, unfinished
+    ones are reported as failures.  ``runner`` is the per-point
+    callable (overridable for tests; must be picklable for workers).
+    """
+    points = list(points)
+    keys = [point.key for point in points]
+    if len(set(keys)) != len(keys):
+        raise ValueError("sweep point keys must be unique")
+    outcome = SweepOutcome()
+    if not points:
+        return outcome
+    if workers is None:
+        workers = min(os.cpu_count() or 1, len(points))
+    rng = Random(retry_policy.seed) if retry_policy else Random(0)
+    max_attempts = retry_policy.max_attempts if retry_policy else 1
+    deadline = time.monotonic() + timeout if timeout is not None else None
+
+    def backoff(attempt: int) -> None:
+        if retry_policy is None:
+            return
+        delay = retry_policy.backoff_delay(attempt - 1, rng)
+        if delay > 0:
+            time.sleep(delay)
+
+    if workers <= 1 or len(points) == 1:
+        for point in points:
+            errors: list[str] = []
+            for attempt in range(1, max_attempts + 1):
+                if deadline is not None and time.monotonic() > deadline:
+                    errors.append("timeout: sweep deadline exceeded")
+                    break
+                outcome.attempts[point.key] = attempt
+                try:
+                    outcome.results[point.key] = runner(point, engine)
+                    break
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(f"{type(exc).__name__}: {exc}")
+                    if attempt < max_attempts:
+                        backoff(attempt)
+            if point.key not in outcome.results:
+                outcome.failures[point.key] = errors or [
+                    "timeout: sweep deadline exceeded"
+                ]
+                outcome.attempts.setdefault(point.key, 0)
+        return outcome
+
+    by_key = {point.key: point for point in points}
+    if chunk_size is None:
+        chunk_size = max(1, len(points) // (workers * 4))
+    errors_by_key: dict[str, list[str]] = {key: [] for key in keys}
+    attempts_by_key: dict[str, int] = {key: 0 for key in keys}
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending = {}
+        for chunk in _chunked(points, chunk_size):
+            for point in chunk:
+                attempts_by_key[point.key] += 1
+            pending[pool.submit(_run_chunk, chunk, engine, runner)] = [
+                point.key for point in chunk
+            ]
+        timed_out = False
+        while pending:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    timed_out = True
+                    break
+            done, _ = wait(
+                pending, timeout=remaining, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                timed_out = True
+                break
+            for future in done:
+                chunk_keys = pending.pop(future)
+                try:
+                    reports = future.result()
+                except Exception as exc:  # noqa: BLE001 - whole chunk died
+                    reports = [
+                        (key, False, f"{type(exc).__name__}: {exc}")
+                        for key in chunk_keys
+                    ]
+                for key, ok, payload in reports:
+                    if ok:
+                        outcome.results[key] = payload
+                        continue
+                    errors_by_key[key].append(payload)
+                    if attempts_by_key[key] < max_attempts:
+                        # Retry the point alone so a chunk-mate's cost
+                        # is not paid twice.
+                        backoff(attempts_by_key[key])
+                        attempts_by_key[key] += 1
+                        pending[
+                            pool.submit(
+                                _run_chunk, [by_key[key]], engine, runner
+                            )
+                        ] = [key]
+                    else:
+                        outcome.failures[key] = errors_by_key[key]
+        if timed_out:
+            for future, chunk_keys in pending.items():
+                future.cancel()
+                for key in chunk_keys:
+                    if key not in outcome.results:
+                        errors_by_key[key].append(
+                            "timeout: sweep deadline exceeded"
+                        )
+                        outcome.failures[key] = errors_by_key[key]
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    outcome.attempts.update(attempts_by_key)
+    return outcome

@@ -6,6 +6,71 @@ import numpy as np
 import pytest
 
 from repro.topology import AccessTree, Network, Pop, PopTopology
+from repro.workload import Workload
+
+
+def make_workload(
+    network: Network,
+    seed: int,
+    num_requests: int | None = None,
+    num_objects: int | None = None,
+    heterogeneous_sizes: bool = False,
+) -> Workload:
+    """Hand-rolled random workload generator (no hypothesis required).
+
+    Everything derives from one integer seed, so a test case is
+    reproducible from its parametrization alone.  Popularity is skewed
+    by squaring a uniform draw (low object ids are hot), mimicking the
+    Zipf head without pulling in scipy.
+    """
+    rng = np.random.default_rng(seed)
+    if num_objects is None:
+        num_objects = int(rng.integers(1, 16))
+    if num_requests is None:
+        num_requests = int(rng.integers(1, 120))
+    leaves_range = network.tree.leaves
+    sizes = np.ones(num_objects)
+    if heterogeneous_sizes:
+        sizes = rng.uniform(0.2, 3.0, size=num_objects)
+    return Workload(
+        num_objects=num_objects,
+        pops=rng.integers(0, network.num_pops, size=num_requests,
+                          dtype=np.int64),
+        leaves=rng.integers(leaves_range.start, leaves_range.stop,
+                            size=num_requests, dtype=np.int64),
+        objects=(rng.random(num_requests) ** 2 * num_objects).astype(np.int64),
+        sizes=sizes,
+        origins=rng.integers(0, network.num_pops, size=num_objects,
+                             dtype=np.int64),
+    )
+
+
+def assert_results_identical(a, b) -> None:
+    """Field-for-field equality of two SimulationResults (bit-identical)."""
+    assert a.architecture == b.architecture
+    assert a.num_requests == b.num_requests
+    assert a.total_latency == b.total_latency
+    assert a.max_link_transfers == b.max_link_transfers
+    assert a.total_transfers == b.total_transfers
+    assert a.max_origin_load == b.max_origin_load
+    assert a.total_origin_load == b.total_origin_load
+    assert a.cache_served == b.cache_served
+    assert a.coop_served == b.coop_served
+    assert a.fallback_served == b.fallback_served
+    assert np.array_equal(a.link_transfers, b.link_transfers)
+    assert np.array_equal(a.origin_serves, b.origin_serves)
+
+
+@pytest.fixture
+def random_workload():
+    """The hand-rolled workload generator, as a fixture."""
+    return make_workload
+
+
+@pytest.fixture
+def results_identical():
+    """Field-for-field SimulationResult equality assertion."""
+    return assert_results_identical
 
 
 @pytest.fixture

@@ -1,0 +1,245 @@
+"""Differential suite pinning the fast engine to the reference engine.
+
+Every test runs the same configuration through ``engine="reference"``
+and ``engine="fast"`` and asserts *field-for-field* equality of the
+resulting :class:`SimulationResult` — including the float aggregates
+and the per-link / per-origin arrays.  The fast engine's contract is
+bit-identical output, so no tolerances appear anywhere in this file.
+
+The matrix covers the full architecture registry crossed with every
+replacement policy, plus the stateful corners: warm-up fractions,
+preloaded (and frozen) caches, failed nodes, the serving-capacity
+model, heterogeneous object sizes, non-unit latency models, and the
+alternative on-path insertion policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import (
+    BASELINE_ARCHITECTURES,
+    EDGE_COOP,
+    EDGE_INF,
+    EDGE_VARIANTS,
+    ICN_NR,
+    ICN_NR_GLOBAL,
+    ICN_NR_INF,
+    ICN_SP,
+    CapacityModel,
+    ExperimentConfig,
+    Simulator,
+    run_experiment,
+    simulate_no_cache,
+)
+from repro.core.latency import hop_costs as build_hop_costs
+
+pytestmark = pytest.mark.fastpath
+
+ALL_ARCHITECTURES = (
+    *BASELINE_ARCHITECTURES,
+    *EDGE_VARIANTS,
+    ICN_NR_GLOBAL,
+    EDGE_INF,
+    ICN_NR_INF,
+)
+POLICIES = ("lru", "lfu", "fifo")
+
+
+def _both(network, arch, workload, budgets, **kwargs):
+    """Run reference and fast engines over identical inputs."""
+    ref = Simulator(
+        network, arch, workload, budgets, engine="reference", **kwargs
+    ).run()
+    fast = Simulator(
+        network, arch, workload, budgets, engine="fast", **kwargs
+    ).run()
+    return ref, fast
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize(
+    "arch", ALL_ARCHITECTURES, ids=[a.name for a in ALL_ARCHITECTURES]
+)
+def test_architecture_policy_matrix(
+    small_network, random_workload, results_identical, arch, policy
+):
+    """Every registered design x every policy (and the infinite caches)."""
+    seed = hash((arch.name, arch.placement, policy)) % (2**31)
+    workload = random_workload(
+        small_network, seed, num_requests=600, num_objects=40
+    )
+    budgets = [3.0] * small_network.num_nodes
+    ref, fast = _both(
+        small_network, arch, workload, budgets, policy=policy
+    )
+    results_identical(ref, fast)
+
+
+@pytest.mark.parametrize("warmup", [0.0, 0.35, 0.8, 0.999])
+def test_warmup_fractions(
+    small_network, random_workload, results_identical, warmup
+):
+    workload = random_workload(
+        small_network, 7, num_requests=400, num_objects=25
+    )
+    budgets = [2.0] * small_network.num_nodes
+    ref, fast = _both(
+        small_network, ICN_SP, workload, budgets, warmup_fraction=warmup
+    )
+    results_identical(ref, fast)
+
+
+@pytest.mark.parametrize("frozen", [False, True])
+@pytest.mark.parametrize(
+    "arch", [ICN_SP, ICN_NR, ICN_NR_GLOBAL], ids=lambda a: a.name
+)
+def test_preload_and_frozen_caches(
+    small_network, random_workload, results_identical, arch, frozen
+):
+    """Preloaded state replays identically; frozen caches never mutate."""
+    workload = random_workload(
+        small_network, 11, num_requests=500, num_objects=30
+    )
+    budgets = [4.0] * small_network.num_nodes
+    leaf = small_network.tree.leaves.start  # first leaf of PoP 0's tree
+    preload = {0: [0, 1, 2], leaf: [3], small_network.tree_size: [0]}
+    ref, fast = _both(
+        small_network, arch, workload, budgets,
+        preload=preload, frozen_caches=frozen,
+    )
+    results_identical(ref, fast)
+
+
+@pytest.mark.parametrize(
+    "arch",
+    [ICN_SP, ICN_NR, ICN_NR_GLOBAL, EDGE_COOP],
+    ids=lambda a: a.name,
+)
+def test_failed_nodes(
+    small_network, random_workload, results_identical, arch
+):
+    """Routing around crashed caches matches, fallback counts included."""
+    workload = random_workload(
+        small_network, 13, num_requests=500, num_objects=30
+    )
+    budgets = [3.0] * small_network.num_nodes
+    failed = {0, small_network.tree_size + 1}
+    ref, fast = _both(
+        small_network, arch, workload, budgets, failed_nodes=failed
+    )
+    results_identical(ref, fast)
+    assert ref.fallback_served == fast.fallback_served
+
+
+@pytest.mark.parametrize(
+    "arch", [ICN_SP, ICN_NR, ICN_NR_GLOBAL], ids=lambda a: a.name
+)
+def test_capacity_model(
+    small_network, random_workload, results_identical, arch
+):
+    """Serving-capacity rejections fire at the same requests."""
+    workload = random_workload(
+        small_network, 17, num_requests=600, num_objects=20
+    )
+    budgets = [3.0] * small_network.num_nodes
+    ref, fast = _both(
+        small_network, arch, workload, budgets,
+        capacity=CapacityModel(per_window=4, window=50),
+    )
+    results_identical(ref, fast)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_heterogeneous_sizes(
+    small_network, random_workload, results_identical, policy
+):
+    """Variable object sizes: eviction loops and link loads stay equal."""
+    workload = random_workload(
+        small_network, 19, num_requests=600, num_objects=30,
+        heterogeneous_sizes=True,
+    )
+    budgets = [5.0] * small_network.num_nodes
+    for arch in (ICN_SP, ICN_NR, EDGE_COOP):
+        ref, fast = _both(
+            small_network, arch, workload, budgets, policy=policy
+        )
+        results_identical(ref, fast)
+
+
+@pytest.mark.parametrize("model", ["unit", "arithmetic", "core_weighted"])
+def test_latency_models(
+    small_network, random_workload, results_identical, model
+):
+    workload = random_workload(
+        small_network, 23, num_requests=400, num_objects=25
+    )
+    budgets = [3.0] * small_network.num_nodes
+    costs = build_hop_costs(small_network, model, 4.0)
+    ref, fast = _both(
+        small_network, ICN_NR, workload, budgets, hop_costs=costs
+    )
+    results_identical(ref, fast)
+
+
+@pytest.mark.parametrize("insertion", ["lcd", "probabilistic"])
+@pytest.mark.parametrize(
+    "arch", [ICN_SP, ICN_NR_GLOBAL], ids=lambda a: a.name
+)
+def test_insertion_policies(
+    small_network, random_workload, results_identical, arch, insertion
+):
+    """Leave-copy-down and coin-flip insertion consume the same RNG."""
+    workload = random_workload(
+        small_network, 29, num_requests=500, num_objects=30
+    )
+    budgets = [3.0] * small_network.num_nodes
+    variant = replace(
+        arch, name=f"{arch.name}-{insertion}", insertion=insertion
+    )
+    ref, fast = _both(small_network, variant, workload, budgets)
+    results_identical(ref, fast)
+
+
+def test_no_cache_baseline(small_network, random_workload, results_identical):
+    workload = random_workload(
+        small_network, 31, num_requests=400, num_objects=25
+    )
+    ref = simulate_no_cache(small_network, workload, engine="reference")
+    fast = simulate_no_cache(small_network, workload, engine="fast")
+    results_identical(ref, fast)
+
+
+def test_kitchen_sink(small_network, random_workload, results_identical):
+    """Everything at once: the combination must still be bit-identical."""
+    workload = random_workload(
+        small_network, 37, num_requests=700, num_objects=30,
+        heterogeneous_sizes=True,
+    )
+    budgets = [4.0] * small_network.num_nodes
+    costs = build_hop_costs(small_network, "core_weighted", 4.0)
+    for arch in (ICN_NR, ICN_NR_GLOBAL):
+        ref, fast = _both(
+            small_network, arch, workload, budgets,
+            policy="lfu",
+            hop_costs=costs,
+            capacity=CapacityModel(per_window=5, window=40),
+            failed_nodes={small_network.tree_size + 2},
+            warmup_fraction=0.3,
+        )
+        results_identical(ref, fast)
+
+
+def test_run_experiment_end_to_end(results_identical):
+    """The orchestration layer sees identical results and improvements."""
+    config = ExperimentConfig(
+        num_requests=4_000, num_objects=200, tree_depth=2, seed=99
+    )
+    ref = run_experiment(config, engine="reference")
+    fast = run_experiment(config, engine="fast")
+    results_identical(ref.baseline, fast.baseline)
+    for name in ref.results:
+        results_identical(ref.results[name], fast.results[name])
+        assert ref.improvements[name] == fast.improvements[name]

@@ -117,6 +117,72 @@ def test_zero_budget_equals_no_cache(workload):
     assert result.total_origin_load == baseline.total_origin_load
 
 
+# ---------------------------------------------------------------------
+# Hand-rolled generator properties (no hypothesis involved).
+#
+# The ``random_workload`` fixture (tests/conftest.py) derives a whole
+# workload from one integer seed, so these parametrized cases double as
+# a seed-reproducible property sweep — and, unlike the strategies
+# above, they exercise the fast engine as well as the reference one.
+# ---------------------------------------------------------------------
+
+ENGINES = ("reference", "fast")
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("seed", range(8))
+def test_hits_plus_misses_cover_requests(random_workload, engine, seed):
+    """Conservation: cache hits + coop hits + origin serves == requests."""
+    workload = random_workload(_NETWORK, seed)
+    for arch in ARCHITECTURES:
+        result = Simulator(
+            _NETWORK, arch, workload, [3.0] * _NETWORK.num_nodes,
+            engine=engine,
+        ).run()
+        assert result.num_requests == workload.num_requests
+        served = (result.cache_served + result.coop_served
+                  + int(result.total_origin_load))
+        assert served == result.num_requests
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("seed", range(8))
+def test_latency_bounded_by_no_cache_generated(random_workload, engine, seed):
+    """Caching never makes aggregate latency worse than no caching."""
+    workload = random_workload(_NETWORK, seed, num_requests=200)
+    baseline = simulate_no_cache(_NETWORK, workload, engine=engine)
+    for arch in ARCHITECTURES:
+        result = Simulator(
+            _NETWORK, arch, workload, [4.0] * _NETWORK.num_nodes,
+            engine=engine,
+        ).run()
+        assert result.total_latency <= baseline.total_latency + 1e-9
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("seed", range(6))
+def test_origin_load_monotone_in_budget(random_workload, engine, seed):
+    """More cache never sends more traffic to the origins (EDGE + LRU).
+
+    EDGE caches do not interact (each leaf sees an exogenous stream),
+    so the LRU inclusion property applies per cache: a bigger cache's
+    contents always contain the smaller cache's, hence origin load is
+    non-increasing in the budget.  (Interacting placements like ICN-SP
+    only satisfy this approximately — response paths feed back into
+    cache state — so the theorem-grade check uses EDGE.)
+    """
+    workload = random_workload(_NETWORK, seed, num_requests=300,
+                               num_objects=20)
+    loads = []
+    for budget in (0.0, 1.0, 2.0, 4.0, 8.0):
+        result = Simulator(
+            _NETWORK, EDGE, workload, [budget] * _NETWORK.num_nodes,
+            engine=engine,
+        ).run()
+        loads.append(result.total_origin_load)
+    assert loads == sorted(loads, reverse=True)
+
+
 @settings(max_examples=30, deadline=None)
 @given(workload=workloads())
 def test_global_oracle_roughly_dominates_scoped(workload):

@@ -1,0 +1,188 @@
+"""The parallel sweep runner: determinism, retries, and seed hygiene.
+
+The contracts under test:
+
+* worker count is invisible — serial and parallel execution of the same
+  grid produce field-for-field identical results;
+* failures are never silent — a raising point is retried per the
+  :class:`RetryPolicy` and, if it keeps failing, lands in
+  ``failures`` with its error history (results ∪ failures always
+  covers every submitted key);
+* per-point seeds derived from one base seed never collide, and the
+  derivation is itself deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ICN_SP,
+    ExperimentConfig,
+    SweepPoint,
+    run_sweep,
+    seeded_configs,
+    spawn_seeds,
+)
+from repro.idicn.retry import RetryPolicy
+
+SMALL = ExperimentConfig(
+    num_requests=2_000, num_objects=100, tree_depth=2, seed=7
+)
+
+
+def _points(n: int = 4) -> list[SweepPoint]:
+    configs = seeded_configs(
+        2013, [SMALL.with_(alpha=0.7 + 0.1 * i) for i in range(n)]
+    )
+    return [
+        SweepPoint(key=f"alpha-{i}", config=config, architectures=(ICN_SP,))
+        for i, config in enumerate(configs)
+    ]
+
+
+def _fingerprint(outcome):
+    return {
+        key: (
+            result.baseline.total_latency,
+            result.results["ICN-SP"].total_latency,
+            result.results["ICN-SP"].max_link_transfers,
+            result.results["ICN-SP"].total_origin_load,
+        )
+        for key, result in outcome.results.items()
+    }
+
+
+@pytest.mark.parametrize("workers", [2, 3])
+@pytest.mark.parametrize("chunk_size", [1, 2, None])
+def test_parallel_equals_serial(workers, chunk_size):
+    points = _points()
+    serial = run_sweep(points, workers=0)
+    parallel = run_sweep(points, workers=workers, chunk_size=chunk_size)
+    assert not serial.failures and not parallel.failures
+    assert _fingerprint(serial) == _fingerprint(parallel)
+
+
+def _flaky_runner(point, engine, fail_keys=frozenset(), always=False):
+    # Module-level so it pickles into worker processes.
+    if point.key in fail_keys and (
+        always or _flaky_runner.seen.setdefault(point.key, 0) < 1
+    ):
+        _flaky_runner.seen[point.key] = (
+            _flaky_runner.seen.get(point.key, 0) + 1
+        )
+        raise RuntimeError(f"injected fault at {point.key}")
+    from repro.core.sweep import _run_point
+
+    return _run_point(point, engine)
+
+
+_flaky_runner.seen = {}
+
+
+def _always_failing_runner(point, engine):
+    raise RuntimeError(f"injected fault at {point.key}")
+
+
+def _fail_once_runner(point, engine):
+    return _flaky_runner(point, engine, fail_keys={"alpha-1"})
+
+
+def test_transient_failure_is_retried_serial():
+    """A point that fails once succeeds on retry (attempts recorded)."""
+    _flaky_runner.seen.clear()
+    points = _points(3)
+    outcome = run_sweep(
+        points,
+        workers=0,
+        runner=_fail_once_runner,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0),
+    )
+    assert not outcome.failures
+    assert set(outcome.results) == {p.key for p in points}
+    assert outcome.attempts["alpha-1"] == 2
+    assert outcome.attempts["alpha-0"] == 1
+
+
+def test_permanent_failure_is_reported_never_dropped():
+    """A point that always fails shows up in failures with its history."""
+    points = _points(3)
+    policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+    for workers in (0, 2):
+        outcome = run_sweep(
+            points,
+            workers=workers,
+            runner=_always_failing_runner,
+            retry_policy=policy,
+        )
+        assert set(outcome.failures) == {p.key for p in points}
+        assert not outcome.results
+        for errors in outcome.failures.values():
+            assert len(errors) == policy.max_attempts
+            assert "injected fault" in errors[-1]
+        with pytest.raises(RuntimeError, match="injected fault"):
+            outcome.raise_on_failure()
+
+
+def test_results_and_failures_cover_all_keys():
+    """One bad point never takes down its chunk-mates."""
+    points = _points(5)
+
+    outcome = run_sweep(
+        points,
+        workers=2,
+        chunk_size=2,
+        runner=_bad_middle_runner,
+        retry_policy=None,
+    )
+    assert set(outcome.results) | set(outcome.failures) == {
+        p.key for p in points
+    }
+    assert set(outcome.failures) == {"alpha-2"}
+
+
+def _bad_middle_runner(point, engine):
+    if point.key == "alpha-2":
+        raise ValueError("poisoned point")
+    from repro.core.sweep import _run_point
+
+    return _run_point(point, engine)
+
+
+def test_duplicate_keys_rejected():
+    point = _points(1)[0]
+    with pytest.raises(ValueError, match="unique"):
+        run_sweep([point, point], workers=0)
+
+
+def test_empty_sweep():
+    outcome = run_sweep([], workers=4)
+    assert not outcome.results and not outcome.failures
+
+
+def test_spawn_seeds_are_distinct_and_deterministic():
+    seeds = spawn_seeds(2013, 64)
+    assert len(set(seeds)) == 64
+    assert seeds == spawn_seeds(2013, 64)
+    assert seeds[:16] == spawn_seeds(2013, 16)
+    assert spawn_seeds(2014, 64) != seeds
+
+
+def test_seeded_configs_gives_every_point_its_own_stream():
+    configs = seeded_configs(2013, [SMALL] * 8)
+    seeds = [config.seed for config in configs]
+    assert len(set(seeds)) == 8
+    # Same base seed -> same derived seeds (reproducible grids).
+    again = seeded_configs(2013, [SMALL] * 8)
+    assert [config.seed for config in again] == seeds
+
+
+def test_timeout_returns_partial_results():
+    """A deadline of zero reports every point as a timeout failure."""
+    points = _points(3)
+    outcome = run_sweep(points, workers=0, timeout=0.0)
+    assert set(outcome.results) | set(outcome.failures) == {
+        p.key for p in points
+    }
+    for errors in outcome.failures.values():
+        assert any("timeout" in err for err in errors)
