@@ -15,7 +15,7 @@ from collections.abc import Hashable, Iterator
 class Cache(ABC):
     """Abstract size-bounded cache."""
 
-    def __init__(self, capacity: float):
+    def __init__(self, capacity: float) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity

@@ -40,7 +40,9 @@ class FastLRU:
 
     __slots__ = ("capacity", "member", "order", "sizes", "used")
 
-    def __init__(self, capacity: float, num_objects: int, sizes: list[float]):
+    def __init__(
+        self, capacity: float, num_objects: int, sizes: list[float]
+    ) -> None:
         self.capacity = capacity
         self.member = bytearray(num_objects)
         self.order: dict[int, None] = {}
@@ -91,7 +93,9 @@ class FastFIFO:
 
     __slots__ = ("capacity", "member", "order", "sizes", "used")
 
-    def __init__(self, capacity: float, num_objects: int, sizes: list[float]):
+    def __init__(
+        self, capacity: float, num_objects: int, sizes: list[float]
+    ) -> None:
         self.capacity = capacity
         self.member = bytearray(num_objects)
         self.order: dict[int, None] = {}
@@ -141,7 +145,9 @@ class FastLFU:
 
     __slots__ = ("buckets", "capacity", "freq", "min_freq", "sizes", "used")
 
-    def __init__(self, capacity: float, num_objects: int, sizes: list[float]):
+    def __init__(
+        self, capacity: float, num_objects: int, sizes: list[float]
+    ) -> None:
         self.capacity = capacity
         self.freq = [0] * num_objects
         self.buckets: dict[int, dict[int, None]] = {}
@@ -217,7 +223,7 @@ class FastInfinite:
 
     __slots__ = ("member",)
 
-    def __init__(self, num_objects: int):
+    def __init__(self, num_objects: int) -> None:
         self.member = bytearray(num_objects)
 
     def lookup(self, obj: int) -> bool:
@@ -243,7 +249,7 @@ _FAST_POLICIES = {
 
 def make_fast_cache(
     policy: str, capacity: float, num_objects: int, sizes: list[float]
-):
+) -> "FastLRU | FastLFU | FastFIFO":
     """Instantiate flat cache state by policy name ('lru', 'lfu', 'fifo')."""
     try:
         cls = _FAST_POLICIES[policy]

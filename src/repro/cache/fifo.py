@@ -16,7 +16,7 @@ from .base import Cache
 class FIFOCache(Cache):
     """Size-aware FIFO cache: eviction order is insertion order."""
 
-    def __init__(self, capacity: float):
+    def __init__(self, capacity: float) -> None:
         super().__init__(capacity)
         self._entries: OrderedDict[Hashable, float] = OrderedDict()
         self._used = 0.0

@@ -15,7 +15,7 @@ from .base import Cache
 class LFUCache(Cache):
     """Size-aware LFU with LRU tie-breaking inside a frequency class."""
 
-    def __init__(self, capacity: float):
+    def __init__(self, capacity: float) -> None:
         super().__init__(capacity)
         self._size: dict[Hashable, float] = {}
         self._freq: dict[Hashable, int] = {}

@@ -21,7 +21,7 @@ class LRUCache(Cache):
     classic count-bounded LRU.
     """
 
-    def __init__(self, capacity: float):
+    def __init__(self, capacity: float) -> None:
         super().__init__(capacity)
         self._entries: OrderedDict[Hashable, float] = OrderedDict()
         self._used = 0.0

@@ -32,7 +32,7 @@ class CapacityModel:
 class CapacityTracker:
     """Per-node served-request counters over sliding request windows."""
 
-    def __init__(self, model: CapacityModel, num_nodes: int):
+    def __init__(self, model: CapacityModel, num_nodes: int) -> None:
         self._model = model
         self._counts = [0] * num_nodes
         self._window_id = 0

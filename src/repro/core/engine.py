@@ -54,7 +54,7 @@ class Simulator:
         frozen_caches: bool = False,
         failed_nodes: frozenset[int] | set[int] | tuple[int, ...] = (),
         engine: str = "reference",
-    ):
+    ) -> None:
         """See the module docstring for the simulation semantics.
 
         ``preload`` maps global node ids to objects inserted before the
@@ -87,7 +87,7 @@ class Simulator:
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
         self._failed = frozenset(int(n) for n in failed_nodes)
-        for node in self._failed:
+        for node in sorted(self._failed):
             if not 0 <= node < network.num_nodes:
                 raise ValueError(f"failed node {node} outside the network")
         self.network = network

@@ -58,7 +58,7 @@ class ExperimentConfig:
     warmup_fraction: float = 0.2
     seed: int = 2013
 
-    def with_(self, **changes) -> "ExperimentConfig":
+    def with_(self, **changes: object) -> "ExperimentConfig":
         """A modified copy (sweep helper)."""
         return replace(self, **changes)
 

@@ -29,6 +29,8 @@ contents — and therefore every downstream decision — never diverge.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..cache import InfiniteCache
@@ -37,6 +39,9 @@ from ..topology.network import HopCosts, Network
 from ..workload.generator import Workload
 from .metrics import SimulationResult
 from .routing import ReplicaDirectory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .engine import Simulator
 
 __all__ = ["FastEngine", "fast_no_cache"]
 
@@ -50,7 +55,7 @@ class FastEngine:
     ``run()`` starts from the constructor state.
     """
 
-    def __init__(self, sim) -> None:
+    def __init__(self, sim: "Simulator") -> None:
         self._sim = sim
         network = sim.network
         workload = sim.workload
@@ -69,7 +74,7 @@ class FastEngine:
 
         # Cache-enabled locals as an O(1) bitmap.
         self._is_cache = bytearray(ts)
-        for local in sim._cache_local_set:
+        for local in sorted(sim._cache_local_set):
             self._is_cache[local] = 1
         self._depth = [network.tree.depth_of(local) for local in range(ts)]
 

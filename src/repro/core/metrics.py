@@ -17,6 +17,7 @@ The sensitivity figures additionally report the *gap*
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -48,8 +49,8 @@ class SimulationResult:
         architecture: str,
         num_requests: int,
         total_latency: float,
-        link_transfers,
-        origin_serves,
+        link_transfers: Sequence[float] | np.ndarray,
+        origin_serves: Sequence[float] | np.ndarray,
         cache_served: int,
         coop_served: int,
         fallback_served: int = 0,
@@ -170,7 +171,7 @@ def gap(a: Improvements, b: Improvements) -> Improvements:
 class MetricsCollector:
     """Accumulates per-request observations during a simulation run."""
 
-    def __init__(self, num_links: int, num_pops: int):
+    def __init__(self, num_links: int, num_pops: int) -> None:
         self.num_requests = 0
         self.total_latency = 0.0
         self.cache_served = 0

@@ -25,7 +25,9 @@ class ReplicaDirectory:
     around failures.
     """
 
-    def __init__(self, network: Network, failed_nodes: frozenset[int] = frozenset()):
+    def __init__(
+        self, network: Network, failed_nodes: frozenset[int] = frozenset()
+    ) -> None:
         self._network = network
         self._failed = frozenset(failed_nodes)
         self._tree = network.tree

@@ -26,12 +26,15 @@ fallback when only one point is requested.
 
 from __future__ import annotations
 
+# The wall-clock reads in this module (time.monotonic/time.sleep)
+# schedule the sweep itself — deadlines and retry-backoff pauses; no
+# simulated result ever observes them.
+# lint: disable-file=D105
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from random import Random
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -123,7 +126,9 @@ def _run_point(point: SweepPoint, engine: str) -> ExperimentResult:
 
 
 def _run_chunk(
-    points: Sequence[SweepPoint], engine: str, runner
+    points: Sequence[SweepPoint],
+    engine: str,
+    runner: Callable[[SweepPoint, str], ExperimentResult],
 ) -> list[tuple[str, bool, object]]:
     """Worker task: run a chunk, reporting per-point success or error.
 
@@ -139,7 +144,9 @@ def _run_chunk(
     return out
 
 
-def _chunked(points: Sequence[SweepPoint], chunk_size: int):
+def _chunked(
+    points: Sequence[SweepPoint], chunk_size: int
+) -> Iterator[Sequence[SweepPoint]]:
     for start in range(0, len(points), chunk_size):
         yield points[start : start + chunk_size]
 
@@ -151,7 +158,7 @@ def run_sweep(
     chunk_size: int | None = None,
     retry_policy: RetryPolicy | None = DEFAULT_RETRY_POLICY,
     timeout: float | None = None,
-    runner=_run_point,
+    runner: Callable[[SweepPoint, str], ExperimentResult] = _run_point,
 ) -> SweepOutcome:
     """Run a grid of sweep points, in parallel when it pays.
 
@@ -174,7 +181,7 @@ def run_sweep(
         return outcome
     if workers is None:
         workers = min(os.cpu_count() or 1, len(points))
-    rng = Random(retry_policy.seed) if retry_policy else Random(0)
+    rng = np.random.default_rng(retry_policy.seed if retry_policy else 0)
     max_attempts = retry_policy.max_attempts if retry_policy else 1
     deadline = time.monotonic() + timeout if timeout is not None else None
 

@@ -5,17 +5,18 @@ idICN binds names to publishers by hashing the publisher's public key
 metadata.  Only the sign/verify/self-certify semantics matter for the
 design, so we implement textbook RSA with SHA-256 hash-then-sign over
 Python integers: Miller-Rabin prime generation, e = 65537, and a
-deterministic keygen seeded through ``random.Random`` so tests are
-reproducible.  This is NOT hardened cryptography (no padding oracle
-defenses, small default modulus for speed) and must not be used outside
-the simulation.
+deterministic keygen drawing arbitrary-precision integers from a seeded
+``np.random.Generator`` byte stream so tests are reproducible.  This is
+NOT hardened cryptography (no padding oracle defenses, small default
+modulus for speed) and must not be used outside the simulation.
 """
 
 from __future__ import annotations
 
 import hashlib
-import random
 from dataclasses import dataclass
+
+import numpy as np
 
 _PUBLIC_EXPONENT = 65537
 # Deterministic bases are sufficient for < 3.3 * 10^24 (we also run
@@ -28,7 +29,31 @@ def sha256_hex(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
-def _is_probable_prime(n: int, rng: random.Random, extra_rounds: int = 8) -> bool:
+def _random_bits(bits: int, rng: np.random.Generator) -> int:
+    """A uniform ``bits``-bit integer from the generator's byte stream.
+
+    numpy generators cannot produce arbitrary-precision integers
+    directly, so draw whole bytes and truncate to the requested width —
+    one seeded stream drives every draw, keeping keygen deterministic.
+    """
+    nbytes = (bits + 7) // 8
+    value = int.from_bytes(rng.bytes(nbytes), "big")
+    return value >> (nbytes * 8 - bits)
+
+
+def _random_range(low: int, high: int, rng: np.random.Generator) -> int:
+    """A uniform integer in ``[low, high)`` via rejection sampling."""
+    span = high - low
+    bits = span.bit_length()
+    while True:
+        candidate = _random_bits(bits, rng)
+        if candidate < span:
+            return low + candidate
+
+
+def _is_probable_prime(
+    n: int, rng: np.random.Generator, extra_rounds: int = 8
+) -> bool:
     if n < 2:
         return False
     for p in _MILLER_RABIN_BASES:
@@ -42,7 +67,7 @@ def _is_probable_prime(n: int, rng: random.Random, extra_rounds: int = 8) -> boo
         d //= 2
         r += 1
     bases = list(_MILLER_RABIN_BASES)
-    bases.extend(rng.randrange(2, n - 1) for _ in range(extra_rounds))
+    bases.extend(_random_range(2, n - 1, rng) for _ in range(extra_rounds))
     for a in bases:
         x = pow(a, d, n)
         if x in (1, n - 1):
@@ -56,9 +81,9 @@ def _is_probable_prime(n: int, rng: random.Random, extra_rounds: int = 8) -> boo
     return True
 
 
-def _random_prime(bits: int, rng: random.Random) -> int:
+def _random_prime(bits: int, rng: np.random.Generator) -> int:
     while True:
-        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        candidate = _random_bits(bits, rng) | (1 << (bits - 1)) | 1
         if _is_probable_prime(candidate, rng):
             return candidate
 
@@ -101,10 +126,15 @@ class KeyPair:
 
 
 def generate_keypair(bits: int = 512, seed: int | None = None) -> KeyPair:
-    """Generate an RSA key pair (small default modulus — simulation only)."""
+    """Generate an RSA key pair (small default modulus — simulation only).
+
+    Pass ``seed`` for a reproducible pair; ``None`` draws entropy from
+    the OS (acceptable here only because key material never feeds the
+    trace-driven simulation results).
+    """
     if bits < 128:
         raise ValueError("modulus must be at least 128 bits")
-    rng = random.Random(seed)
+    rng = np.random.default_rng(seed)
     while True:
         p = _random_prime(bits // 2, rng)
         q = _random_prime(bits - bits // 2, rng)

@@ -24,8 +24,9 @@ determinism tests pin down.
 from __future__ import annotations
 
 import hashlib
-import random
 from dataclasses import dataclass
+
+import numpy as np
 
 from .simnet import DroppedMessageError, Host, InjectedCallError, SimNet
 
@@ -66,7 +67,7 @@ class FaultPlane:
     def __init__(self, net: SimNet | None = None, seed: int = 0):
         self.net = net
         self.seed = seed
-        self._rng = random.Random(seed)
+        self._rng = np.random.default_rng(seed)
         self.drop_rate = 0.0
         self.error_rate = 0.0
         self.slow_rate = 0.0

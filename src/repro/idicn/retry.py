@@ -16,9 +16,10 @@ HTTP freshness lifetimes (a retry storm can age a cache entry).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Any
+
+import numpy as np
 
 from .simnet import Host, SimNetError
 
@@ -52,8 +53,13 @@ class RetryPolicy:
         if self.budget is not None and self.budget < 0:
             raise ValueError("budget must be >= 0")
 
-    def backoff_delay(self, retry_index: int, rng: random.Random) -> float:
-        """The delay before retry ``retry_index`` (0-based), jittered."""
+    def backoff_delay(self, retry_index: int, rng: np.random.Generator) -> float:
+        """The delay before retry ``retry_index`` (0-based), jittered.
+
+        ``rng`` is the caller's seeded generator (anything exposing
+        ``random()`` in [0, 1)); the policy never owns a stream, so one
+        injected seed drives every retry decision deterministically.
+        """
         delay = self.base_delay * self.multiplier**retry_index
         if self.jitter:
             delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
@@ -69,7 +75,7 @@ class Retrier:
 
     def __init__(self, policy: RetryPolicy | None = None):
         self.policy = policy
-        self._rng = random.Random(policy.seed if policy else 0)
+        self._rng = np.random.default_rng(policy.seed if policy else 0)
         self.retries = 0
         self.giveups = 0
 

@@ -1,0 +1,40 @@
+"""Repo-specific static analysis for the reproduction's contracts.
+
+The quantitative claims (Figures 6-10) rest on bit-identical seeded
+simulation, and two engines now share that contract.  ``repro.lint``
+enforces statically what the differential test matrix can only check
+for knobs it already knows about:
+
+* **determinism** (D1xx) — every random draw in the simulation packages
+  flows through a seeded ``np.random.Generator``; no stdlib ``random``,
+  wall clocks, or OS entropy;
+* **engine parity** (P2xx) — every ``Simulator.__init__`` knob is
+  consumed by the fast engine, every ``SimulationResult`` field is
+  produced by the shared ``from_counters`` finalizer;
+* **cache conformance** (C3xx) — every policy implements the full
+  ``Cache`` interface and has a registered fast-struct twin;
+* **order stability** (O4xx) — no unordered iteration or ``popitem`` in
+  the engine hot modules.
+
+Run as ``python -m repro.lint [paths]`` (text or ``--format json``),
+or through :func:`lint_paths` from tests.  Findings are silenced with
+inline ``# lint: disable=<rule>`` comments next to a justification.
+See DESIGN.md, "Static analysis & determinism contract".
+"""
+
+from .cli import main
+from .diagnostics import Diagnostic, Report, Rule, Severity
+from .rules import ALL_RULES, DETERMINISM_PACKAGES, RULES_BY_ID
+from .runner import lint_paths
+
+__all__ = [
+    "ALL_RULES",
+    "DETERMINISM_PACKAGES",
+    "Diagnostic",
+    "Report",
+    "Rule",
+    "RULES_BY_ID",
+    "Severity",
+    "lint_paths",
+    "main",
+]

@@ -1,0 +1,114 @@
+"""Small AST helpers shared by the repro.lint rule families."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def import_map(tree: ast.Module) -> dict[str, str]:
+    """Local alias -> canonical dotted name, from a module's imports.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import
+    time`` maps ``time -> time.time``; ``from numpy.random import
+    default_rng as rng`` maps ``rng -> numpy.random.default_rng``.
+    Only top-level and nested Import/ImportFrom statements are scanned
+    (relative imports resolve within the package and never shadow the
+    stdlib/numpy names the determinism rules look for).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                full = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                aliases[local] = full
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Canonical dotted name of an expression, through import aliases.
+
+    ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+    when ``np`` aliases ``numpy``; a bare ``default_rng`` resolves
+    through a ``from numpy.random import default_rng`` alias.
+    """
+    name = dotted(node)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    full_head = aliases.get(head, head)
+    return f"{full_head}.{rest}" if rest else full_head
+
+
+def class_methods(cls: ast.ClassDef) -> set[str]:
+    """Names of functions defined directly in a class body."""
+    return {
+        stmt.name
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def find_class(tree: ast.Module, name: str) -> ast.ClassDef | None:
+    """The top-level class definition called ``name``, if any."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def find_method(
+    cls: ast.ClassDef, name: str
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """The method called ``name`` defined directly on ``cls``, if any."""
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if stmt.name == name:
+                return stmt
+    return None
+
+
+def string_dict_keys(tree: ast.Module, name: str) -> dict[str, ast.expr] | None:
+    """Keys/values of a module-level ``NAME = {"k": v, ...}`` literal.
+
+    Returns None when no such assignment exists; non-string keys are
+    skipped (the registries this serves key policies by name).
+    """
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                if isinstance(value, ast.Dict):
+                    return {
+                        key.value: val
+                        for key, val in zip(value.keys, value.values)
+                        if isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                    }
+    return None

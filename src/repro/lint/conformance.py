@@ -1,0 +1,191 @@
+"""Cache-conformance rules (C3xx): policies and their fast twins agree.
+
+The simulator instantiates reference policies through the ``POLICIES``
+registry (``cache/__init__.py``) and the fast engine instantiates flat
+structs through ``_FAST_POLICIES`` (``cache/fast.py``).  A policy that
+exists in one registry but not the other, or that implements only part
+of the shared interface, is exactly the kind of drift the differential
+suite discovers late (or never, if the new policy is simply untested).
+
+* ``C301`` — every class deriving from ``Cache`` must define the full
+  abstract interface declared in ``cache/base.py`` (directly or via an
+  intermediate ``Cache`` subclass in the same package);
+* ``C302`` — ``POLICIES`` and ``_FAST_POLICIES`` must register exactly
+  the same policy names;
+* ``C303`` — every fast struct (the ``_FAST_POLICIES`` values plus
+  ``FastInfinite``) must define the engine-facing quartet
+  ``lookup``/``insert``/``__contains__``/``__len__``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import rules
+from .astutil import class_methods, find_class, string_dict_keys
+from .diagnostics import Diagnostic
+
+#: Methods the fast engine calls on every flat struct.
+FAST_STRUCT_METHODS = ("lookup", "insert", "__contains__", "__len__")
+
+
+def check_cache_conformance(
+    modules: dict[str, tuple[str, ast.Module]],
+) -> list[Diagnostic]:
+    """Run the C-family over the cache package.
+
+    ``modules`` maps module basenames (``"base"``, ``"fast"``,
+    ``"__init__"``, policy modules...) to ``(path, tree)`` pairs, as
+    collected by the runner from ``repro/cache/``.
+    """
+    out: list[Diagnostic] = []
+    base = modules.get("base")
+    required = _abstract_interface(base[1]) if base else None
+    init = modules.get("__init__")
+    fast = modules.get("fast")
+
+    # C301: every Cache subclass implements the abstract interface.
+    if required:
+        subclass_methods: dict[str, set[str]] = {}
+        for name, (path, tree) in sorted(modules.items()):
+            if name in ("base", "fast"):
+                continue
+            for stmt in tree.body:
+                if not isinstance(stmt, ast.ClassDef):
+                    continue
+                bases = {_base_name(b) for b in stmt.bases}
+                if "Cache" not in bases and not (
+                    bases & set(subclass_methods)
+                ):
+                    continue
+                inherited: set[str] = set()
+                for parent in bases & set(subclass_methods):
+                    inherited |= subclass_methods[parent]
+                methods = class_methods(stmt) | inherited
+                subclass_methods[stmt.name] = methods
+                missing = [m for m in required if m not in methods]
+                if missing:
+                    out.append(
+                        Diagnostic(
+                            rule=rules.CACHE_INTERFACE,
+                            path=path,
+                            line=stmt.lineno,
+                            col=stmt.col_offset,
+                            message=(
+                                f"cache policy `{stmt.name}` is missing "
+                                f"{', '.join(missing)} from the Cache base "
+                                "interface"
+                            ),
+                        )
+                    )
+
+    # C302/C303: registry parity and fast-struct completeness.
+    reference = (
+        string_dict_keys(init[1], "POLICIES") if init is not None else None
+    )
+    fast_registry = (
+        string_dict_keys(fast[1], "_FAST_POLICIES") if fast is not None else None
+    )
+    if reference is not None and fast_registry is not None:
+        assert init is not None and fast is not None
+        for policy in sorted(set(reference) - set(fast_registry)):
+            out.append(
+                Diagnostic(
+                    rule=rules.FAST_REGISTRY_DRIFT,
+                    path=init[0],
+                    line=reference[policy].lineno,
+                    col=reference[policy].col_offset,
+                    message=(
+                        f"policy `{policy}` is registered in POLICIES but "
+                        "has no fast struct in cache/fast.py "
+                        "(_FAST_POLICIES); the fast engine cannot run it"
+                    ),
+                )
+            )
+        for policy in sorted(set(fast_registry) - set(reference)):
+            out.append(
+                Diagnostic(
+                    rule=rules.FAST_REGISTRY_DRIFT,
+                    path=fast[0],
+                    line=fast_registry[policy].lineno,
+                    col=fast_registry[policy].col_offset,
+                    message=(
+                        f"fast policy `{policy}` has no reference twin in "
+                        "POLICIES (cache/__init__.py); the differential "
+                        "suite cannot pin it"
+                    ),
+                )
+            )
+    if fast is not None and fast_registry is not None:
+        struct_names = sorted(
+            {
+                node.id
+                for node in fast_registry.values()
+                if isinstance(node, ast.Name)
+            }
+            | {"FastInfinite"}
+        )
+        for struct_name in struct_names:
+            cls = find_class(fast[1], struct_name)
+            if cls is None:
+                out.append(
+                    Diagnostic(
+                        rule=rules.FAST_STRUCT_INTERFACE,
+                        path=fast[0],
+                        line=1,
+                        col=0,
+                        message=(
+                            f"fast struct `{struct_name}` is registered but "
+                            "not defined in cache/fast.py"
+                        ),
+                    )
+                )
+                continue
+            methods = class_methods(cls)
+            missing = [m for m in FAST_STRUCT_METHODS if m not in methods]
+            if missing:
+                out.append(
+                    Diagnostic(
+                        rule=rules.FAST_STRUCT_INTERFACE,
+                        path=fast[0],
+                        line=cls.lineno,
+                        col=cls.col_offset,
+                        message=(
+                            f"fast struct `{struct_name}` is missing "
+                            f"{', '.join(missing)} from the engine-facing "
+                            "interface"
+                        ),
+                    )
+                )
+    return out
+
+
+def _abstract_interface(base_tree: ast.Module) -> list[str]:
+    """Names of ``Cache``'s abstractmethod-decorated methods."""
+    cache_cls = find_class(base_tree, "Cache")
+    if cache_cls is None:
+        return []
+    required: list[str] = []
+    for stmt in cache_cls.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for decorator in stmt.decorator_list:
+            name = (
+                decorator.attr
+                if isinstance(decorator, ast.Attribute)
+                else decorator.id
+                if isinstance(decorator, ast.Name)
+                else None
+            )
+            if name == "abstractmethod":
+                required.append(stmt.name)
+                break
+    return required
+
+
+def _base_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None

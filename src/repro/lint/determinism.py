@@ -1,0 +1,223 @@
+"""Determinism rules (D1xx): every random draw flows through a seeded
+``np.random.Generator`` and nothing reads wall clocks or OS entropy.
+
+The paper's quantitative claims rest on bit-identical seeded runs, so
+inside the simulation packages (:data:`repro.lint.rules.DETERMINISM_PACKAGES`)
+these rules flag:
+
+* ``D101`` — importing stdlib ``random`` or ``secrets``;
+* ``D102`` — calling ``time.time``/``datetime.now``/``os.urandom``-class
+  entropy sources;
+* ``D103`` — ``np.random.default_rng()`` with no seed, and any call on
+  the legacy global ``numpy.random`` state (``np.random.seed``,
+  ``np.random.randint``, ``RandomState``, ...);
+* ``D104`` — a function that *accepts* an ``rng``/``seed`` parameter but
+  also constructs its own generator (two streams where the caller
+  injected one); constructing from the ``seed`` parameter itself is the
+  endorsed pattern and passes;
+* ``D105`` (warning) — ``time.monotonic``/``time.sleep``: legitimate for
+  orchestration deadlines, a bug if it ever feeds simulated results.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import rules
+from .astutil import import_map, resolve
+from .diagnostics import Diagnostic
+
+#: Modules whose import alone is a determinism error.
+_BANNED_MODULES = {"random", "secrets"}
+
+#: Calls that read the wall clock or OS entropy (D102).
+_ENTROPY_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Scheduling-clock calls (D105, warning severity).
+_SCHEDULING_CALLS = {
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.sleep",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+}
+
+#: numpy.random attributes that are fine to touch: the modern seeded
+#: Generator construction surface.
+_NUMPY_RANDOM_OK = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: Generator constructors a function with an injected rng/seed must not
+#: call (D104).
+_GENERATOR_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "random.Random",
+    "random.SystemRandom",
+}
+
+
+def applies_to(module: str) -> bool:
+    """Whether the D-family runs on a module (by dotted name)."""
+    for package in rules.DETERMINISM_PACKAGES:
+        if module == package or module.startswith(package + "."):
+            return True
+    return False
+
+
+def check_module(
+    path: str, module: str, tree: ast.Module
+) -> list[Diagnostic]:
+    """Run the determinism family over one parsed module."""
+    if not applies_to(module):
+        return []
+    aliases = import_map(tree)
+    out: list[Diagnostic] = []
+
+    def report(rule, node: ast.AST, message: str) -> None:
+        out.append(
+            Diagnostic(
+                rule=rule,
+                path=path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".", 1)[0]
+                if root in _BANNED_MODULES:
+                    report(
+                        rules.STDLIB_RANDOM,
+                        node,
+                        f"import of stdlib `{alias.name}`; draw through an "
+                        "injected seeded np.random.Generator instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module:
+                root = node.module.split(".", 1)[0]
+                if root in _BANNED_MODULES:
+                    names = ", ".join(a.name for a in node.names)
+                    report(
+                        rules.STDLIB_RANDOM,
+                        node,
+                        f"`from {node.module} import {names}`; draw through "
+                        "an injected seeded np.random.Generator instead",
+                    )
+        elif isinstance(node, ast.Call):
+            full = resolve(node.func, aliases)
+            if full is None:
+                continue
+            if full in _ENTROPY_CALLS:
+                report(
+                    rules.WALL_CLOCK,
+                    node,
+                    f"call to `{full}` injects wall-clock/OS entropy into "
+                    "a simulation package; use the simulated clock or an "
+                    "injected Generator",
+                )
+            elif full in _SCHEDULING_CALLS:
+                report(
+                    rules.SCHEDULING_CLOCK,
+                    node,
+                    f"call to `{full}`: acceptable for orchestration "
+                    "deadlines, never for simulated state (suppress with "
+                    "a justification if this is orchestration)",
+                )
+            elif full.startswith("numpy.random."):
+                attr = full[len("numpy.random.") :]
+                if attr == "default_rng":
+                    if not node.args and not node.keywords:
+                        report(
+                            rules.NUMPY_GLOBAL_RNG,
+                            node,
+                            "np.random.default_rng() without a seed is "
+                            "entropy-seeded; pass a pinned literal seed or "
+                            "a propagated seed/SeedSequence",
+                        )
+                elif attr not in _NUMPY_RANDOM_OK:
+                    report(
+                        rules.NUMPY_GLOBAL_RNG,
+                        node,
+                        f"`{full}` uses numpy's legacy global RNG state; "
+                        "use a seeded np.random.Generator",
+                    )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.extend(_check_shadowed_rng(path, node, aliases))
+    return out
+
+
+def _check_shadowed_rng(
+    path: str,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    aliases: dict[str, str],
+) -> list[Diagnostic]:
+    """D104: a function with an injected rng/seed builds its own stream."""
+    params = {
+        a.arg
+        for a in (
+            func.args.posonlyargs + func.args.args + func.args.kwonlyargs
+        )
+    }
+    has_rng = "rng" in params
+    has_seed = "seed" in params
+    if not has_rng and not has_seed:
+        return []
+    out: list[Diagnostic] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        full = resolve(node.func, aliases)
+        if full not in _GENERATOR_CONSTRUCTORS:
+            continue
+        if not has_rng and has_seed and _mentions_name(node, "seed"):
+            # Constructing the generator *from* the injected seed is the
+            # endorsed pattern (e.g. `default_rng(seed)`).
+            continue
+        what = "rng" if has_rng else "seed"
+        out.append(
+            Diagnostic(
+                rule=rules.SHADOWED_RNG,
+                path=path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"`{func.name}` accepts `{what}` but constructs its own "
+                    f"generator via `{full}`; draw from the injected stream"
+                ),
+            )
+        )
+    return out
+
+
+def _mentions_name(call: ast.Call, name: str) -> bool:
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        for node in ast.walk(arg):
+            if isinstance(node, ast.Name) and node.id == name:
+                return True
+    return False

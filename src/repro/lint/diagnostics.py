@@ -1,0 +1,146 @@
+"""Diagnostic records, severities, and report rendering for repro.lint.
+
+A lint run produces a :class:`Report`: the list of surviving
+:class:`Diagnostic` records (suppressed findings are counted, not
+listed) plus run statistics.  Reports render as human-readable text
+(one ``path:line:col: ID message`` row per finding, the format editors
+and CI log scrapers expect) or as a versioned JSON document for
+machine consumption (see :data:`JSON_VERSION`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+
+#: Schema version of the JSON output document.  Bump on any breaking
+#: change to the structure below (tests pin the schema).
+JSON_VERSION = 1
+
+
+class Severity(str, Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail the run (exit code 1); ``WARNING`` findings
+    are reported but only fail under ``--strict``.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: identity, default severity, and documentation."""
+
+    id: str
+    name: str
+    severity: Severity
+    summary: str
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding at one source location."""
+
+    rule: Rule
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Effective severity (defaults to the rule's; kept separate so a
+    #: future config layer can promote/demote individual rules).
+    severity: Severity | None = None
+
+    @property
+    def effective_severity(self) -> Severity:
+        """The severity this finding is reported at."""
+        return self.severity if self.severity is not None else self.rule.severity
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready mapping for one finding."""
+        return {
+            "rule": self.rule.id,
+            "name": self.rule.name,
+            "severity": self.effective_severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: ID message`` (the text-output row)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule.id} [{self.effective_severity.value}] {self.message}"
+        )
+
+
+@dataclass
+class Report:
+    """Everything one lint run produced."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> int:
+        """Number of error-severity findings."""
+        return sum(
+            1
+            for d in self.diagnostics
+            if d.effective_severity is Severity.ERROR
+        )
+
+    @property
+    def warnings(self) -> int:
+        """Number of warning-severity findings."""
+        return sum(
+            1
+            for d in self.diagnostics
+            if d.effective_severity is Severity.WARNING
+        )
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 when clean, 1 when findings fail the run."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def sorted_diagnostics(self) -> list[Diagnostic]:
+        """Findings in (path, line, col, rule) order for stable output."""
+        return sorted(
+            self.diagnostics, key=lambda d: (d.path, d.line, d.col, d.rule.id)
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """The versioned JSON document for one run."""
+        return {
+            "version": JSON_VERSION,
+            "summary": {
+                "files": self.files_checked,
+                "errors": self.errors,
+                "warnings": self.warnings,
+                "suppressed": self.suppressed,
+            },
+            "diagnostics": [d.as_dict() for d in self.sorted_diagnostics()],
+        }
+
+    def render_json(self) -> str:
+        """Pretty-printed JSON output."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=False)
+
+    def render_text(self) -> str:
+        """Human-readable output: one row per finding plus a summary."""
+        lines = [d.render() for d in self.sorted_diagnostics()]
+        lines.append(
+            f"{self.files_checked} file(s) checked: "
+            f"{self.errors} error(s), {self.warnings} warning(s), "
+            f"{self.suppressed} suppressed"
+        )
+        return "\n".join(lines)

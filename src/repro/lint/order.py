@@ -1,0 +1,148 @@
+"""Order-stability rules (O4xx) for the engine hot modules.
+
+Both engines accumulate floating-point counters in request order, so any
+iteration whose order is unspecified — walking a ``set``/``frozenset``,
+popping "the last" dict item — can legally differ between runs or
+Python builds and skew supposedly bit-identical results.  These rules
+cover ``core/engine.py`` and ``core/fastpath.py``:
+
+* ``O401`` — a ``for`` loop (or comprehension) whose iterable is a
+  set: a literal/comprehension/``set()``/``frozenset()`` expression, an
+  attribute that either module assigns a set into (``self._failed =
+  frozenset(...)``), or a local alias of one;
+* ``O402`` — any ``.popitem()`` call (LIFO dict order is an
+  implementation detail the engines must not depend on).
+
+Order-independent uses (validation loops, bitmap fills) should iterate
+``sorted(...)`` or carry an inline ``# lint: disable=O401`` with a
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import rules
+from .diagnostics import Diagnostic
+
+_SET_CONSTRUCTORS = {"set", "frozenset"}
+
+
+def check_order(
+    hot_modules: list[tuple[str, ast.Module]],
+) -> list[Diagnostic]:
+    """Run the O-family over the engine/fastpath module pair."""
+    set_attrs = _set_typed_attributes(hot_modules)
+    out: list[Diagnostic] = []
+    for path, tree in hot_modules:
+        out.extend(_check_module(path, tree, set_attrs))
+    return out
+
+
+def _set_typed_attributes(
+    hot_modules: list[tuple[str, ast.Module]],
+) -> frozenset[str]:
+    """Attribute names assigned a set/frozenset in any hot module.
+
+    Gathered across both modules because the fast engine reads the
+    reference simulator's attributes (``sim._failed``,
+    ``sim._cache_local_set``) without re-declaring their types.
+    """
+    attrs: set[str] = set()
+    for _, tree in hot_modules:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not _is_setish(node.value, frozenset(), frozenset()):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    attrs.add(target.attr)
+    return frozenset(attrs)
+
+
+def _is_setish(
+    expr: ast.expr,
+    set_attrs: frozenset[str],
+    local_sets: frozenset[str],
+) -> bool:
+    """Whether an expression is (statically) a set-typed value."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in _SET_CONSTRUCTORS
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in set_attrs
+    if isinstance(expr, ast.Name):
+        return expr.id in local_sets
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        # Set algebra (a | b, a - b) on set operands stays a set.
+        return _is_setish(expr.left, set_attrs, local_sets) or _is_setish(
+            expr.right, set_attrs, local_sets
+        )
+    return False
+
+
+def _check_module(
+    path: str, tree: ast.Module, set_attrs: frozenset[str]
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    functions = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    for func in functions:
+        local_sets: set[str] = set()
+        for node in ast.walk(func):
+            # Track local aliases of set values (`failed = sim._failed`).
+            if isinstance(node, ast.Assign) and _is_setish(
+                node.value, set_attrs, frozenset(local_sets)
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        local_sets.add(target.id)
+        frozen_locals = frozenset(local_sets)
+        for node in ast.walk(func):
+            iters: list[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(comp.iter for comp in node.generators)
+            for iter_expr in iters:
+                if _is_setish(iter_expr, set_attrs, frozen_locals):
+                    out.append(
+                        Diagnostic(
+                            rule=rules.SET_ITERATION,
+                            path=path,
+                            line=iter_expr.lineno,
+                            col=iter_expr.col_offset,
+                            message=(
+                                "iteration over a set/frozenset in an "
+                                "engine hot module; iterate sorted(...) or "
+                                "justify with an inline suppression"
+                            ),
+                        )
+                    )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "popitem"
+            ):
+                out.append(
+                    Diagnostic(
+                        rule=rules.POPITEM,
+                        path=path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "popitem() in an engine hot module depends on "
+                            "dict insertion/LIFO order; pop an explicit key"
+                        ),
+                    )
+                )
+    return out

@@ -1,0 +1,312 @@
+"""Engine-parity rules (P2xx): the fast engine must consume every knob.
+
+PR 2 introduced a second execution engine (``core/fastpath.py``) pinned
+to the reference engine by a differential test matrix.  That matrix can
+only sweep knobs it already knows about: a *new* ``Simulator.__init__``
+parameter that the fast engine ignores produces silently skewed results
+until someone extends the matrix.  These rules close that gap
+statically:
+
+* ``P201`` — every ``Simulator.__init__`` parameter must taint at least
+  one ``self.*`` attribute that ``core/fastpath.py`` reads off the
+  simulator (via ``sim.<attr>`` / ``self._sim.<attr>``).  Taint is a
+  simple forward pass over the constructor: a parameter flows through
+  local assignments into stored attributes (``budgets`` →
+  ``self.caches`` via ``make_cache(policy, budgets[node] * ...)``).
+  The ``engine`` parameter is the dispatch knob itself and is exempt.
+* ``P202`` — every ``SimulationResult`` dataclass field must be passed
+  to the ``cls(...)`` call inside ``from_counters``, the shared
+  finalizer both engines funnel through; an unwired field would let one
+  engine populate it and the other silently default it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import rules
+from .astutil import find_class, find_method
+from .diagnostics import Diagnostic
+
+#: ``Simulator.__init__`` parameters that select between engines rather
+#: than configure a run; by construction the fast engine never reads
+#: them back.
+DISPATCH_PARAMS = frozenset({"engine"})
+
+
+def check_parity(
+    engine_path: str,
+    engine_tree: ast.Module,
+    fastpath_tree: ast.Module,
+    metrics_path: str,
+    metrics_tree: ast.Module,
+) -> list[Diagnostic]:
+    """Run both parity rules over the engine/fastpath/metrics trio."""
+    out = _check_knobs(engine_path, engine_tree, fastpath_tree)
+    out.extend(_check_result_fields(metrics_path, metrics_tree))
+    return out
+
+
+# ----------------------------------------------------------------------
+# P201: Simulator knobs vs fast-engine consumption
+# ----------------------------------------------------------------------
+def _check_knobs(
+    engine_path: str,
+    engine_tree: ast.Module,
+    fastpath_tree: ast.Module,
+) -> list[Diagnostic]:
+    simulator = find_class(engine_tree, "Simulator")
+    if simulator is None:
+        return []
+    init = find_method(simulator, "__init__")
+    if init is None:
+        return []
+    params = [
+        a
+        for a in (
+            init.args.posonlyargs + init.args.args + init.args.kwonlyargs
+        )
+        if a.arg != "self"
+    ]
+    attr_taint = _constructor_taint(init, {a.arg for a in params})
+    consumed = _simulator_attrs_read(fastpath_tree)
+    out: list[Diagnostic] = []
+    for param in params:
+        if param.arg in DISPATCH_PARAMS:
+            continue
+        stored = {
+            attr for attr, taints in attr_taint.items() if param.arg in taints
+        }
+        if not stored:
+            message = (
+                f"Simulator knob `{param.arg}` is never stored on the "
+                "simulator, so the fast engine cannot consume it"
+            )
+        elif not stored & consumed:
+            attrs = ", ".join(sorted(stored))
+            message = (
+                f"Simulator knob `{param.arg}` (stored as {attrs}) is "
+                "never read by the fast engine in core/fastpath.py; the "
+                "engines would silently diverge"
+            )
+        else:
+            continue
+        out.append(
+            Diagnostic(
+                rule=rules.PARITY_KNOB,
+                path=engine_path,
+                line=param.lineno,
+                col=param.col_offset,
+                message=message,
+            )
+        )
+    return out
+
+
+def _constructor_taint(
+    init: ast.FunctionDef | ast.AsyncFunctionDef,
+    params: set[str],
+) -> dict[str, set[str]]:
+    """Stored attribute name -> set of __init__ params that taint it.
+
+    A forward pass in statement order: local names accumulate the
+    parameter taint of the names on their right-hand side, and every
+    assignment to ``self.X`` (or ``self.X[...]``) charges the taint of
+    its value to attribute ``X``.  Loop/with/if bodies are walked in
+    source order; that over-approximates reachability, which is the
+    safe direction for this rule (it can only make a knob look *more*
+    consumed locally, never hide a missing fast-engine read).
+    """
+    taint: dict[str, set[str]] = {p: {p} for p in params}
+    attrs: dict[str, set[str]] = {}
+
+    def names_taint(expr: ast.expr) -> set[str]:
+        found: set[str] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name):
+                found |= taint.get(node.id, set())
+        return found
+
+    def visit(stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                value = stmt.value
+                if value is None:
+                    continue
+                value_taint = names_taint(value)
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    for name in _attr_targets(target):
+                        attrs.setdefault(name, set()).update(value_taint)
+                    for name in _name_targets(target):
+                        taint.setdefault(name, set()).update(value_taint)
+            elif isinstance(stmt, ast.For):
+                iter_taint = names_taint(stmt.iter)
+                for name in _name_targets(stmt.target):
+                    taint.setdefault(name, set()).update(iter_taint)
+                visit(stmt.body)
+                visit(stmt.orelse)
+            elif isinstance(stmt, ast.While):
+                visit(stmt.body)
+                visit(stmt.orelse)
+            elif isinstance(stmt, ast.If):
+                visit(stmt.body)
+                visit(stmt.orelse)
+            elif isinstance(stmt, ast.With):
+                visit(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                visit(stmt.body)
+                for handler in stmt.handlers:
+                    visit(handler.body)
+                visit(stmt.orelse)
+                visit(stmt.finalbody)
+            elif isinstance(stmt, ast.Expr):
+                # Method calls like `self.caches[...].insert(...)` don't
+                # store new state; preload insertion happens via
+                # `self._insert`, whose inputs are already attributes.
+                continue
+
+    visit(init.body)
+    return attrs
+
+
+def _attr_targets(target: ast.expr) -> list[str]:
+    """Attribute names written by one assignment target on ``self``."""
+    node = target
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return [node.attr]
+    if isinstance(node, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for element in node.elts:
+            out.extend(_attr_targets(element))
+        return out
+    return []
+
+
+def _name_targets(target: ast.expr) -> list[str]:
+    """Local names written by one assignment target.
+
+    ``caches[node] = ...`` taints the local ``caches`` container, so
+    subscript targets unwrap to their base name.
+    """
+    while isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Starred):
+        return _name_targets(target.value)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for element in target.elts:
+            out.extend(_name_targets(element))
+        return out
+    return []
+
+
+def _simulator_attrs_read(fastpath_tree: ast.Module) -> set[str]:
+    """Attributes read off the simulator anywhere in core/fastpath.py.
+
+    The fast engine receives the simulator as a parameter named ``sim``
+    and stores it as ``self._sim``; both access spellings count.
+    """
+    consumed: set[str] = set()
+    for node in ast.walk(fastpath_tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        value = node.value
+        if isinstance(value, ast.Name) and value.id == "sim":
+            consumed.add(node.attr)
+        elif (
+            isinstance(value, ast.Attribute)
+            and value.attr in ("_sim", "sim")
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+        ):
+            consumed.add(node.attr)
+    return consumed
+
+
+# ----------------------------------------------------------------------
+# P202: SimulationResult fields vs from_counters
+# ----------------------------------------------------------------------
+def _check_result_fields(
+    metrics_path: str, metrics_tree: ast.Module
+) -> list[Diagnostic]:
+    result_cls = find_class(metrics_tree, "SimulationResult")
+    if result_cls is None:
+        return []
+    fields = [
+        stmt
+        for stmt in result_cls.body
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+    ]
+    factory = find_method(result_cls, "from_counters")
+    if factory is None:
+        if not fields:
+            return []
+        return [
+            Diagnostic(
+                rule=rules.PARITY_RESULT_FIELD,
+                path=metrics_path,
+                line=result_cls.lineno,
+                col=result_cls.col_offset,
+                message=(
+                    "SimulationResult has no from_counters factory; both "
+                    "engines must funnel through one shared finalizer"
+                ),
+            )
+        ]
+    produced = _factory_outputs(factory, fields)
+    out: list[Diagnostic] = []
+    for field in fields:
+        assert isinstance(field.target, ast.Name)
+        if field.target.id not in produced:
+            out.append(
+                Diagnostic(
+                    rule=rules.PARITY_RESULT_FIELD,
+                    path=metrics_path,
+                    line=field.lineno,
+                    col=field.col_offset,
+                    message=(
+                        f"SimulationResult field `{field.target.id}` is not "
+                        "produced by from_counters; one engine could set it "
+                        "and the other silently default it"
+                    ),
+                )
+            )
+    return out
+
+
+def _factory_outputs(
+    factory: ast.FunctionDef | ast.AsyncFunctionDef,
+    fields: list[ast.AnnAssign],
+) -> set[str]:
+    """Field names the ``cls(...)`` call inside ``from_counters`` fills."""
+    field_names = [
+        field.target.id
+        for field in fields
+        if isinstance(field.target, ast.Name)
+    ]
+    produced: set[str] = set()
+    for node in ast.walk(factory):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "cls"
+        ):
+            produced.update(
+                kw.arg for kw in node.keywords if kw.arg is not None
+            )
+            # Positional args fill fields in declaration order.
+            produced.update(field_names[: len(node.args)])
+    return produced

@@ -1,0 +1,177 @@
+"""The rule catalogue: every repro.lint rule, its id, and its severity.
+
+Rule ids are grouped by family:
+
+* ``D1xx`` — determinism: no stdlib ``random``, no wall-clock or OS
+  entropy, no unseeded or global-state NumPy RNGs inside the simulation
+  packages (``repro.core``, ``repro.cache``, ``repro.workload``,
+  ``repro.topology``, ``repro.idicn``);
+* ``P2xx`` — engine parity: every ``Simulator.__init__`` knob must be
+  consumed by the fast engine, every ``SimulationResult`` field must be
+  produced by ``from_counters`` (the drift the differential test matrix
+  cannot see, because it only sweeps knobs it already knows about);
+* ``C3xx`` — cache conformance: every policy implements the full
+  ``Cache`` interface and has a registered fast-struct twin;
+* ``O4xx`` — order stability: no iteration over unordered containers
+  and no ``dict.popitem`` in the engine/fastpath hot modules, where
+  iteration order feeds simulation results.
+
+``E999`` reports files the linter could not parse.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Rule, Severity
+
+#: Packages whose modules are subject to the determinism (D1xx) family.
+DETERMINISM_PACKAGES = (
+    "repro.core",
+    "repro.cache",
+    "repro.workload",
+    "repro.topology",
+    "repro.idicn",
+)
+
+SYNTAX_ERROR = Rule(
+    id="E999",
+    name="syntax-error",
+    severity=Severity.ERROR,
+    summary="file could not be parsed as Python",
+)
+
+STDLIB_RANDOM = Rule(
+    id="D101",
+    name="stdlib-random-import",
+    severity=Severity.ERROR,
+    summary=(
+        "stdlib `random`/`secrets` imported in a simulation package; "
+        "use an injected seeded numpy Generator"
+    ),
+)
+
+WALL_CLOCK = Rule(
+    id="D102",
+    name="wall-clock-call",
+    severity=Severity.ERROR,
+    summary=(
+        "wall-clock or OS-entropy call (time.time, datetime.now, "
+        "os.urandom, uuid.uuid4) in a simulation package"
+    ),
+)
+
+NUMPY_GLOBAL_RNG = Rule(
+    id="D103",
+    name="numpy-global-rng",
+    severity=Severity.ERROR,
+    summary=(
+        "unseeded np.random.default_rng() or legacy global-state "
+        "numpy.random call in a simulation package"
+    ),
+)
+
+SHADOWED_RNG = Rule(
+    id="D104",
+    name="shadowed-rng-param",
+    severity=Severity.ERROR,
+    summary=(
+        "function accepts an rng/seed parameter but constructs its own "
+        "generator, splitting the deterministic stream"
+    ),
+)
+
+SCHEDULING_CLOCK = Rule(
+    id="D105",
+    name="wall-clock-scheduling",
+    severity=Severity.WARNING,
+    summary=(
+        "time.monotonic/time.sleep in a simulation package; fine for "
+        "orchestration deadlines, a bug if it feeds simulated results"
+    ),
+)
+
+PARITY_KNOB = Rule(
+    id="P201",
+    name="engine-parity-knob",
+    severity=Severity.ERROR,
+    summary=(
+        "Simulator.__init__ knob is never consumed by the fast engine "
+        "(core/fastpath.py); the engines would silently diverge"
+    ),
+)
+
+PARITY_RESULT_FIELD = Rule(
+    id="P202",
+    name="result-field-unwired",
+    severity=Severity.ERROR,
+    summary=(
+        "SimulationResult field is not produced by from_counters, so "
+        "one engine could populate it and the other not"
+    ),
+)
+
+CACHE_INTERFACE = Rule(
+    id="C301",
+    name="cache-interface-incomplete",
+    severity=Severity.ERROR,
+    summary="cache policy does not implement the full Cache base interface",
+)
+
+FAST_REGISTRY_DRIFT = Rule(
+    id="C302",
+    name="fast-policy-registry-drift",
+    severity=Severity.ERROR,
+    summary=(
+        "POLICIES (reference) and _FAST_POLICIES (cache/fast.py) "
+        "register different policy names"
+    ),
+)
+
+FAST_STRUCT_INTERFACE = Rule(
+    id="C303",
+    name="fast-struct-incomplete",
+    severity=Severity.ERROR,
+    summary=(
+        "fast cache struct is missing part of the engine-facing "
+        "interface (lookup/insert/__contains__/__len__)"
+    ),
+)
+
+SET_ITERATION = Rule(
+    id="O401",
+    name="set-iteration-hot-path",
+    severity=Severity.ERROR,
+    summary=(
+        "iteration over a set/frozenset in an engine hot module; "
+        "iteration order is unspecified and can skew results"
+    ),
+)
+
+POPITEM = Rule(
+    id="O402",
+    name="dict-popitem-hot-path",
+    severity=Severity.ERROR,
+    summary=(
+        "dict.popitem in an engine hot module; LIFO order is an "
+        "implementation detail the engines must not depend on"
+    ),
+)
+
+#: Every rule, in catalogue order.
+ALL_RULES: tuple[Rule, ...] = (
+    SYNTAX_ERROR,
+    STDLIB_RANDOM,
+    WALL_CLOCK,
+    NUMPY_GLOBAL_RNG,
+    SHADOWED_RNG,
+    SCHEDULING_CLOCK,
+    PARITY_KNOB,
+    PARITY_RESULT_FIELD,
+    CACHE_INTERFACE,
+    FAST_REGISTRY_DRIFT,
+    FAST_STRUCT_INTERFACE,
+    SET_ITERATION,
+    POPITEM,
+)
+
+#: Rule lookup by id (e.g. ``RULES_BY_ID["D101"]``).
+RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

@@ -1,0 +1,294 @@
+"""File collection and rule dispatch for repro.lint.
+
+The runner turns path arguments into a set of parsed modules, maps each
+file to its dotted module name (everything from the last ``repro`` path
+component down, so fixture trees under ``tmp/src/repro/...`` lint the
+same way the real package does), runs the per-file determinism family,
+and then anchors the project-scope families:
+
+* engine parity needs ``repro.core.engine`` / ``repro.core.fastpath`` /
+  ``repro.core.metrics``;
+* cache conformance needs the ``repro/cache/`` modules;
+* order stability needs the engine/fastpath pair.
+
+Anchors are taken from the linted set first and fall back to the
+package directory on disk (so ``python -m repro.lint src/repro/idicn``
+still checks engine parity for the package it belongs to).  Inline
+suppressions are applied last, against every family uniformly.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from . import conformance, determinism, order, parity, rules
+from .diagnostics import Diagnostic, Report
+from .suppressions import SuppressionIndex
+
+#: Module names the project-scope families anchor on.
+_ENGINE_MODULE = "repro.core.engine"
+_FASTPATH_MODULE = "repro.core.fastpath"
+_METRICS_MODULE = "repro.core.metrics"
+_CACHE_PACKAGE = "repro.cache"
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One collected file: location, module identity, and parse results."""
+
+    path: Path
+    display: str
+    module: str
+    source: str
+    tree: ast.Module | None
+    error: str | None = None
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name from the last ``repro`` path component down.
+
+    Files outside any ``repro`` package keep their stem as the module
+    name, which places them outside every package-scoped rule family.
+    """
+    parts = list(path.parts)
+    anchor = None
+    for index, part in enumerate(parts):
+        if part == "repro":
+            anchor = index
+    if anchor is None:
+        return path.stem
+    dotted = [p for p in parts[anchor:-1]] + [path.stem]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Python files under the given paths, sorted and deduplicated."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            out.append(candidate)
+    return out
+
+
+def _display(path: Path) -> str:
+    """Path as printed in diagnostics: relative to cwd when possible."""
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def _load(path: Path) -> SourceFile:
+    display = _display(path)
+    module = module_name(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return SourceFile(path, display, module, "", None, str(exc))
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return SourceFile(
+            path, display, module, source, None,
+            f"syntax error: {exc.msg} (line {exc.lineno})",
+        )
+    return SourceFile(path, display, module, source, tree)
+
+
+def _resolve_anchor(
+    files: dict[str, SourceFile],
+    module: str,
+    sources: dict[str, str],
+) -> SourceFile | None:
+    """Find an anchor module: from the linted set, else from disk.
+
+    The disk fallback walks up from any linted ``repro`` module to the
+    package root and loads the sibling file, so partial lint runs keep
+    the cross-file guarantees of the whole package.  Loaded sources are
+    recorded in ``sources`` so inline suppressions still apply.
+    """
+    found = files.get(module)
+    if found is not None:
+        return found
+    relative = Path(*module.split(".")[1:]).with_suffix(".py")
+    for source_file in files.values():
+        if not source_file.module.startswith("repro"):
+            continue
+        parts = list(source_file.path.parts)
+        for index in range(len(parts) - 1, -1, -1):
+            if parts[index] == "repro":
+                candidate = Path(*parts[: index + 1]) / relative
+                if candidate.is_file():
+                    loaded = _load(candidate)
+                    sources[loaded.display] = loaded.source
+                    return loaded
+                break
+    return None
+
+
+def _resolve_cache_package(
+    files: dict[str, SourceFile],
+    sources: dict[str, str],
+) -> dict[str, tuple[str, ast.Module]]:
+    """The cache package's modules, by basename, for conformance rules."""
+    modules: dict[str, tuple[str, ast.Module]] = {}
+    cache_dir: Path | None = None
+    for source_file in files.values():
+        in_package = source_file.module == _CACHE_PACKAGE or (
+            source_file.module.startswith(_CACHE_PACKAGE + ".")
+        )
+        if in_package and source_file.tree is not None:
+            modules[source_file.path.stem] = (
+                source_file.display,
+                source_file.tree,
+            )
+            cache_dir = source_file.path.parent
+    if cache_dir is None:
+        anchor = _resolve_anchor(files, _CACHE_PACKAGE + ".base", sources)
+        if anchor is None:
+            return {}
+        cache_dir = anchor.path.parent
+    for path in sorted(cache_dir.glob("*.py")):
+        if path.stem in modules:
+            continue
+        loaded = _load(path)
+        if loaded.tree is not None:
+            modules[path.stem] = (loaded.display, loaded.tree)
+            sources[loaded.display] = loaded.source
+    return modules
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> Report:
+    """Lint files under ``paths`` and return the full report.
+
+    ``select`` restricts the run to the given rule ids; ``ignore``
+    removes ids from whatever is selected.  Inline suppressions are
+    applied on top of both.
+    """
+    selected = _selected_rules(select, ignore)
+    collected = [_load(path) for path in collect_files(paths)]
+    files = {f.module: f for f in collected}
+    sources = {f.display: f.source for f in collected}
+    report = Report(files_checked=len(collected))
+    raw: list[Diagnostic] = []
+
+    for source_file in collected:
+        if source_file.error is not None:
+            raw.append(
+                Diagnostic(
+                    rule=rules.SYNTAX_ERROR,
+                    path=source_file.display,
+                    line=1,
+                    col=0,
+                    message=source_file.error,
+                )
+            )
+            continue
+        assert source_file.tree is not None
+        raw.extend(
+            determinism.check_module(
+                source_file.display, source_file.module, source_file.tree
+            )
+        )
+
+    engine = _resolve_anchor(files, _ENGINE_MODULE, sources)
+    fastpath = _resolve_anchor(files, _FASTPATH_MODULE, sources)
+    metrics = _resolve_anchor(files, _METRICS_MODULE, sources)
+    if (
+        engine is not None
+        and fastpath is not None
+        and metrics is not None
+        and engine.tree is not None
+        and fastpath.tree is not None
+        and metrics.tree is not None
+    ):
+        raw.extend(
+            parity.check_parity(
+                engine.display,
+                engine.tree,
+                fastpath.tree,
+                metrics.display,
+                metrics.tree,
+            )
+        )
+    hot_modules = [
+        (anchor.display, anchor.tree)
+        for anchor in (engine, fastpath)
+        if anchor is not None and anchor.tree is not None
+    ]
+    if hot_modules:
+        raw.extend(order.check_order(hot_modules))
+
+    cache_modules = _resolve_cache_package(files, sources)
+    if cache_modules:
+        raw.extend(conformance.check_cache_conformance(cache_modules))
+
+    # Apply rule selection, dedup, and inline suppressions.
+    indexes: dict[str, SuppressionIndex] = {}
+    seen: set[tuple[str, str, int, int]] = set()
+    for diagnostic in raw:
+        if diagnostic.rule.id not in selected:
+            continue
+        key = (
+            diagnostic.rule.id,
+            diagnostic.path,
+            diagnostic.line,
+            diagnostic.col,
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        index = indexes.get(diagnostic.path)
+        if index is None and diagnostic.path in sources:
+            index = SuppressionIndex.from_source(sources[diagnostic.path])
+            indexes[diagnostic.path] = index
+        if index is not None and index.is_suppressed(
+            diagnostic.rule.id, diagnostic.line
+        ):
+            report.suppressed += 1
+            continue
+        report.diagnostics.append(diagnostic)
+    return report
+
+
+def _selected_rules(
+    select: Iterable[str] | None, ignore: Iterable[str] | None
+) -> frozenset[str]:
+    selected = (
+        {r.upper() for r in select}
+        if select is not None
+        else set(rules.RULES_BY_ID)
+    )
+    unknown = selected - set(rules.RULES_BY_ID)
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    if ignore is not None:
+        ignored = {r.upper() for r in ignore}
+        unknown = ignored - set(rules.RULES_BY_ID)
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}"
+            )
+        selected -= ignored
+    return frozenset(selected)

@@ -1,0 +1,69 @@
+"""Inline suppression comments for repro.lint.
+
+Two forms, both matched anywhere in a physical line:
+
+* ``# lint: disable=D101`` (or a comma list, ``disable=D101,O401``) —
+  suppresses those rules on that line only;
+* ``# lint: disable-file=D105`` — suppresses the rules for the whole
+  file (conventionally placed near the top, next to a justification).
+
+``all`` suppresses every rule.  Ids are case-insensitive.  Suppressions
+are intentionally line-scoped (no block/push-pop syntax): a finding
+should be silenced exactly where it occurs, next to the comment that
+justifies it.
+"""
+
+from __future__ import annotations
+
+import re
+
+_PATTERN = re.compile(
+    r"#\s*lint:\s*disable(?P<scope>-file)?\s*=\s*"
+    r"(?P<ids>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+class SuppressionIndex:
+    """Which rule ids are suppressed on which lines of one file."""
+
+    def __init__(
+        self,
+        by_line: dict[int, frozenset[str]],
+        file_wide: frozenset[str],
+    ):
+        self._by_line = by_line
+        self._file_wide = file_wide
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Scan raw source text for suppression comments.
+
+        A plain regex over physical lines is deliberate: it sees
+        comments (which the AST drops) and never fails on code that
+        does not parse.  False positives would require the literal
+        marker inside a string on the same line as a finding — accepted.
+        """
+        by_line: dict[int, frozenset[str]] = {}
+        file_wide: set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "lint:" not in text:
+                continue
+            for match in _PATTERN.finditer(text):
+                ids = frozenset(
+                    part.strip().upper()
+                    for part in match.group("ids").split(",")
+                    if part.strip()
+                )
+                if match.group("scope"):
+                    file_wide |= ids
+                else:
+                    by_line[lineno] = by_line.get(lineno, frozenset()) | ids
+        return cls(by_line, frozenset(file_wide))
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is silenced at ``line``."""
+        rule_id = rule_id.upper()
+        if rule_id in self._file_wide or "ALL" in self._file_wide:
+            return True
+        ids = self._by_line.get(line)
+        return ids is not None and (rule_id in ids or "ALL" in ids)

@@ -189,19 +189,19 @@ class TestRetryPolicy:
             RetryPolicy(budget=-1.0)
 
     def test_backoff_grows_exponentially_without_jitter(self):
-        import random
+        import numpy as np
 
         policy = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.0)
-        rng = random.Random(0)
+        rng = np.random.default_rng(0)
         assert [policy.backoff_delay(i, rng) for i in range(3)] == [
             pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.4)
         ]
 
     def test_jitter_stays_within_band(self):
-        import random
+        import numpy as np
 
         policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.25)
-        rng = random.Random(3)
+        rng = np.random.default_rng(3)
         for _ in range(100):
             assert 0.75 <= policy.backoff_delay(0, rng) <= 1.25
 

@@ -1,0 +1,106 @@
+"""CLI surface: output formats, rule selection, and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import ALL_RULES, RULES_BY_ID, main
+
+from .conftest import write_tree
+
+
+def _write_d101(tmp_path):
+    return write_tree(
+        tmp_path, {"src/repro/core/mod.py": "import random\n"}
+    )
+
+
+class TestJsonOutput:
+    def test_schema(self, tmp_path, capsys):
+        _write_d101(tmp_path)
+        code = main([str(tmp_path / "src"), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["version"] == 1
+        assert set(payload) == {"version", "summary", "diagnostics"}
+        assert payload["summary"] == {
+            "files": 1,
+            "errors": 1,
+            "warnings": 0,
+            "suppressed": 0,
+        }
+        (diag,) = payload["diagnostics"]
+        assert set(diag) == {
+            "rule", "name", "severity", "path", "line", "col", "message",
+        }
+        assert diag["rule"] == "D101"
+        assert diag["name"] == "stdlib-random-import"
+        assert diag["severity"] == "error"
+        assert diag["line"] == 1
+        assert diag["path"].endswith("mod.py")
+
+    def test_clean_run_has_empty_diagnostics(self, tmp_path, capsys):
+        write_tree(tmp_path, {"src/repro/core/ok.py": "X = 1\n"})
+        code = main([str(tmp_path / "src"), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["diagnostics"] == []
+        assert payload["summary"]["files"] == 1
+
+
+class TestTextOutput:
+    def test_row_format_and_summary_line(self, tmp_path, capsys):
+        _write_d101(tmp_path)
+        code = main([str(tmp_path / "src")])
+        out = capsys.readouterr().out
+        assert code == 1
+        row, summary = out.strip().splitlines()
+        assert ":1:0: D101 [error]" in row
+        assert summary == "1 file(s) checked: 1 error(s), 0 warning(s), 0 suppressed"
+
+
+class TestRuleSelection:
+    def test_select_limits_to_listed_rules(self, tmp_path, capsys):
+        _write_d101(tmp_path)
+        assert main([str(tmp_path / "src"), "--select", "O401"]) == 0
+        assert main([str(tmp_path / "src"), "--select", "D101"]) == 1
+
+    def test_ignore_removes_rules(self, tmp_path, capsys):
+        _write_d101(tmp_path)
+        assert main([str(tmp_path / "src"), "--ignore", "D101"]) == 0
+
+    def test_unknown_rule_id_is_usage_error(self, tmp_path, capsys):
+        _write_d101(tmp_path)
+        assert main([str(tmp_path / "src"), "--select", "D999"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_select_is_case_insensitive(self, tmp_path, capsys):
+        _write_d101(tmp_path)
+        assert main([str(tmp_path / "src"), "--select", "d101"]) == 1
+
+
+class TestStrictMode:
+    def test_warnings_fail_only_under_strict(self, tmp_path, capsys):
+        write_tree(
+            tmp_path,
+            {
+                "src/repro/core/mod.py": (
+                    "import time\n\n\ndef wait():\n    time.sleep(1)\n"
+                )
+            },
+        )
+        assert main([str(tmp_path / "src")]) == 0
+        assert main([str(tmp_path / "src"), "--strict"]) == 1
+
+
+class TestListRules:
+    def test_catalogue_is_complete(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.id in out
+            assert rule.name in out
+
+    def test_catalogue_ids_are_unique_and_indexed(self):
+        assert len(RULES_BY_ID) == len(ALL_RULES)
+        assert all(RULES_BY_ID[r.id] is r for r in ALL_RULES)

@@ -1,0 +1,200 @@
+"""C3xx cache-conformance rules against a synthetic cache package."""
+
+from __future__ import annotations
+
+from .conftest import CACHE_PACKAGE, rule_ids
+
+
+def _package(**overrides: str) -> dict[str, str]:
+    files = dict(CACHE_PACKAGE)
+    files.update(overrides)
+    return files
+
+
+class TestCacheInterface:
+    def test_clean_package_passes(self, lint_tree):
+        report = lint_tree(_package())
+        assert rule_ids(report) == []
+        assert report.exit_code() == 0
+
+    def test_missing_abstract_method_flagged(self, lint_tree):
+        report = lint_tree(
+            _package(
+                **{
+                    "src/repro/cache/lru.py": """\
+                    from .base import Cache
+
+
+                    class LRUCache(Cache):
+                        def lookup(self, key):
+                            return False
+                    """
+                }
+            )
+        )
+        assert rule_ids(report) == ["C301"]
+        (diag,) = report.diagnostics
+        assert "LRUCache" in diag.message
+        assert "insert" in diag.message
+
+    def test_inheritance_through_intermediate_subclass(self, lint_tree):
+        # `TinyLFU(BudgetCache)` implements nothing itself but inherits
+        # the full interface from an intermediate Cache subclass; the
+        # linter must credit inherited methods, not demand re-definition.
+        report = lint_tree(
+            _package(
+                **{
+                    "src/repro/cache/budget.py": """\
+                    from .base import Cache
+
+
+                    class BudgetCache(Cache):
+                        def lookup(self, key):
+                            return False
+
+                        def insert(self, key, size):
+                            return None
+                    """,
+                    "src/repro/cache/lfu.py": """\
+                    from .budget import BudgetCache
+
+
+                    class TinyLFU(BudgetCache):
+                        pass
+                    """,
+                }
+            )
+        )
+        assert rule_ids(report) == []
+
+    def test_unrelated_class_ignored(self, lint_tree):
+        report = lint_tree(
+            _package(
+                **{
+                    "src/repro/cache/stats.py": """\
+                    class HitCounter:
+                        def bump(self):
+                            return None
+                    """
+                }
+            )
+        )
+        assert rule_ids(report) == []
+
+
+class TestRegistryDrift:
+    def test_reference_policy_without_fast_twin(self, lint_tree):
+        report = lint_tree(
+            _package(
+                **{
+                    "src/repro/cache/__init__.py": """\
+                    from .lru import LRUCache
+
+                    POLICIES = {"lru": LRUCache, "arc": LRUCache}
+                    """
+                }
+            )
+        )
+        assert rule_ids(report) == ["C302"]
+        (diag,) = report.diagnostics
+        assert "arc" in diag.message
+        assert "no fast struct" in diag.message
+
+    def test_fast_policy_without_reference_twin(self, lint_tree):
+        report = lint_tree(
+            _package(
+                **{
+                    "src/repro/cache/fast.py": CACHE_PACKAGE[
+                        "src/repro/cache/fast.py"
+                    ].replace(
+                        '_FAST_POLICIES = {"lru": FastLRU}',
+                        '_FAST_POLICIES = {"lru": FastLRU, "mru": FastLRU}',
+                    )
+                }
+            )
+        )
+        assert rule_ids(report) == ["C302"]
+        (diag,) = report.diagnostics
+        assert "mru" in diag.message
+        assert "no reference twin" in diag.message
+
+
+class TestFastStructInterface:
+    def test_incomplete_struct_flagged(self, lint_tree):
+        report = lint_tree(
+            _package(
+                **{
+                    "src/repro/cache/fast.py": """\
+                    class FastLRU:
+                        def lookup(self, key):
+                            return False
+
+                        def insert(self, key, size):
+                            return None
+
+
+                    class FastInfinite:
+                        def lookup(self, key):
+                            return True
+
+                        def insert(self, key, size):
+                            return None
+
+                        def __contains__(self, key):
+                            return True
+
+                        def __len__(self):
+                            return 0
+
+
+                    _FAST_POLICIES = {"lru": FastLRU}
+                    """
+                }
+            )
+        )
+        assert rule_ids(report) == ["C303"]
+        (diag,) = report.diagnostics
+        assert "FastLRU" in diag.message
+        assert "__contains__" in diag.message and "__len__" in diag.message
+
+    def test_registered_but_undefined_struct_flagged(self, lint_tree):
+        report = lint_tree(
+            _package(
+                **{
+                    "src/repro/cache/fast.py": """\
+                    class FastLRU:
+                        def lookup(self, key):
+                            return False
+
+                        def insert(self, key, size):
+                            return None
+
+                        def __contains__(self, key):
+                            return False
+
+                        def __len__(self):
+                            return 0
+
+
+                    class FastInfinite(FastLRU):
+                        def lookup(self, key):
+                            return True
+
+                        def insert(self, key, size):
+                            return None
+
+                        def __contains__(self, key):
+                            return True
+
+                        def __len__(self):
+                            return 0
+
+
+                    _FAST_POLICIES = {"lru": FastLRU, "ghost": FastGhost}
+                    """
+                }
+            )
+        )
+        assert "C303" in rule_ids(report)
+        messages = " ".join(d.message for d in report.diagnostics)
+        assert "FastGhost" in messages and "not defined" in messages

@@ -1,0 +1,235 @@
+"""D1xx determinism rules: pass and fail fixtures for each rule."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+
+class TestStdlibRandomImport:
+    def test_import_random_flagged(self, lint_tree):
+        report = lint_tree(
+            {"src/repro/workload/zipf.py": "import random\n"}
+        )
+        assert rule_ids(report) == ["D101"]
+        assert report.exit_code() == 1
+
+    def test_from_random_import_flagged(self, lint_tree):
+        report = lint_tree(
+            {"src/repro/core/util.py": "from random import choice\n"}
+        )
+        assert rule_ids(report) == ["D101"]
+
+    def test_secrets_flagged(self, lint_tree):
+        report = lint_tree(
+            {"src/repro/idicn/token.py": "import secrets\n"}
+        )
+        assert rule_ids(report) == ["D101"]
+
+    def test_outside_simulation_packages_allowed(self, lint_tree):
+        # Analysis/tooling modules are not bound by the determinism
+        # contract; only the packages feeding simulation results are.
+        report = lint_tree(
+            {"src/repro/analysis/plots.py": "import random\n"}
+        )
+        assert rule_ids(report) == []
+        assert report.exit_code() == 0
+
+    def test_numpy_import_allowed(self, lint_tree):
+        report = lint_tree(
+            {"src/repro/core/ok.py": "import numpy as np\n"}
+        )
+        assert rule_ids(report) == []
+
+
+class TestWallClock:
+    def test_time_time_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/clock.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            }
+        )
+        assert rule_ids(report) == ["D102"]
+
+    def test_from_import_alias_resolved(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/topology/gen.py": """\
+                from time import time
+
+                def stamp():
+                    return time()
+                """
+            }
+        )
+        assert rule_ids(report) == ["D102"]
+
+    def test_datetime_now_and_urandom_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/idicn/entropy.py": """\
+                import os
+                from datetime import datetime
+
+                def draw():
+                    return datetime.now(), os.urandom(8)
+                """
+            }
+        )
+        assert rule_ids(report) == ["D102", "D102"]
+
+    def test_simulated_clock_allowed(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sim.py": """\
+                def advance(clock):
+                    return clock.now()
+                """
+            }
+        )
+        assert rule_ids(report) == []
+
+
+class TestNumpyGlobalRng:
+    def test_unseeded_default_rng_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/workload/gen.py": """\
+                import numpy as np
+
+                def make():
+                    return np.random.default_rng()
+                """
+            }
+        )
+        assert rule_ids(report) == ["D103"]
+
+    def test_seeded_default_rng_allowed(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/workload/gen.py": """\
+                import numpy as np
+
+                def make(config):
+                    return np.random.default_rng(config.seed)
+                """
+            }
+        )
+        assert rule_ids(report) == []
+
+    def test_legacy_global_state_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/legacy.py": """\
+                import numpy as np
+
+                def draw():
+                    np.random.seed(1)
+                    return np.random.randint(10)
+                """
+            }
+        )
+        assert rule_ids(report) == ["D103", "D103"]
+
+    def test_seed_sequence_and_bit_generators_allowed(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/streams.py": """\
+                import numpy as np
+
+                def spawn(base):
+                    seq = np.random.SeedSequence(base)
+                    return np.random.Generator(np.random.PCG64(seq))
+                """
+            }
+        )
+        assert rule_ids(report) == []
+
+
+class TestShadowedRngParam:
+    def test_rng_param_with_own_generator_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/cache/warm.py": """\
+                import numpy as np
+
+                def warm(cache, rng):
+                    extra = np.random.default_rng(7)
+                    return extra.random()
+                """
+            }
+        )
+        assert rule_ids(report) == ["D104"]
+
+    def test_seed_param_feeding_generator_allowed(self, lint_tree):
+        # Constructing the stream *from* the injected seed is the
+        # endorsed pattern, not a split stream.
+        report = lint_tree(
+            {
+                "src/repro/cache/warm.py": """\
+                import numpy as np
+
+                def warm(cache, seed):
+                    rng = np.random.default_rng(seed)
+                    return rng.random()
+                """
+            }
+        )
+        assert rule_ids(report) == []
+
+    def test_seed_param_ignored_by_generator_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/cache/warm.py": """\
+                import numpy as np
+
+                def warm(cache, seed):
+                    rng = np.random.default_rng(0)
+                    return rng.random()
+                """
+            }
+        )
+        assert rule_ids(report) == ["D104"]
+
+    def test_rng_param_drawn_from_allowed(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/idicn/jitter.py": """\
+                def jitter(base, rng):
+                    return base * rng.random()
+                """
+            }
+        )
+        assert rule_ids(report) == []
+
+
+class TestSchedulingClockWarning:
+    def test_monotonic_is_warning_not_error(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/deadline.py": """\
+                import time
+
+                def expired(deadline):
+                    return time.monotonic() > deadline
+                """
+            }
+        )
+        assert rule_ids(report) == ["D105"]
+        assert report.errors == 0
+        assert report.warnings == 1
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+
+class TestSyntaxError:
+    def test_unparseable_file_is_e999(self, lint_tree):
+        report = lint_tree(
+            {"src/repro/core/broken.py": "def broken(:\n"}
+        )
+        assert rule_ids(report) == ["E999"]
+        assert report.exit_code() == 1

@@ -1,0 +1,120 @@
+"""Meta-tests: the linter's verdict on this repository itself.
+
+The acceptance contract for the lint subsystem is two-sided: the shipped
+tree must lint clean, and the regressions the linter exists to catch —
+re-importing stdlib ``random`` into the engine, adding a Simulator knob
+the fast engine ignores — must flip the exit code to non-zero.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+from .conftest import rule_ids
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+@pytest.fixture
+def repo_copy(tmp_path):
+    """A scratch copy of the real ``src/repro`` tree, safe to mutate."""
+    target = tmp_path / "src" / "repro"
+    shutil.copytree(SRC / "repro", target)
+    return target
+
+
+def test_shipped_tree_lints_clean():
+    report = lint_paths([SRC])
+    assert rule_ids(report) == []
+    assert report.exit_code() == 0
+    assert report.files_checked > 50
+    # The justified orchestration suppressions (core/sweep.py) are
+    # counted, proving the suppression path is exercised on real code.
+    assert report.suppressed > 0
+
+
+def test_module_entry_point_exits_clean_on_repo():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "src"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 error(s)" in proc.stdout
+
+
+def test_reintroducing_stdlib_random_fails_the_lint(repo_copy):
+    engine = repo_copy / "core" / "engine.py"
+    engine.write_text(
+        engine.read_text(encoding="utf-8").replace(
+            "import numpy as np", "import numpy as np\nimport random", 1
+        ),
+        encoding="utf-8",
+    )
+    report = lint_paths([repo_copy])
+    assert "D101" in rule_ids(report)
+    assert report.exit_code() == 1
+
+
+def test_unconsumed_simulator_knob_fails_the_lint(repo_copy):
+    engine = repo_copy / "core" / "engine.py"
+    source = engine.read_text(encoding="utf-8")
+    marker = 'engine: str = "reference",'
+    assert marker in source, "Simulator dispatch knob moved; update test"
+    engine.write_text(
+        source.replace(
+            marker, marker + "\n        mystery_knob: int = 0,", 1
+        ),
+        encoding="utf-8",
+    )
+    report = lint_paths([repo_copy])
+    ids = rule_ids(report)
+    assert "P201" in ids
+    assert any(
+        "mystery_knob" in d.message for d in report.diagnostics
+    )
+    assert report.exit_code() == 1
+
+
+def test_unwired_result_field_fails_the_lint(repo_copy):
+    metrics = repo_copy / "core" / "metrics.py"
+    source = metrics.read_text(encoding="utf-8")
+    marker = "class SimulationResult:"
+    assert marker in source
+    # Insert a new dataclass field that from_counters never produces.
+    lines = source.splitlines(keepends=True)
+    for index, line in enumerate(lines):
+        if marker in line:
+            docstring_end = index + 1
+            lines.insert(docstring_end, "    phantom_field: int = 0\n")
+            break
+    metrics.write_text("".join(lines), encoding="utf-8")
+    report = lint_paths([repo_copy])
+    assert "P202" in rule_ids(report)
+    assert report.exit_code() == 1
+
+
+def test_dropping_a_fast_policy_fails_the_lint(repo_copy):
+    fast = repo_copy / "cache" / "fast.py"
+    source = fast.read_text(encoding="utf-8")
+    assert '"lru"' in source
+    fast.write_text(
+        source.replace('"lru": FastLRU,', "", 1), encoding="utf-8"
+    )
+    report = lint_paths([repo_copy])
+    assert "C302" in rule_ids(report)
+    assert report.exit_code() == 1

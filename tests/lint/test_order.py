@@ -1,0 +1,109 @@
+"""O4xx order-stability rules over the engine/fastpath hot modules."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+
+class TestSetIteration:
+    def test_set_literal_iteration_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/engine.py": """\
+                def drain():
+                    total = 0
+                    for item in {1, 2, 3}:
+                        total += item
+                    return total
+                """
+            }
+        )
+        assert rule_ids(report) == ["O401"]
+
+    def test_cross_module_set_attribute_flagged(self, lint_tree):
+        # engine.py assigns a frozenset into `self._failed`; the fast
+        # engine iterating `sim._failed` is flagged even though the
+        # set-typed assignment lives in the other module.
+        report = lint_tree(
+            {
+                "src/repro/core/engine.py": """\
+                class Simulator:
+                    def __init__(self, down):
+                        self._failed = frozenset(down)
+                """,
+                "src/repro/core/fastpath.py": """\
+                def replay(sim):
+                    out = []
+                    for node in sim._failed:
+                        out.append(node)
+                    return out
+                """,
+            }
+        )
+        assert rule_ids(report) == ["O401"]
+        (diag,) = report.diagnostics
+        assert "fastpath" in diag.path
+
+    def test_local_alias_of_set_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/engine.py": """\
+                def union(a, b):
+                    merged = set(a) | set(b)
+                    return [x for x in merged]
+                """
+            }
+        )
+        assert rule_ids(report) == ["O401"]
+
+    def test_sorted_iteration_allowed(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/engine.py": """\
+                def drain(items):
+                    pool = set(items)
+                    total = 0
+                    for item in sorted(pool):
+                        total += item
+                    return total
+                """
+            }
+        )
+        assert rule_ids(report) == []
+
+    def test_set_iteration_outside_hot_modules_allowed(self, lint_tree):
+        # Order stability is an engine-hot-path contract; a workload
+        # helper may walk a set (as long as results don't depend on it).
+        report = lint_tree(
+            {
+                "src/repro/workload/helper.py": """\
+                def count(items):
+                    return sum(1 for _ in set(items))
+                """
+            }
+        )
+        assert rule_ids(report) == []
+
+
+class TestPopitem:
+    def test_popitem_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/fastpath.py": """\
+                def evict(table):
+                    return table.popitem()
+                """
+            }
+        )
+        assert rule_ids(report) == ["O402"]
+
+    def test_pop_with_explicit_key_allowed(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/fastpath.py": """\
+                def evict(table, key):
+                    return table.pop(key)
+                """
+            }
+        )
+        assert rule_ids(report) == []

@@ -1,0 +1,187 @@
+"""P2xx engine-parity rules against a synthetic engine/fastpath/metrics trio."""
+
+from __future__ import annotations
+
+from .conftest import PARITY_TRIO, rule_ids
+
+
+def _trio(**overrides: str) -> dict[str, str]:
+    files = dict(PARITY_TRIO)
+    files.update(overrides)
+    return files
+
+
+class TestKnobParity:
+    def test_clean_trio_passes(self, lint_tree):
+        report = lint_tree(_trio())
+        assert rule_ids(report) == []
+        assert report.exit_code() == 0
+
+    def test_never_stored_knob_flagged(self, lint_tree):
+        report = lint_tree(
+            _trio(
+                **{
+                    "src/repro/core/engine.py": """\
+                    class Simulator:
+                        def __init__(self, topology, mystery=0):
+                            self.topology = topology
+                    """,
+                    "src/repro/core/fastpath.py": """\
+                    class FastEngine:
+                        def __init__(self, sim):
+                            self._order = list(sim.topology)
+                    """,
+                }
+            )
+        )
+        assert rule_ids(report) == ["P201"]
+        (diag,) = report.diagnostics
+        assert "mystery" in diag.message
+        assert "never stored" in diag.message
+
+    def test_stored_but_unread_knob_flagged(self, lint_tree):
+        report = lint_tree(
+            _trio(
+                **{
+                    "src/repro/core/engine.py": """\
+                    class Simulator:
+                        def __init__(self, topology, quirk=0):
+                            self.topology = topology
+                            self.quirk = quirk
+                    """,
+                    "src/repro/core/fastpath.py": """\
+                    class FastEngine:
+                        def __init__(self, sim):
+                            self._order = list(sim.topology)
+                    """,
+                }
+            )
+        )
+        assert rule_ids(report) == ["P201"]
+        (diag,) = report.diagnostics
+        assert "quirk" in diag.message
+        assert "never read by the fast engine" in diag.message
+
+    def test_indirect_taint_through_locals_consumed(self, lint_tree):
+        # `budgets` flows through a local dict into `self.caches`, which
+        # the fast engine reads — the knob counts as consumed even
+        # though `sim.budgets` itself is never touched.
+        report = lint_tree(
+            _trio(
+                **{
+                    "src/repro/core/engine.py": """\
+                    class Simulator:
+                        def __init__(self, topology, budgets):
+                            self.topology = topology
+                            caches = {}
+                            for node in topology:
+                                caches[node] = budgets[node] * 2
+                            self.caches = caches
+                    """,
+                    "src/repro/core/fastpath.py": """\
+                    class FastEngine:
+                        def __init__(self, sim):
+                            self._order = list(sim.topology)
+                            self._caches = dict(sim.caches)
+                    """,
+                }
+            )
+        )
+        assert rule_ids(report) == []
+
+    def test_engine_dispatch_knob_exempt(self, lint_tree):
+        # The `engine` parameter selects between engines; by
+        # construction the fast engine never reads it back.
+        report = lint_tree(
+            _trio(
+                **{
+                    "src/repro/core/engine.py": """\
+                    class Simulator:
+                        def __init__(self, topology, engine="reference"):
+                            self.topology = topology
+                    """,
+                    "src/repro/core/fastpath.py": """\
+                    class FastEngine:
+                        def __init__(self, sim):
+                            self._order = list(sim.topology)
+                    """,
+                }
+            )
+        )
+        assert rule_ids(report) == []
+
+    def test_parity_skipped_without_all_anchors(self, lint_tree):
+        # Without fastpath/metrics there is no trio to compare; the
+        # determinism family still runs on the lone engine module.
+        files = {"src/repro/core/engine.py": PARITY_TRIO["src/repro/core/engine.py"]}
+        report = lint_tree(files)
+        assert rule_ids(report) == []
+
+
+class TestResultFieldParity:
+    def test_unwired_field_flagged(self, lint_tree):
+        report = lint_tree(
+            _trio(
+                **{
+                    "src/repro/core/metrics.py": """\
+                    from dataclasses import dataclass
+
+
+                    @dataclass(frozen=True)
+                    class SimulationResult:
+                        requests: int
+                        evictions: int = 0
+
+                        @classmethod
+                        def from_counters(cls, requests):
+                            return cls(requests=requests)
+                    """
+                }
+            )
+        )
+        assert rule_ids(report) == ["P202"]
+        (diag,) = report.diagnostics
+        assert "evictions" in diag.message
+
+    def test_positional_factory_args_count(self, lint_tree):
+        # from_counters may fill fields positionally; declaration order
+        # maps them back to field names.
+        report = lint_tree(
+            _trio(
+                **{
+                    "src/repro/core/metrics.py": """\
+                    from dataclasses import dataclass
+
+
+                    @dataclass(frozen=True)
+                    class SimulationResult:
+                        requests: int
+                        hits: int
+
+                        @classmethod
+                        def from_counters(cls, requests, hits):
+                            return cls(requests, hits)
+                    """
+                }
+            )
+        )
+        assert rule_ids(report) == []
+
+    def test_missing_factory_flagged(self, lint_tree):
+        report = lint_tree(
+            _trio(
+                **{
+                    "src/repro/core/metrics.py": """\
+                    from dataclasses import dataclass
+
+
+                    @dataclass(frozen=True)
+                    class SimulationResult:
+                        requests: int
+                    """
+                }
+            )
+        )
+        assert rule_ids(report) == ["P202"]
+        (diag,) = report.diagnostics
+        assert "from_counters" in diag.message

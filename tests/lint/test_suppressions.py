@@ -1,0 +1,109 @@
+"""Inline suppression handling: line-scoped, file-wide, and `all`."""
+
+from __future__ import annotations
+
+from repro.lint.suppressions import SuppressionIndex
+
+from .conftest import rule_ids
+
+
+class TestLineSuppressions:
+    def test_suppresses_on_its_line_only(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/mod.py": """\
+                import random  # lint: disable=D101
+                import secrets
+                """
+            }
+        )
+        assert rule_ids(report) == ["D101"]
+        assert report.suppressed == 1
+        (diag,) = report.diagnostics
+        assert diag.line == 2
+
+    def test_comma_list_and_lowercase_ids(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/mod.py": """\
+                import random  # lint: disable=d101, O401
+                """
+            }
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+    def test_other_rule_id_does_not_suppress(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/mod.py": """\
+                import random  # lint: disable=D102
+                """
+            }
+        )
+        assert rule_ids(report) == ["D101"]
+        assert report.suppressed == 0
+
+
+class TestFileSuppressions:
+    def test_file_wide_suppresses_everywhere(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/mod.py": """\
+                # lint: disable-file=D105
+                import time
+
+
+                def wait(deadline):
+                    time.sleep(0.1)
+                    return time.monotonic() > deadline
+                """
+            }
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 2
+
+    def test_file_wide_scopes_to_one_file(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/a.py": "# lint: disable-file=D101\nimport random\n",
+                "src/repro/core/b.py": "import random\n",
+            }
+        )
+        assert rule_ids(report) == ["D101"]
+        assert report.suppressed == 1
+        (diag,) = report.diagnostics
+        assert diag.path.endswith("b.py")
+
+    def test_all_wildcard(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/mod.py": """\
+                # lint: disable-file=all
+                import random
+                import secrets
+                """
+            }
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 2
+        assert report.exit_code() == 0
+
+
+class TestSuppressionIndex:
+    def test_line_and_file_scopes(self):
+        index = SuppressionIndex.from_source(
+            "# lint: disable-file=D105\n"
+            "x = 1  # lint: disable=O401,O402\n"
+        )
+        assert index.is_suppressed("D105", 99)
+        assert index.is_suppressed("o401", 2)
+        assert index.is_suppressed("O402", 2)
+        assert not index.is_suppressed("O401", 3)
+        assert not index.is_suppressed("D101", 2)
+
+    def test_plain_comment_is_not_a_suppression(self):
+        index = SuppressionIndex.from_source(
+            "# we should lint: disable nothing here\n"
+        )
+        assert not index.is_suppressed("D101", 1)

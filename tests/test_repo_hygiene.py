@@ -1,11 +1,17 @@
-"""Repository hygiene: docs exist and reference real artifacts."""
+"""Repository hygiene: docs exist, reference real artifacts, and the
+source tree passes its own static-analysis gate."""
 
+import importlib.util
 import re
 from pathlib import Path
 
 import pytest
 
 ROOT = Path(__file__).resolve().parent.parent
+
+
+def _tool_available(module: str) -> bool:
+    return importlib.util.find_spec(module) is not None
 
 
 class TestDocs:
@@ -65,3 +71,57 @@ class TestLayout:
         for path in (ROOT / "src" / "repro").rglob("*.py"):
             tree = ast.parse(path.read_text())
             assert ast.get_docstring(tree), f"{path} lacks a module docstring"
+
+
+class TestStaticAnalysis:
+    """The tree must pass the repo's own linter (and ruff/mypy when
+    installed — CI always installs them; the bare container may not)."""
+
+    def test_repro_lint_is_clean(self):
+        from repro.lint import lint_paths
+
+        report = lint_paths([ROOT / "src", ROOT / "benchmarks"])
+        rendered = report.render_text()
+        assert report.exit_code() == 0, rendered
+        assert report.errors == 0, rendered
+
+    def test_lint_rule_catalogue_documented_in_design(self):
+        from repro.lint import ALL_RULES
+
+        text = (ROOT / "DESIGN.md").read_text()
+        for rule in ALL_RULES:
+            assert rule.id in text, (
+                f"DESIGN.md does not document lint rule {rule.id}"
+            )
+
+    @pytest.mark.skipif(
+        not _tool_available("ruff"), reason="ruff not installed"
+    )
+    def test_ruff_is_clean(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "ruff", "check", "src"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    @pytest.mark.skipif(
+        not _tool_available("mypy"), reason="mypy not installed"
+    )
+    def test_mypy_is_clean(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
