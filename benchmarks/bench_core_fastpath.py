@@ -10,7 +10,9 @@ asserted identical before any number is written.
 
 The report lands in ``BENCH_core.json`` at the repository root so the
 perf trajectory (wall-clock, requests/sec, speedup, per-figure
-timings) is tracked in version control from run to run.
+timings) is tracked in version control from run to run.  Phase timings
+come from the :class:`repro.obs.PhaseTimer` profiling hook, so the
+bench exercises the same instrumentation the observability CLI ships.
 
 Scale with ``REPRO_BENCH_SCALE`` as usual; the committed numbers use
 scale 1.0.  The speedup floor asserted here is the PR's acceptance bar
@@ -38,6 +40,7 @@ from repro.core import (
     simulate_no_cache,
 )
 from repro.core.latency import hop_costs as build_hop_costs
+from repro.obs import PhaseTimer
 from repro.topology import TOPOLOGY_NAMES
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_core.json"
@@ -109,16 +112,19 @@ def _fingerprint(result):
 
 def test_core_engine_speedup(once):
     def run():
-        setup_start = time.perf_counter()
-        worlds = _build_worlds()
-        setup_seconds = time.perf_counter() - setup_start
+        timer = PhaseTimer()
+        with timer.phase("figure6_setup"):
+            worlds = _build_worlds()
+        setup_seconds = timer.timings["figure6_setup"]
         runs_per_world = len(BASELINE_ARCHITECTURES) + 1
         requests = sum(
             world[1].num_requests * runs_per_world for world in worlds
         )
 
-        reference, ref_seconds = _simulate_all(worlds, "reference")
-        fast, fast_seconds = _simulate_all(worlds, "fast")
+        with timer.phase("figure6_reference"):
+            reference, ref_seconds = _simulate_all(worlds, "reference")
+        with timer.phase("figure6_fast"):
+            fast, fast_seconds = _simulate_all(worlds, "fast")
         # Differential check at bench scale: every aggregate the two
         # engines produced must coincide exactly.
         for name in reference:
@@ -127,13 +133,12 @@ def test_core_engine_speedup(once):
                     fast[name][arch]
                 ), (name, arch)
 
-        sweep_start = time.perf_counter()
-        sweep_gap(
-            "alpha", (0.4, 1.04),
-            lambda a: leaf_scaled_config("abilene", alpha=a),
-            ICN_NR, EDGE, engine="fast", workers=WORKERS,
-        )
-        fig8a_seconds = time.perf_counter() - sweep_start
+        with timer.phase("figure8a_2pt_fast"):
+            sweep_gap(
+                "alpha", (0.4, 1.04),
+                lambda a: leaf_scaled_config("abilene", alpha=a),
+                ICN_NR, EDGE, engine="fast", workers=WORKERS,
+            )
 
         return {
             "schema": "bench_core/v1",
@@ -158,12 +163,8 @@ def test_core_engine_speedup(once):
                 ),
                 "fast_requests_per_second": round(requests / fast_seconds),
             },
-            "per_figure_seconds": {
-                "figure6_setup": round(setup_seconds, 3),
-                "figure6_reference": round(ref_seconds, 3),
-                "figure6_fast": round(fast_seconds, 3),
-                "figure8a_2pt_fast": round(fig8a_seconds, 3),
-            },
+            # Wall-clock phases from the repro.obs profiling hook.
+            "phase_seconds": timer.as_dict(),
             "engines_identical": True,
         }
 

@@ -20,6 +20,8 @@ assumes.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Callable, Hashable
+
 import numpy as np
 
 from ..cache import Cache, InfiniteCache, make_cache
@@ -29,6 +31,9 @@ from .architectures import Architecture
 from .capacity import CapacityModel, CapacityTracker
 from .metrics import MetricsCollector, SimulationResult
 from .routing import ReplicaDirectory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.sink import Observer
 
 #: Available execution engines.  "reference" is the readable per-request
 #: loop below; "fast" is the flat-array engine of
@@ -54,6 +59,7 @@ class Simulator:
         frozen_caches: bool = False,
         failed_nodes: frozenset[int] | set[int] | tuple[int, ...] = (),
         engine: str = "reference",
+        observer: "Observer | None" = None,
     ) -> None:
         """See the module docstring for the simulation semantics.
 
@@ -77,6 +83,14 @@ class Simulator:
         configuration on every :meth:`run` call, so each fast run starts
         from the post-preload state (the reference engine instead keeps
         mutating ``self.caches`` across repeated runs).
+
+        ``observer`` attaches an optional :class:`repro.obs.Observer`.
+        With one attached, each :meth:`run` records per-node serve /
+        copy / eviction counters, per-link and per-origin tallies, and
+        (when the observer carries a tracer) sampled per-request trace
+        records.  Observation never touches simulation state or any
+        RNG, so results are bit-identical with or without it; preload
+        insertions happen before the run opens and are not counted.
         """
         if engine not in ENGINES:
             raise ValueError(
@@ -97,6 +111,7 @@ class Simulator:
         self.warmup_fraction = warmup_fraction
         self.engine = engine
         self.policy = policy
+        self.observer = observer
 
         tree = network.tree
         self._tree_size = network.tree_size
@@ -181,6 +196,37 @@ class Simulator:
         insert_rng = np.random.default_rng(0xC0FFEE)
 
         failed = self._failed
+        observer = self.observer
+        rec = None
+        trace_wants: Callable[[int], bool] | None = None
+        trace_emit = None
+        if observer is not None:
+            rec = observer.start_run(
+                self.architecture.name,
+                self.architecture.routing,
+                network.num_nodes,
+                num_requests,
+                first_measured,
+            )
+            if observer.tracer is not None:
+                trace_wants = observer.tracer.wants
+                trace_emit = observer.tracer.emit_request
+            rec_copies = rec.copies
+            rec_evicts = rec.evictions
+            bare_insert = insert
+
+            def counting_insert(
+                node: int,
+                obj: int,
+                size: float,
+                _insert: Callable[[int, int, float], list[Hashable]] = bare_insert,
+            ) -> list[Hashable]:
+                rec_copies[node] += 1
+                evicted = _insert(node, obj, size)
+                rec_evicts[node] += len(evicted)
+                return evicted
+
+            insert = counting_insert
         for i in range(num_requests):
             pop = int(pops[i])
             leaf_local = int(leaves[i])
@@ -201,6 +247,25 @@ class Simulator:
                         path_links(serving, leaf_gid),
                         sizes[obj],
                         served_origin_pop,
+                        coop,
+                        fallback,
+                    )
+            if rec is not None:
+                if i >= first_measured:
+                    rec.serves[serving] += 1
+                if trace_wants is not None and trace_wants(i):
+                    assert trace_emit is not None
+                    trace_emit(
+                        i,
+                        pop,
+                        leaf_local,
+                        obj,
+                        serving,
+                        served_origin_pop,
+                        0.0
+                        if serving == leaf_gid
+                        else path_cost(serving, leaf_gid, costs),
+                        float(sizes[obj]),
                         coop,
                         fallback,
                     )
@@ -232,7 +297,10 @@ class Simulator:
                             and insert_rng.random() < insert_probability
                         ):
                             insert(node, obj, size)
-        return collector.result(self.architecture.name)
+        result = collector.result(self.architecture.name)
+        if observer is not None and rec is not None:
+            observer.finish_run(rec, result)
+        return result
 
     # ------------------------------------------------------------------
     # Routing
@@ -389,18 +457,19 @@ class Simulator:
     # ------------------------------------------------------------------
     # Cache insertion
     # ------------------------------------------------------------------
-    def _insert(self, node: int, obj: int, size: float) -> None:
+    def _insert(self, node: int, obj: int, size: float) -> list[Hashable]:
+        """Insert ``obj`` at ``node``; returns the evicted objects."""
         cache = self.caches[node]
         directory = self.directory
         if directory is None:
-            cache.insert(obj, size)
-            return
+            return cache.insert(obj, size)
         was_cached = obj in cache
         evicted = cache.insert(obj, size)
         for victim in evicted:
             directory.remove(victim, node)
         if not was_cached and obj in cache:
             directory.add(obj, node)
+        return evicted
 
     @property
     def capacity_rejections(self) -> int:
@@ -414,6 +483,7 @@ def simulate_no_cache(
     hop_costs: HopCosts | None = None,
     warmup_fraction: float = 0.0,
     engine: str = "reference",
+    observer: "Observer | None" = None,
 ) -> SimulationResult:
     """The normalization baseline: every request is served by its origin."""
     if not 0.0 <= warmup_fraction < 1.0:
@@ -424,7 +494,9 @@ def simulate_no_cache(
     if engine == "fast":
         from .fastpath import fast_no_cache
 
-        return fast_no_cache(network, workload, costs, warmup_fraction)
+        return fast_no_cache(
+            network, workload, costs, warmup_fraction, observer=observer
+        )
     tree_size = network.tree_size
     collector = MetricsCollector(network.num_links, network.num_pops)
     pops = workload.pops
@@ -434,17 +506,48 @@ def simulate_no_cache(
     origins = workload.origins
     num_requests = len(objects)
     first_measured = int(warmup_fraction * num_requests)
+    rec = None
+    trace_wants: Callable[[int], bool] | None = None
+    trace_emit = None
+    if observer is not None:
+        rec = observer.start_run(
+            "NO-CACHE", "origin", network.num_nodes, num_requests, first_measured
+        )
+        if observer.tracer is not None:
+            trace_wants = observer.tracer.wants
+            trace_emit = observer.tracer.emit_request
     for i in range(first_measured, num_requests):
         pop = int(pops[i])
         obj = int(objects[i])
         origin_pop = int(origins[obj])
-        leaf_gid = pop * tree_size + int(leaves[i])
+        leaf_local = int(leaves[i])
+        leaf_gid = pop * tree_size + leaf_local
         origin_root = origin_pop * tree_size
+        cost = network.path_cost(origin_root, leaf_gid, costs)
         collector.record(
-            network.path_cost(origin_root, leaf_gid, costs),
+            cost,
             network.path_links(origin_root, leaf_gid),
             sizes[obj],
             origin_pop,
             False,
         )
-    return collector.result("NO-CACHE")
+        if rec is not None:
+            rec.serves[origin_root] += 1
+            if trace_wants is not None and trace_wants(i):
+                assert trace_emit is not None
+                trace_emit(
+                    i,
+                    pop,
+                    leaf_local,
+                    obj,
+                    origin_root,
+                    origin_pop,
+                    cost,
+                    float(sizes[obj]),
+                    False,
+                    False,
+                )
+    result = collector.result("NO-CACHE")
+    if observer is not None and rec is not None:
+        observer.finish_run(rec, result)
+    return result

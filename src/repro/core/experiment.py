@@ -11,7 +11,7 @@ architecture over it, and returns normalized improvements.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from .capacity import CapacityModel
 from .engine import Simulator, simulate_no_cache
 from .latency import hop_costs as build_hop_costs
 from .metrics import Improvements, SimulationResult, gap, improvements
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.sink import Observer
 
 #: Best-fit exponent of the Asia CDN trace, the paper's baseline workload.
 ASIA_ALPHA = 1.04
@@ -127,11 +130,15 @@ def run_experiment(
     objects: np.ndarray | None = None,
     pop_topology: PopTopology | None = None,
     engine: str = "reference",
+    observer: "Observer | None" = None,
 ) -> ExperimentResult:
     """Run the baseline and every architecture over one shared workload.
 
     ``engine`` selects the simulation engine ("reference" or "fast");
     both produce identical results, so it only changes wall-clock time.
+    ``observer`` attaches an optional :class:`repro.obs.Observer` to the
+    baseline and every architecture run (observation never changes
+    simulated numbers).
     """
     network = build_network(config, pop_topology)
     workload = build_workload(config, network, objects=objects)
@@ -147,6 +154,7 @@ def run_experiment(
         costs,
         warmup_fraction=config.warmup_fraction,
         engine=engine,
+        observer=observer,
     )
     results: dict[str, SimulationResult] = {}
     improved: dict[str, Improvements] = {}
@@ -161,6 +169,7 @@ def run_experiment(
             capacity=config.capacity,
             warmup_fraction=config.warmup_fraction,
             engine=engine,
+            observer=observer,
         )
         result = simulator.run()
         results[architecture.name] = result

@@ -41,6 +41,7 @@ from .metrics import SimulationResult
 from .routing import ReplicaDirectory
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from ..obs.sink import Observer
     from .engine import Simulator
 
 __all__ = ["FastEngine", "fast_no_cache"]
@@ -57,6 +58,12 @@ class FastEngine:
 
     def __init__(self, sim: "Simulator") -> None:
         self._sim = sim
+        # The observability sink (None by default).  ``self._rec`` is the
+        # per-run recorder; it stays None until run() opens a run, so the
+        # preload replay below is never counted (matching the reference
+        # engine, whose recorder also does not exist during __init__).
+        self._observer = sim.observer
+        self._rec = None
         network = sim.network
         workload = sim.workload
         self._network = network
@@ -161,8 +168,12 @@ class FastEngine:
     def _insert_directory_aware(self, node: int, obj: int) -> None:
         cache = self._caches[node]
         directory = self._directory
+        rec = self._rec
         if directory is None:
-            cache.insert(obj)
+            evicted = cache.insert(obj)
+            if rec is not None:
+                rec.copies[node] += 1
+                rec.evictions[node] += len(evicted)
             return
         was_cached = obj in cache
         evicted = cache.insert(obj)
@@ -170,6 +181,9 @@ class FastEngine:
             directory.remove(victim, node)
         if not was_cached and obj in cache:
             directory.add(obj, node)
+        if rec is not None:
+            rec.copies[node] += 1
+            rec.evictions[node] += len(evicted)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -228,6 +242,28 @@ class FastEngine:
 
         num_requests = len(objects)
         first_measured = int(sim.warmup_fraction * num_requests)
+
+        # Observability: everything below is gated on ``observing`` (a
+        # plain local bool), so the disabled default costs one predicted
+        # branch per site and allocates nothing (lint rule O501).
+        observer = self._observer
+        rec = None
+        rec_serves = rec_copies = rec_evicts = None
+        trace_wants = None
+        trace_emit = None
+        observing = False
+        if observer is not None:
+            rec = observer.start_run(
+                arch.name, routing, num_nodes, num_requests, first_measured
+            )
+            self._rec = rec
+            rec_serves = rec.serves
+            rec_copies = rec.copies
+            rec_evicts = rec.evictions
+            observing = True
+            if observer.tracer is not None:
+                trace_wants = observer.tracer.wants
+                trace_emit = observer.tracer.emit_request
 
         measured = 0
         total_latency = 0.0
@@ -369,6 +405,22 @@ class FastEngine:
                 if entry is None:
                     entry = entry_of(serving, leaf_gid)
                 cost, links, inserts = entry
+                if observing:
+                    if i >= first_measured:
+                        rec_serves[serving] += 1
+                    if trace_wants is not None and trace_wants(i):
+                        trace_emit(
+                            i,
+                            pop,
+                            leaf_local,
+                            obj,
+                            serving,
+                            served_origin,
+                            cost,
+                            float(size),
+                            coop,
+                            fallback,
+                        )
                 if i >= first_measured:
                     measured += 1
                     total_latency += cost
@@ -386,6 +438,8 @@ class FastEngine:
                 if not frozen:
                     if inline_lru_insert:
                         for node in inserts:
+                            if observing:
+                                rec_copies[node] += 1
                             member = members[node]
                             if member[obj]:
                                 order = orders[node]
@@ -401,25 +455,38 @@ class FastEngine:
                                         del order[victim]
                                         member[victim] = 0
                                         used -= sizes[victim]
+                                        if observing:
+                                            rec_evicts[node] += 1
                                     order[obj] = None
                                     member[obj] = 1
                                     useds[node] = used + size
                     elif inline_inf_insert:
                         for node in inserts:
                             members[node][obj] = 1
+                            if observing:
+                                rec_copies[node] += 1
                     elif directory is None:
                         if ins_everywhere:
                             for node in inserts:
-                                caches[node].insert(obj)
+                                evicted = caches[node].insert(obj)
+                                if observing:
+                                    rec_copies[node] += 1
+                                    rec_evicts[node] += len(evicted)
                         elif ins_lcd:
                             # Leave-copy-down: only the first cache below
                             # the serving node takes a copy.
                             if inserts:
-                                caches[inserts[0]].insert(obj)
+                                evicted = caches[inserts[0]].insert(obj)
+                                if observing:
+                                    rec_copies[inserts[0]] += 1
+                                    rec_evicts[inserts[0]] += len(evicted)
                         else:  # probabilistic
                             for node in inserts:
                                 if insert_random() < insert_probability:
-                                    caches[node].insert(obj)
+                                    evicted = caches[node].insert(obj)
+                                    if observing:
+                                        rec_copies[node] += 1
+                                        rec_evicts[node] += len(evicted)
                     else:
                         if ins_everywhere:
                             for node in inserts:
@@ -442,8 +509,39 @@ class FastEngine:
                         cache_served += 1
                 else:
                     origin_serves[served_origin] += 1
+                if observing:
+                    rec_serves[serving] += 1
+                    if trace_wants is not None and trace_wants(i):
+                        trace_emit(
+                            i,
+                            pop,
+                            leaf_local,
+                            obj,
+                            serving,
+                            served_origin,
+                            0.0,
+                            float(size),
+                            coop,
+                            fallback,
+                        )
+            elif observing and trace_wants is not None and trace_wants(i):
+                # Warmup request served at its own leaf: nothing is
+                # measured, but the trace still records it (the
+                # reference engine traces every sampled request).
+                trace_emit(
+                    i,
+                    pop,
+                    leaf_local,
+                    obj,
+                    serving,
+                    served_origin,
+                    0.0,
+                    float(size),
+                    coop,
+                    fallback,
+                )
 
-        return SimulationResult.from_counters(
+        result = SimulationResult.from_counters(
             architecture=arch.name,
             num_requests=measured,
             total_latency=total_latency,
@@ -453,12 +551,17 @@ class FastEngine:
             coop_served=coop_served,
             fallback_served=fallback_served,
         )
+        if observer is not None and rec is not None:
+            self._rec = None
+            observer.finish_run(rec, result)
+        return result
 
 def fast_no_cache(
     network: Network,
     workload: Workload,
     costs: HopCosts,
     warmup_fraction: float,
+    observer: "Observer | None" = None,
 ) -> SimulationResult:
     """Flat-state twin of :func:`repro.core.engine.simulate_no_cache`."""
     ts = network.tree_size
@@ -478,6 +581,21 @@ def fast_no_cache(
     path_entries: dict[int, tuple[float, tuple[int, ...]]] = {}
     path_cost = network.path_cost
     path_links = network.path_links
+
+    rec = None
+    rec_serves = None
+    trace_wants = None
+    trace_emit = None
+    observing = False
+    if observer is not None:
+        rec = observer.start_run(
+            "NO-CACHE", "origin", num_nodes, num_requests, first_measured
+        )
+        rec_serves = rec.serves
+        observing = True
+        if observer.tracer is not None:
+            trace_wants = observer.tracer.wants
+            trace_emit = observer.tracer.emit_request
 
     for i in range(first_measured, num_requests):
         pop = pops[i]
@@ -500,8 +618,23 @@ def fast_no_cache(
         for link in links:
             link_transfers[link] += size
         origin_serves[origin_pop] += 1
+        if observing:
+            rec_serves[origin_root] += 1
+            if trace_wants is not None and trace_wants(i):
+                trace_emit(
+                    i,
+                    pop,
+                    leaves[i],
+                    obj,
+                    origin_root,
+                    origin_pop,
+                    cost,
+                    float(size),
+                    False,
+                    False,
+                )
 
-    return SimulationResult.from_counters(
+    result = SimulationResult.from_counters(
         architecture="NO-CACHE",
         num_requests=measured,
         total_latency=total_latency,
@@ -510,3 +643,6 @@ def fast_no_cache(
         cache_served=0,
         coop_served=0,
     )
+    if observer is not None and rec is not None:
+        observer.finish_run(rec, result)
+    return result

@@ -16,6 +16,7 @@ The sensitivity figures additionally report the *gap*
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -127,17 +128,46 @@ class Improvements:
         }
 
     def min(self) -> float:
-        """Worst (smallest) improvement across the three metrics."""
-        return min(self.latency, self.congestion, self.origin_load)
+        """Worst (smallest) improvement across the three metrics.
+
+        Undefined (NaN) metrics — a zero no-cache baseline, see
+        :func:`_percent_reduction` — are skipped; NaN is returned only
+        when *every* metric is undefined.
+        """
+        defined = [
+            value
+            for value in (self.latency, self.congestion, self.origin_load)
+            if not math.isnan(value)
+        ]
+        return min(defined) if defined else float("nan")
 
     def max(self) -> float:
-        """Best (largest) improvement across the three metrics."""
-        return max(self.latency, self.congestion, self.origin_load)
+        """Best (largest) improvement across the three metrics.
+
+        NaN metrics are skipped, mirroring :meth:`min`.
+        """
+        defined = [
+            value
+            for value in (self.latency, self.congestion, self.origin_load)
+            if not math.isnan(value)
+        ]
+        return max(defined) if defined else float("nan")
 
 
 def _percent_reduction(baseline: float, value: float) -> float:
+    """Percentage reduction of ``value`` relative to ``baseline``.
+
+    A non-positive baseline makes the reduction *undefined*, not zero:
+    a degenerate workload whose no-cache congestion is already 0 gives
+    no information about an architecture's improvement.  Returning 0.0
+    here (the old behaviour) silently dragged sweep aggregates toward
+    "no improvement"; NaN instead propagates visibly through
+    :func:`improvements`, :func:`gap`, and any mean/percentile a
+    caller computes, and :meth:`Improvements.min`/:meth:`~Improvements.max`
+    skip it explicitly.
+    """
     if baseline <= 0:
-        return 0.0
+        return float("nan")
     return 100.0 * (baseline - value) / baseline
 
 
@@ -160,7 +190,12 @@ def improvements(result: SimulationResult, baseline: SimulationResult) -> Improv
 
 
 def gap(a: Improvements, b: Improvements) -> Improvements:
-    """Per-metric difference ``a - b`` (e.g. ICN-NR minus EDGE)."""
+    """Per-metric difference ``a - b`` (e.g. ICN-NR minus EDGE).
+
+    A metric that is undefined (NaN) on either side stays NaN in the
+    gap — both sides were normalized against the same degenerate
+    baseline, so the difference carries no information either.
+    """
     return Improvements(
         latency=a.latency - b.latency,
         congestion=a.congestion - b.congestion,

@@ -34,13 +34,16 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..idicn.retry import RetryPolicy
 from .architectures import Architecture, BASELINE_ARCHITECTURES
 from .experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.sink import Observer
 
 __all__ = [
     "DEFAULT_RETRY_POLICY",
@@ -159,6 +162,7 @@ def run_sweep(
     retry_policy: RetryPolicy | None = DEFAULT_RETRY_POLICY,
     timeout: float | None = None,
     runner: Callable[[SweepPoint, str], ExperimentResult] = _run_point,
+    observer: "Observer | None" = None,
 ) -> SweepOutcome:
     """Run a grid of sweep points, in parallel when it pays.
 
@@ -171,14 +175,47 @@ def run_sweep(
     seconds for the whole sweep: finished points are kept, unfinished
     ones are reported as failures.  ``runner`` is the per-point
     callable (overridable for tests; must be picklable for workers).
+
+    ``observer`` records *orchestration* metrics for the sweep —
+    point/attempt/failure tallies and the wall-clock phase gauge
+    ``repro_phase_seconds{phase="sweep"}``.  Simulation-level counters
+    are not collected here: worker processes cannot share a registry,
+    so attach the observer to :func:`run_experiment` directly when
+    per-run detail is needed.
     """
     points = list(points)
     keys = [point.key for point in points]
     if len(set(keys)) != len(keys):
         raise ValueError("sweep point keys must be unique")
     outcome = SweepOutcome()
+    sweep_start = time.perf_counter()
+
+    def observed(finished: SweepOutcome) -> SweepOutcome:
+        if observer is not None:
+            from ..obs.profiling import PHASE_METRIC
+
+            registry = observer.registry
+            registry.counter(
+                "repro_sweep_points_total",
+                help="sweep points by final status",
+                status="ok",
+            ).inc(float(len(finished.results)))
+            registry.counter(
+                "repro_sweep_points_total", status="failed"
+            ).inc(float(len(finished.failures)))
+            registry.counter(
+                "repro_sweep_attempts_total",
+                help="point executions including retries",
+            ).inc(float(sum(finished.attempts.values())))
+            registry.gauge(
+                PHASE_METRIC,
+                help="wall-clock seconds spent per named phase",
+                phase="sweep",
+            ).add(time.perf_counter() - sweep_start)
+        return finished
+
     if not points:
-        return outcome
+        return observed(outcome)
     if workers is None:
         workers = min(os.cpu_count() or 1, len(points))
     rng = np.random.default_rng(retry_policy.seed if retry_policy else 0)
@@ -212,7 +249,7 @@ def run_sweep(
                     "timeout: sweep deadline exceeded"
                 ]
                 outcome.attempts.setdefault(point.key, 0)
-        return outcome
+        return observed(outcome)
 
     by_key = {point.key: point for point in points}
     if chunk_size is None:
@@ -280,4 +317,4 @@ def run_sweep(
             pool.shutdown(wait=False, cancel_futures=True)
 
     outcome.attempts.update(attempts_by_key)
-    return outcome
+    return observed(outcome)

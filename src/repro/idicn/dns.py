@@ -11,9 +11,13 @@ switching service").
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from .retry import Retrier, RetryPolicy
 from .simnet import DNS_PORT, MDNS_PORT, Host, SimNetError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -35,12 +39,24 @@ class DnsUpdate:
 class DnsServer:
     """Authoritative store of name→address records with dynamic updates."""
 
-    def __init__(self, host: Host):
+    def __init__(
+        self, host: Host, registry: "MetricsRegistry | None" = None
+    ):
         self.host = host
         self._records: dict[str, str] = {}
         self._tokens: dict[str, str] = {}
         self.queries = 0
         self.updates = 0
+        #: Optional mirror into ``repro_dns_events_total{host,event}``.
+        self.registry = registry
+        if registry is not None:
+            for event in ("query", "update"):
+                registry.counter(
+                    "repro_dns_events_total",
+                    help="DNS queries and dynamic updates per server",
+                    host=host.name,
+                    event=event,
+                )
         host.bind(DNS_PORT, self._serve)
 
     def add_record(self, name: str, address: str, token: str | None = None) -> None:
@@ -54,9 +70,16 @@ class DnsServer:
         """Local (non-network) record lookup."""
         return self._records.get(name.lower())
 
+    def _obs(self, event: str) -> None:
+        if self.registry is not None:
+            self.registry.inc(
+                "repro_dns_events_total", host=self.host.name, event=event
+            )
+
     def _serve(self, host: Host, src: str, payload: object) -> object:
         if isinstance(payload, DnsQuery):
             self.queries += 1
+            self._obs("query")
             return self._records.get(payload.name.lower())
         if isinstance(payload, DnsUpdate):
             key = payload.name.lower()
@@ -64,6 +87,7 @@ class DnsServer:
             if expected is not None and expected != payload.token:
                 return False
             self.updates += 1
+            self._obs("update")
             self._records[key] = payload.address
             self._tokens.setdefault(key, payload.token)
             return True
@@ -84,11 +108,16 @@ class DnsClient:
         server_address: str | None = None,
         mdns_subnet: str | None = None,
         retry_policy: RetryPolicy | None = None,
+        registry: "MetricsRegistry | None" = None,
     ):
         self.host = host
         self.server_address = server_address
         self.mdns_subnet = mdns_subnet
-        self._retrier = Retrier(retry_policy)
+        self._retrier = Retrier(
+            retry_policy,
+            registry=registry,
+            component=f"dns-client:{host.name}",
+        )
 
     @property
     def retries(self) -> int:

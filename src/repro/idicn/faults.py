@@ -25,8 +25,12 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
 
 from .simnet import DroppedMessageError, Host, InjectedCallError, SimNet
 
@@ -64,9 +68,18 @@ class FaultPlane:
     every injected fault is appended to :attr:`events`.
     """
 
-    def __init__(self, net: SimNet | None = None, seed: int = 0):
+    def __init__(
+        self,
+        net: SimNet | None = None,
+        seed: int = 0,
+        registry: "MetricsRegistry | None" = None,
+    ):
         self.net = net
         self.seed = seed
+        #: Optional metrics sink: every injected fault also increments
+        #: ``repro_fault_injections_total{kind}``.  Observation draws
+        #: nothing from the PRNG, so the event signature is unchanged.
+        self.registry = registry
         self._rng = np.random.default_rng(seed)
         self.drop_rate = 0.0
         self.error_rate = 0.0
@@ -155,6 +168,10 @@ class FaultPlane:
     # Determinism accounting
     # ------------------------------------------------------------------
     def _log(self, net: SimNet, kind: str, src: Host, dst: Host, port: int) -> None:
+        if self.registry is not None:
+            self.registry.inc(
+                "repro_fault_injections_total", kind=kind, target=dst.name
+            )
         self.events.append(
             FaultEvent(
                 seq=len(self.events),

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from ..cache.lru import LRUCache
 from . import http
@@ -32,7 +33,21 @@ from .resolution import ResolutionClient
 from .retry import Retrier, RetryPolicy
 from .simnet import HTTP_PORT, Host, SimNetError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
+
 _MAX_AGE_RE = re.compile(r"max-age=([0-9.]+)")
+
+#: Events the proxy mirrors into ``repro_proxy_events_total{host,event}``.
+_PROXY_EVENTS = (
+    "hit",
+    "miss",
+    "revalidation",
+    "revalidation_304",
+    "verification_failure",
+    "mirror_failover",
+    "stale_served",
+)
 
 
 @dataclass(frozen=True)
@@ -71,13 +86,28 @@ class EdgeProxy:
         dns: DnsClient | None = None,
         capacity: int = 1024,
         retry_policy: RetryPolicy | None = None,
+        registry: "MetricsRegistry | None" = None,
     ):
         self.host = host
         self.resolver = resolver
         self.dns = dns
         self._cache = LRUCache(capacity=capacity)
         self._store: dict[str, CacheEntry] = {}
-        self._retrier = Retrier(retry_policy)
+        self._retrier = Retrier(
+            retry_policy, registry=registry, component=f"proxy:{host.name}"
+        )
+        #: Optional metrics sink mirroring the local counters below
+        #: into ``repro_proxy_events_total{host,event}``; the events
+        #: are pre-registered so an idle proxy still exports zeros.
+        self.registry = registry
+        if registry is not None:
+            for event in _PROXY_EVENTS:
+                registry.counter(
+                    "repro_proxy_events_total",
+                    help="edge-proxy cache and verification outcomes",
+                    host=host.name,
+                    event=event,
+                )
         self.hits = 0
         self.misses = 0
         self.revalidations = 0
@@ -94,6 +124,13 @@ class EdgeProxy:
     def retries(self) -> int:
         """Upstream-call retries performed (0 when the network is healthy)."""
         return self._retrier.retries
+
+    def _obs(self, event: str) -> None:
+        """Mirror one counted event into the registry (when attached)."""
+        if self.registry is not None:
+            self.registry.inc(
+                "repro_proxy_events_total", host=self.host.name, event=event
+            )
 
     # ------------------------------------------------------------------
     # Request handling
@@ -131,6 +168,7 @@ class EdgeProxy:
                 # Served from a fallback source: the primary location
                 # was down, unverifiable, or unreachable.
                 self.mirror_failovers += 1
+                self._obs("mirror_failover")
             # Discover additional mirrors from the metadata itself.
             if entry.metalink_xml is not None:
                 try:
@@ -204,12 +242,14 @@ class EdgeProxy:
         metalink_xml = response.header(METALINK_HEADER)
         if metalink_xml is None:
             self.verification_failures += 1
+            self._obs("verification_failure")
             return None
         try:
             metalink = Metalink.from_xml(metalink_xml)
             publisher = PublicKey.from_bytes(metalink.publisher_key.encode())
         except (ValueError, UnicodeDecodeError):
             self.verification_failures += 1
+            self._obs("verification_failure")
             return None
         if (
             metalink.name != name.flat
@@ -217,6 +257,7 @@ class EdgeProxy:
             or not verify_metalink(metalink, response.body)
         ):
             self.verification_failures += 1
+            self._obs("verification_failure")
             return None
         return CacheEntry(
             body=response.body,
@@ -236,14 +277,17 @@ class EdgeProxy:
         """A servable cached entry and whether it is being served stale."""
         if not self._cache.lookup(key):
             self.misses += 1
+            self._obs("miss")
             return None
         entry = self._store[key]
         now = self.host.net.clock
         if entry.is_fresh(now):
             self.hits += 1
+            self._obs("hit")
             return entry, False
         # Stale: revalidate with a conditional GET where possible.
         self.revalidations += 1
+        self._obs("revalidation")
         renewed = None
         if entry.location is not None and name is not None:
             renewed = self._fetch_and_verify(
@@ -256,14 +300,18 @@ class EdgeProxy:
             # fail, flagging it per RFC 7234 (Warning: 110).
             self.hits += 1
             self.stale_served += 1
+            self._obs("hit")
+            self._obs("stale_served")
             return entry, True
         if renewed.body == b"" and renewed.etag == entry.etag:
             self.revalidations_304 += 1
+            self._obs("revalidation_304")
             entry = replace(entry, fetched_at=renewed.fetched_at)
         else:
             entry = renewed
         self._store[key] = entry
         self.hits += 1
+        self._obs("hit")
         return entry, False
 
     def _revalidate_legacy(self, entry: CacheEntry) -> CacheEntry | None:

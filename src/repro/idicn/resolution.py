@@ -12,11 +12,15 @@ locations), which the client follows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from .crypto import KeyPair, PublicKey, sign, verify
 from .names import IcnName, principal_of
 from .retry import Retrier, RetryPolicy
 from .simnet import RESOLVER_PORT, Host, SimNetError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
 
 #: Prefix marking a delegation to another resolver instead of content.
 DELEGATION_PREFIX = "resolver:"
@@ -58,13 +62,26 @@ def make_registration(
 class NameResolutionSystem:
     """One resolver node of the consortium-hosted ``.idicn.org`` service."""
 
-    def __init__(self, host: Host):
+    def __init__(
+        self, host: Host, registry: "MetricsRegistry | None" = None
+    ):
         self.host = host
         self._exact: dict[str, tuple[str, ...]] = {}
         self._principal: dict[str, tuple[str, ...]] = {}
         self.registrations = 0
         self.rejected = 0
         self.resolutions = 0
+        #: Optional mirror into
+        #: ``repro_resolution_events_total{host,event}``.
+        self.registry = registry
+        if registry is not None:
+            for event in ("registration", "rejected", "resolution"):
+                registry.counter(
+                    "repro_resolution_events_total",
+                    help="name-resolution registrations and lookups",
+                    host=host.name,
+                    event=event,
+                )
         host.bind(RESOLVER_PORT, self._serve)
 
     def _serve(self, host: Host, src: str, payload: object) -> object:
@@ -72,14 +89,24 @@ class NameResolutionSystem:
             return self._register(payload)
         if isinstance(payload, ResolveRequest):
             self.resolutions += 1
+            self._obs("resolution")
             return self.lookup(payload.name)
         raise TypeError(f"unexpected resolver payload {type(payload).__name__}")
+
+    def _obs(self, event: str) -> None:
+        if self.registry is not None:
+            self.registry.inc(
+                "repro_resolution_events_total",
+                host=self.host.name,
+                event=event,
+            )
 
     def _register(self, request: RegisterRequest) -> bool:
         try:
             public = PublicKey.from_bytes(request.public_key.encode())
         except (ValueError, UnicodeDecodeError):
             self.rejected += 1
+            self._obs("rejected")
             return False
         principal = request.name.rsplit(".", 1)[-1]
         # Cryptographic correctness: the key must hash to the name's P
@@ -90,8 +117,10 @@ class NameResolutionSystem:
             public,
         ):
             self.rejected += 1
+            self._obs("rejected")
             return False
         self.registrations += 1
+        self._obs("registration")
         if "." in request.name:
             self._exact[request.name] = request.locations
         else:
@@ -115,10 +144,15 @@ class ResolutionClient:
         host: Host,
         resolver_address: str,
         retry_policy: RetryPolicy | None = None,
+        registry: "MetricsRegistry | None" = None,
     ):
         self.host = host
         self.resolver_address = resolver_address
-        self._retrier = Retrier(retry_policy)
+        self._retrier = Retrier(
+            retry_policy,
+            registry=registry,
+            component=f"resolution-client:{host.name}",
+        )
 
     @property
     def retries(self) -> int:

@@ -17,11 +17,14 @@ HTTP freshness lifetimes (a retry storm can age a cache entry).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from .simnet import Host, SimNetError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -71,13 +74,32 @@ class Retrier:
 
     A ``None`` policy is the null retrier: exactly one attempt, zero
     bookkeeping overhead — existing no-fault code paths are unchanged.
+
+    ``registry`` optionally mirrors the local :attr:`retries` /
+    :attr:`giveups` counters into ``repro_retry_events_total`` with the
+    caller-supplied ``component`` label.
     """
 
-    def __init__(self, policy: RetryPolicy | None = None):
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        registry: "MetricsRegistry | None" = None,
+        component: str = "retrier",
+    ):
         self.policy = policy
         self._rng = np.random.default_rng(policy.seed if policy else 0)
         self.retries = 0
         self.giveups = 0
+        self.registry = registry
+        self.component = component
+        if registry is not None:
+            for event in ("retry", "giveup"):
+                registry.counter(
+                    "repro_retry_events_total",
+                    help="retry / give-up outcomes per component",
+                    component=component,
+                    event=event,
+                )
 
     def call(self, host: Host, address: str, port: int, payload: Any) -> Any:
         """``host.call`` with retries; re-raises the last failure."""
@@ -99,6 +121,18 @@ class Retrier:
                 spent += delay
                 host.net.advance(delay)
                 self.retries += 1
+                if self.registry is not None:
+                    self.registry.inc(
+                        "repro_retry_events_total",
+                        component=self.component,
+                        event="retry",
+                    )
         self.giveups += 1
+        if self.registry is not None:
+            self.registry.inc(
+                "repro_retry_events_total",
+                component=self.component,
+                event="giveup",
+            )
         assert last is not None
         raise last

@@ -15,6 +15,8 @@ Apache Traffic Server) does three jobs:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from . import http
 from .crypto import KeyPair
 from .metalink import METALINK_HEADER, Metalink, build_metalink
@@ -23,6 +25,9 @@ from .origin import OriginServer  # noqa: F401  (documented collaborator)
 from .resolution import ResolutionClient
 from .retry import Retrier, RetryPolicy
 from .simnet import HTTP_PORT, Host, SimNetError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
 
 
 class ReverseProxy:
@@ -38,6 +43,7 @@ class ReverseProxy:
         mirrors: tuple[str, ...] = (),
         max_age: float | None = None,
         retry_policy: RetryPolicy | None = None,
+        registry: "MetricsRegistry | None" = None,
     ):
         self.host = host
         self.origin_address = origin_address
@@ -45,7 +51,22 @@ class ReverseProxy:
         self.resolver = resolver
         self.dns_register = dns_register
         self.mirrors = mirrors
-        self._retrier = Retrier(retry_policy)
+        self._retrier = Retrier(
+            retry_policy,
+            registry=registry,
+            component=f"reverse-proxy:{host.name}",
+        )
+        #: Optional mirror into
+        #: ``repro_reverse_proxy_events_total{host,event}``.
+        self.registry = registry
+        if registry is not None:
+            for event in ("request_served", "origin_fetch"):
+                registry.counter(
+                    "repro_reverse_proxy_events_total",
+                    help="reverse-proxy serving and origin-fetch volume",
+                    host=host.name,
+                    event=event,
+                )
         #: Freshness lifetime advertised via Cache-Control (None = no
         #: expiry; downstream proxies may serve the copy forever).
         self.max_age = max_age
@@ -56,6 +77,14 @@ class ReverseProxy:
         self.origin_fetches = 0
         self.requests_served = 0
         host.bind(HTTP_PORT, self._serve)
+
+    def _obs(self, event: str) -> None:
+        if self.registry is not None:
+            self.registry.inc(
+                "repro_reverse_proxy_events_total",
+                host=self.host.name,
+                event=event,
+            )
 
     # ------------------------------------------------------------------
     # Publishing (steps P1 and P2)
@@ -117,6 +146,7 @@ class ReverseProxy:
             self._cache[flat] = entry
         content, metalink = entry
         self.requests_served += 1
+        self._obs("request_served")
         # Conditional revalidation: a proxy holding a stale copy asks
         # "has <etag> changed?" and gets a cheap 304 when it has not.
         etag = metalink.content_hash
@@ -161,4 +191,5 @@ class ReverseProxy:
         if not response.ok:
             return None
         self.origin_fetches += 1
+        self._obs("origin_fetch")
         return response.body

@@ -1,0 +1,165 @@
+"""Observability-gating rule (O501) for the engine hot modules.
+
+The observability contract (see ``repro.obs``) is *zero overhead when
+disabled*: with no :class:`~repro.obs.sink.Observer` attached, both
+engines must execute exactly the code they executed before the
+subsystem existed, so the differential matrix keeps certifying
+bit-identical results.  The hot request loops therefore gate every
+counter update and trace emission behind a cheap local check::
+
+    if observing:                 # fast engine: one pre-bound bool
+        rec_serves[serving] += 1
+    if rec is not None:           # reference engine: one is-check
+        rec.serves[serving] += 1
+
+``O501`` pins that pattern statically.  Inside any ``for``/``while``
+body of ``core/engine.py`` or ``core/fastpath.py``, a call or an
+augmented assignment that touches a *sink-named* value — a name
+matching ``obs | observer | observing | rec | recorder | trace |
+tracer | sink``, bare or with a ``_suffix`` (``rec_serves``,
+``trace_emit``) — must have an ancestor ``if`` whose test mentions a
+sink name.  The test itself is exempt (``if trace_wants(i):`` *is* the
+gate), as is any statement outside a loop, where a single ungated
+touch costs one branch per run rather than one per request.
+
+False-positive escapes: name a variable outside the sink vocabulary,
+or justify an inline ``# lint: disable=O501``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from . import rules
+from .diagnostics import Diagnostic
+
+#: Vocabulary of observability sink names: bare or ``_suffix``-ed.
+_SINK_NAME = re.compile(
+    r"^(obs|observer|observing|rec|recorder|trace|tracer|sink)(_\w+)?$"
+)
+
+
+def _is_sink_name(name: str) -> bool:
+    return _SINK_NAME.match(name) is not None
+
+
+def _mentions_sink(expr: ast.expr) -> bool:
+    """Whether any plain name in the expression is sink-vocabulary."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and _is_sink_name(node.id):
+            return True
+        if isinstance(node, ast.Attribute) and _is_sink_name(node.attr):
+            return True
+    return False
+
+
+def check_obsgate(
+    hot_modules: list[tuple[str, ast.Module]],
+) -> list[Diagnostic]:
+    """Run O501 over the engine/fastpath module pair."""
+    out: list[Diagnostic] = []
+    for path, tree in hot_modules:
+        loops = [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.For, ast.While))
+        ]
+        # Seed only from outermost loops: nested loops are reached by
+        # ``_scan`` itself with the guard state of their surroundings
+        # (an outer ``if observing:`` covers an inner eviction while).
+        nested: set[int] = set()
+        for loop in loops:
+            for child in ast.walk(loop):
+                if child is not loop and isinstance(
+                    child, (ast.For, ast.While)
+                ):
+                    nested.add(id(child))
+        for loop in loops:
+            if id(loop) in nested:
+                continue
+            for stmt in loop.body + loop.orelse:
+                _scan(path, stmt, guarded=False, out=out)
+    return out
+
+
+def _scan(
+    path: str, stmt: ast.stmt, guarded: bool, out: list[Diagnostic]
+) -> None:
+    """Flag ungated sink touches in one statement of a hot-loop body.
+
+    ``guarded`` is carried down once an ancestor ``if`` tested a sink
+    name; nested loops restart from the current guard state (an outer
+    ``if observing:`` covers an inner eviction ``while`` too).
+    """
+    if isinstance(stmt, ast.If):
+        if _mentions_sink(stmt.test):
+            # This *is* the gate: the test's own sink reads are the one
+            # permitted per-iteration cost; everything below is covered.
+            for child in stmt.body + stmt.orelse:
+                _scan(path, child, guarded=True, out=out)
+            return
+        _flag_expr(path, stmt.test, guarded, out)
+        for child in stmt.body + stmt.orelse:
+            _scan(path, child, guarded, out)
+        return
+    if isinstance(stmt, (ast.For, ast.While)):
+        _flag_expr(
+            path,
+            stmt.iter if isinstance(stmt, ast.For) else stmt.test,
+            guarded,
+            out,
+        )
+        for child in stmt.body + stmt.orelse:
+            _scan(path, child, guarded, out)
+        return
+    if isinstance(stmt, (ast.With,)):
+        for item in stmt.items:
+            _flag_expr(path, item.context_expr, guarded, out)
+        for child in stmt.body:
+            _scan(path, child, guarded, out)
+        return
+    if isinstance(stmt, ast.Try):
+        for child in stmt.body + stmt.orelse + stmt.finalbody:
+            _scan(path, child, guarded, out)
+        for handler in stmt.handlers:
+            for child in handler.body:
+                _scan(path, child, guarded, out)
+        return
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        # A def/class inside a hot loop is its own (pathological) cost;
+        # its body executes elsewhere, so it is out of scope here.
+        return
+    # Leaf statements: expression statements, assignments, etc.
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.AugAssign) and _mentions_sink(node.target):
+            if not guarded:
+                out.append(_diagnostic(path, node))
+        elif isinstance(node, ast.Call) and _mentions_sink(node.func):
+            if not guarded:
+                out.append(_diagnostic(path, node))
+
+
+def _flag_expr(
+    path: str, expr: ast.expr, guarded: bool, out: list[Diagnostic]
+) -> None:
+    """Flag ungated sink *calls* inside a non-gate expression."""
+    if guarded:
+        return
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call) and _mentions_sink(node.func):
+            out.append(_diagnostic(path, node))
+
+
+def _diagnostic(path: str, node: ast.AST) -> Diagnostic:
+    return Diagnostic(
+        rule=rules.OBS_UNGATED,
+        path=path,
+        line=node.lineno,
+        col=node.col_offset,
+        message=(
+            "observability sink touched in a hot loop without an "
+            "enclosing sink-guard if (e.g. `if observing:`); ungated "
+            "instrumentation taxes every run, observed or not"
+        ),
+    )

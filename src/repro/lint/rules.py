@@ -14,7 +14,11 @@ Rule ids are grouped by family:
   ``Cache`` interface and has a registered fast-struct twin;
 * ``O4xx`` — order stability: no iteration over unordered containers
   and no ``dict.popitem`` in the engine/fastpath hot modules, where
-  iteration order feeds simulation results.
+  iteration order feeds simulation results;
+* ``O5xx`` — observability gating: instrumentation (observer, recorder,
+  tracer) touched inside an engine hot loop must sit behind an ``if``
+  on a sink-typed name, preserving the zero-overhead-when-disabled
+  contract of ``repro.obs``.
 
 ``E999`` reports files the linter could not parse.
 """
@@ -156,6 +160,17 @@ POPITEM = Rule(
     ),
 )
 
+OBS_UNGATED = Rule(
+    id="O501",
+    name="ungated-observability-hot-loop",
+    severity=Severity.ERROR,
+    summary=(
+        "observability call/counter update inside an engine hot loop "
+        "without an enclosing sink-guard if; breaks the "
+        "zero-overhead-when-disabled contract"
+    ),
+)
+
 #: Every rule, in catalogue order.
 ALL_RULES: tuple[Rule, ...] = (
     SYNTAX_ERROR,
@@ -171,6 +186,7 @@ ALL_RULES: tuple[Rule, ...] = (
     FAST_STRUCT_INTERFACE,
     SET_ITERATION,
     POPITEM,
+    OBS_UNGATED,
 )
 
 #: Rule lookup by id (e.g. ``RULES_BY_ID["D101"]``).

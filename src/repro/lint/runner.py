@@ -9,7 +9,8 @@ and then anchors the project-scope families:
 * engine parity needs ``repro.core.engine`` / ``repro.core.fastpath`` /
   ``repro.core.metrics``;
 * cache conformance needs the ``repro/cache/`` modules;
-* order stability needs the engine/fastpath pair.
+* order stability and observability gating need the engine/fastpath
+  pair.
 
 Anchors are taken from the linted set first and fall back to the
 package directory on disk (so ``python -m repro.lint src/repro/idicn``
@@ -24,7 +25,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from . import conformance, determinism, order, parity, rules
+from . import conformance, determinism, obsgate, order, parity, rules
 from .diagnostics import Diagnostic, Report
 from .suppressions import SuppressionIndex
 
@@ -239,6 +240,7 @@ def lint_paths(
     ]
     if hot_modules:
         raw.extend(order.check_order(hot_modules))
+        raw.extend(obsgate.check_obsgate(hot_modules))
 
     cache_modules = _resolve_cache_package(files, sources)
     if cache_modules:

@@ -1,0 +1,65 @@
+"""Observability: metrics registry, trace records, profiling hooks.
+
+``repro.obs`` is the cross-cutting observability layer.  It is
+strictly *optional*: every producer in the simulator takes its sink as
+a ``None``-default argument and, with no sink attached, executes the
+exact pre-observability instruction stream (lint rule ``O501`` pins
+this for the engine hot loops; the obs-parity tests pin it bit-exactly
+for whole simulations).
+
+The pieces:
+
+* :class:`MetricsRegistry` — counters / gauges / histograms with
+  deterministic JSON-snapshot and Prometheus text exports;
+* :class:`TraceSampler` / :class:`TraceWriter` — reproducible sampled
+  per-request JSONL traces (content-addressed sampling);
+* :class:`PhaseTimer` / :class:`SimClockTimer` — wall-clock phase and
+  simulated-clock span timers;
+* :class:`Observer` / :class:`RunRecorder` — the engine-facing sink;
+* :mod:`repro.obs.schema` — validators for all export formats;
+* ``python -m repro.obs`` — the ``report`` / ``smoke`` CLI.
+"""
+
+from .profiling import PHASE_METRIC, SIM_SPAN_METRIC, PhaseTimer, SimClockTimer
+from .registry import (
+    DEFAULT_BUCKETS,
+    REGISTRY_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .schema import (
+    SchemaError,
+    TraceStats,
+    validate_prometheus_text,
+    validate_registry_snapshot,
+    validate_trace_file,
+    validate_trace_record,
+)
+from .sink import Observer, RunRecorder
+from .trace import TRACE_VERSION, TraceSampler, TraceWriter
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "PHASE_METRIC",
+    "PhaseTimer",
+    "REGISTRY_SCHEMA",
+    "RunRecorder",
+    "SIM_SPAN_METRIC",
+    "SchemaError",
+    "SimClockTimer",
+    "TRACE_VERSION",
+    "TraceSampler",
+    "TraceStats",
+    "TraceWriter",
+    "validate_prometheus_text",
+    "validate_registry_snapshot",
+    "validate_trace_file",
+    "validate_trace_record",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.obs`` — see :mod:`repro.obs.report`."""
+
+import sys
+
+from .report import main
+
+sys.exit(main())

@@ -1,0 +1,100 @@
+"""Profiling hooks: wall-clock phase timers and simulated-clock spans.
+
+Two kinds of time flow through this codebase and they must never mix:
+
+* **wall-clock** time is what the benchmarks optimize — setup vs
+  simulation vs sweep phases.  :class:`PhaseTimer` measures it with
+  ``time.perf_counter`` and accumulates per-phase totals into gauge
+  ``repro_phase_seconds{phase=...}``.  Wall-clock readings never feed
+  a simulation, so this module lives outside the determinism-linted
+  packages; results stay reproducible, timings legitimately vary.
+* **simulated** time is the :class:`repro.idicn.simnet.SimNet` clock.
+  :class:`SimClockTimer` measures spans of it (retry backoff, outage
+  windows) against an injected clock callable and records them into
+  histogram ``repro_sim_span_seconds{span=...}`` — fully deterministic
+  for a given seed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from .registry import MetricsRegistry
+
+#: Gauge family for wall-clock phase totals.
+PHASE_METRIC = "repro_phase_seconds"
+
+#: Histogram family for simulated-clock spans.
+SIM_SPAN_METRIC = "repro_sim_span_seconds"
+
+
+class PhaseTimer:
+    """Accumulating wall-clock timer keyed by phase name.
+
+    ``with timer.phase("figure6_fast"): ...`` adds the elapsed wall
+    seconds to the phase's running total, mirrored into the attached
+    registry (when any) as ``repro_phase_seconds{phase=...}``.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry
+        self.timings: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one phase; re-entering a name accumulates."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+            if self.registry is not None:
+                self.registry.gauge(
+                    PHASE_METRIC,
+                    help="wall-clock seconds spent per named phase",
+                    phase=name,
+                ).add(elapsed)
+
+    def as_dict(self, digits: int = 3) -> dict[str, float]:
+        """Rounded phase totals (for ``BENCH_*.json`` reports)."""
+        return {
+            name: round(seconds, digits)
+            for name, seconds in sorted(self.timings.items())
+        }
+
+
+class SimClockTimer:
+    """Deterministic span timer over an injected simulated clock.
+
+    ``clock`` is any zero-argument callable returning the current
+    simulated time (e.g. ``lambda: net.clock``).  Spans land in the
+    registry histogram ``repro_sim_span_seconds{span=...}``.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.clock = clock
+        self.registry = registry
+        self.spans: dict[str, float] = {}
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Measure one simulated-time span; re-entering accumulates."""
+        start = self.clock()
+        try:
+            yield
+        finally:
+            elapsed = self.clock() - start
+            self.spans[name] = self.spans.get(name, 0.0) + elapsed
+            if self.registry is not None:
+                self.registry.histogram(
+                    SIM_SPAN_METRIC,
+                    help="simulated-clock seconds per named span",
+                    span=name,
+                ).observe(elapsed)

@@ -1,0 +1,342 @@
+"""Metric registry: counters, gauges, and histograms with exports.
+
+The registry is the single sink every instrumented component writes
+into: per-node cache serves/copies/evictions, per-link transfers,
+retry/failover outcomes, fault-injection tallies, and phase timings.
+Metrics follow the Prometheus data model — a metric *family* has a
+name, a type, and help text; each sample within it is distinguished by
+a label set — and export in two formats:
+
+* :meth:`MetricsRegistry.snapshot` — a JSON-serializable dict with a
+  versioned schema, families sorted by name and samples sorted by
+  label values, so the same counters always serialize to the same
+  bytes;
+* :meth:`MetricsRegistry.to_prometheus` — the Prometheus text
+  exposition format (``# HELP`` / ``# TYPE`` / sample lines), also in
+  deterministic order.
+
+Instrumentation cost when *no* registry is attached is zero: every
+producer gates its writes behind a ``None`` check on the sink (the
+contract rule ``O501`` enforces in the engine hot loops).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+#: Version tag of the snapshot schema (bump on breaking field changes).
+REGISTRY_SCHEMA = "repro.obs/registry/v1"
+
+#: Default histogram bucket upper bounds (latencies in hop-cost units
+#: and wall-clock seconds both fit this decade ladder).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample rendering: integers without a trailing ``.0``."""
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class Counter:
+    """A monotonically increasing sample."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A sample that can move in either direction (timings, sizes)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Shift the gauge by ``amount`` (accumulating phase timers)."""
+        self.value += amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches
+    the rest.  ``observe`` is O(log buckets).
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be strictly increasing")
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # + the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[int]:
+        """Per-bucket cumulative counts, ending with the total."""
+        out: list[int] = []
+        running = 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+
+#: One family: metric type, help text, and label-set -> sample object.
+_TYPES = ("counter", "gauge", "histogram")
+
+
+class _Family:
+    __slots__ = ("name", "type", "help", "label_names", "samples")
+
+    def __init__(
+        self, name: str, type_: str, help_: str, label_names: tuple[str, ...]
+    ) -> None:
+        self.name = name
+        self.type = type_
+        self.help = help_
+        self.label_names = label_names
+        self.samples: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+
+
+class MetricsRegistry:
+    """Get-or-create metric store with deterministic exports.
+
+    Families are keyed by metric name; samples within a family by their
+    label values.  A metric's type and label names are fixed by its
+    first registration — conflicting re-registration raises, which
+    catches typos that would otherwise split a counter in two.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    # Get-or-create accessors
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "", **labels: object) -> Counter:
+        """The counter sample for ``name`` and ``labels``."""
+        sample = self._sample(name, "counter", help, labels, None)
+        assert isinstance(sample, Counter)
+        return sample
+
+    def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
+        """The gauge sample for ``name`` and ``labels``."""
+        sample = self._sample(name, "gauge", help, labels, None)
+        assert isinstance(sample, Gauge)
+        return sample
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        """The histogram sample for ``name`` and ``labels``."""
+        sample = self._sample(name, "histogram", help, labels, buckets)
+        assert isinstance(sample, Histogram)
+        return sample
+
+    def inc(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        """Shortcut: increment the counter ``name`` by ``amount``."""
+        self.counter(name, **labels).inc(amount)
+
+    def _sample(
+        self,
+        name: str,
+        type_: str,
+        help_: str,
+        labels: Mapping[str, object],
+        buckets: Iterable[float] | None,
+    ) -> Counter | Gauge | Histogram:
+        family = self._families.get(name)
+        label_names = tuple(sorted(labels))
+        if family is None:
+            _check_name(name)
+            for label in label_names:
+                if not _LABEL_RE.match(label):
+                    raise ValueError(f"invalid label name {label!r}")
+            family = _Family(name, type_, help_, label_names)
+            self._families[name] = family
+        else:
+            if family.type != type_:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.type}"
+                )
+            if family.label_names != label_names:
+                raise ValueError(
+                    f"metric {name!r} uses labels {family.label_names}, "
+                    f"got {label_names}"
+                )
+            if help_ and not family.help:
+                family.help = help_
+        key = tuple(str(labels[k]) for k in label_names)
+        sample = family.samples.get(key)
+        if sample is None:
+            if type_ == "counter":
+                sample = Counter()
+            elif type_ == "gauge":
+                sample = Gauge()
+            else:
+                sample = Histogram(
+                    buckets if buckets is not None else DEFAULT_BUCKETS
+                )
+            family.samples[key] = sample
+        return sample
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def value(self, name: str, **labels: object) -> float:
+        """Current value of a counter/gauge (0.0 when never written)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        key = tuple(
+            str(labels[k]) for k in family.label_names if k in labels
+        )
+        if len(key) != len(family.label_names):
+            raise ValueError(
+                f"metric {name!r} needs labels {family.label_names}"
+            )
+        sample = family.samples.get(key)
+        if sample is None or isinstance(sample, Histogram):
+            return 0.0
+        return sample.value
+
+    def names(self) -> list[str]:
+        """Registered family names, sorted."""
+        return sorted(self._families)
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """The registry as a schema-versioned, deterministic dict."""
+        metrics: list[dict[str, object]] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            samples: list[dict[str, object]] = []
+            for key in sorted(family.samples):
+                sample = family.samples[key]
+                labels = dict(zip(family.label_names, key))
+                if isinstance(sample, Histogram):
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "buckets": [
+                                [bound, cum]
+                                for bound, cum in zip(
+                                    sample.bounds, sample.cumulative()
+                                )
+                            ],
+                            "sum": sample.sum,
+                            "count": sample.count,
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": sample.value})
+            metrics.append(
+                {
+                    "name": family.name,
+                    "type": family.type,
+                    "help": family.help,
+                    "samples": samples,
+                }
+            )
+        return {"schema": REGISTRY_SCHEMA, "metrics": metrics}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot as canonical JSON text."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.type}")
+            for key in sorted(family.samples):
+                sample = family.samples[key]
+                pairs = list(zip(family.label_names, key))
+                if isinstance(sample, Histogram):
+                    cumulative = sample.cumulative()
+                    for bound, cum in zip(sample.bounds, cumulative):
+                        bucket_pairs = pairs + [("le", _format_value(bound))]
+                        lines.append(
+                            f"{name}_bucket{_render_labels(bucket_pairs)} {cum}"
+                        )
+                    inf_pairs = pairs + [("le", "+Inf")]
+                    lines.append(
+                        f"{name}_bucket{_render_labels(inf_pairs)} "
+                        f"{cumulative[-1]}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_render_labels(pairs)} "
+                        f"{_format_value(sample.sum)}"
+                    )
+                    lines.append(
+                        f"{name}_count{_render_labels(pairs)} {sample.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_render_labels(pairs)} "
+                        f"{_format_value(sample.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_labels(pairs: list[tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + body + "}"

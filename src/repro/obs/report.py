@@ -1,0 +1,202 @@
+"""The ``python -m repro.obs`` command-line interface.
+
+Two subcommands:
+
+``report``
+    Render a registry snapshot (``registry.json``) as a human-readable
+    table, optionally summarizing a trace JSONL alongside it.  Pass a
+    snapshot file or a directory containing ``registry.json`` /
+    ``trace.jsonl`` (the layout ``smoke`` writes).
+
+``smoke``
+    Run a small fully-traced experiment (sample rate 1.0 by default)
+    and write the three export artifacts — ``registry.json``,
+    ``metrics.prom``, ``trace.jsonl`` — into ``--out``.  This is what
+    the CI observability job runs before validating the exports with
+    ``tests/obs/check_exports.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .registry import MetricsRegistry
+from .schema import (
+    validate_prometheus_text,
+    validate_registry_snapshot,
+    validate_trace_file,
+)
+from .sink import Observer
+from .trace import TraceSampler, TraceWriter
+
+
+def _load_snapshot(path: Path) -> dict[str, object]:
+    with open(path, encoding="utf-8") as fh:
+        snapshot = json.load(fh)
+    validate_registry_snapshot(snapshot)
+    return snapshot
+
+
+def render_snapshot(snapshot: dict[str, object]) -> str:
+    """A plain-text table of every family and sample in a snapshot."""
+    lines: list[str] = []
+    metrics = snapshot["metrics"]
+    assert isinstance(metrics, list)
+    for family in metrics:
+        lines.append(f"{family['name']} ({family['type']})")
+        if family.get("help"):
+            lines.append(f"  # {family['help']}")
+        for sample in family["samples"]:
+            labels = ",".join(
+                f"{k}={v}" for k, v in sorted(sample["labels"].items())
+            )
+            prefix = f"  {{{labels}}}" if labels else "  (no labels)"
+            if family["type"] == "histogram":
+                lines.append(
+                    f"{prefix} count={sample['count']} sum={sample['sum']}"
+                )
+            else:
+                lines.append(f"{prefix} {sample['value']}")
+    if not lines:
+        lines.append("(empty registry)")
+    return "\n".join(lines)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    target = Path(args.path)
+    snapshot_path = target
+    trace_path: Path | None = None
+    if target.is_dir():
+        snapshot_path = target / "registry.json"
+        candidate = target / "trace.jsonl"
+        if candidate.exists():
+            trace_path = candidate
+    snapshot = _load_snapshot(snapshot_path)
+    print(render_snapshot(snapshot))
+    if trace_path is not None:
+        stats = validate_trace_file(trace_path)
+        print(
+            f"\ntrace: {stats.headers} run(s), "
+            f"{stats.requests} sampled request record(s)"
+        )
+    return 0
+
+
+def run_smoke(
+    out_dir: Path,
+    num_requests: int = 5_000,
+    num_objects: int = 200,
+    seed: int = 2013,
+    sample_rate: float = 1.0,
+    sample_seed: int = 0,
+    engine: str = "reference",
+) -> dict[str, Path]:
+    """Run a tiny traced experiment; write and validate all exports.
+
+    Returns the paths of the written artifacts.  Import of the core
+    package happens here (not at module import) so the obs package
+    stays usable standalone.
+    """
+    from ..core.architectures import BASELINE_ARCHITECTURES
+    from ..core.experiment import ExperimentConfig, run_experiment
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = out_dir / "trace.jsonl"
+    registry_path = out_dir / "registry.json"
+    prom_path = out_dir / "metrics.prom"
+
+    registry = MetricsRegistry()
+    sampler = TraceSampler(rate=sample_rate, seed=sample_seed)
+    with TraceWriter(trace_path, sampler=sampler) as tracer:
+        observer = Observer(registry=registry, tracer=tracer)
+        config = ExperimentConfig(
+            tree_depth=3,
+            num_objects=num_objects,
+            num_requests=num_requests,
+            seed=seed,
+        )
+        run_experiment(
+            config,
+            BASELINE_ARCHITECTURES,
+            engine=engine,
+            observer=observer,
+        )
+
+    registry_path.write_text(registry.to_json() + "\n", encoding="utf-8")
+    prom_text = registry.to_prometheus()
+    prom_path.write_text(prom_text, encoding="utf-8")
+
+    validate_registry_snapshot(registry.snapshot())
+    validate_prometheus_text(prom_text)
+    validate_trace_file(trace_path)
+    return {
+        "registry": registry_path,
+        "prometheus": prom_path,
+        "trace": trace_path,
+    }
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    paths = run_smoke(
+        Path(args.out),
+        num_requests=args.requests,
+        num_objects=args.objects,
+        seed=args.seed,
+        sample_rate=args.sample_rate,
+        sample_seed=args.sample_seed,
+        engine=args.engine,
+    )
+    stats = validate_trace_file(paths["trace"])
+    print(
+        f"smoke run ok: {stats.headers} run(s), "
+        f"{stats.requests} trace record(s)"
+    )
+    for kind, path in sorted(paths.items()):
+        print(f"  {kind}: {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.obs`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability exports: render reports, run smoke runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="render a registry snapshot (file or smoke out dir)"
+    )
+    report.add_argument("path", help="registry.json or a directory with it")
+    report.set_defaults(func=_cmd_report)
+
+    smoke = sub.add_parser(
+        "smoke", help="run a small traced experiment and write exports"
+    )
+    smoke.add_argument("--out", required=True, help="output directory")
+    smoke.add_argument("--requests", type=int, default=5_000)
+    smoke.add_argument("--objects", type=int, default=200)
+    smoke.add_argument("--seed", type=int, default=2013)
+    smoke.add_argument("--sample-rate", type=float, default=1.0)
+    smoke.add_argument("--sample-seed", type=int, default=0)
+    smoke.add_argument(
+        "--engine", choices=("reference", "fast"), default="reference"
+    )
+    smoke.set_defaults(func=_cmd_smoke)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    result = args.func(args)
+    assert isinstance(result, int)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

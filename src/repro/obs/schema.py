@@ -1,0 +1,303 @@
+"""Validators for the observability export formats.
+
+Three artifacts leave a traced run, and CI validates all of them with
+the checkers here (``tests/obs/check_exports.py`` is a thin CLI over
+this module):
+
+* the **trace JSONL** file — one JSON object per line, versioned via
+  the ``v`` field, ``header`` records opening each run and ``request``
+  records carrying the per-request fields;
+* the **registry snapshot** — the dict produced by
+  :meth:`repro.obs.registry.MetricsRegistry.snapshot`;
+* the **Prometheus text** exposition — ``# HELP``/``# TYPE``/sample
+  lines as produced by ``to_prometheus``.
+
+All validators raise :class:`SchemaError` (a ``ValueError``) with the
+offending location in the message, and return summary statistics so
+callers can assert non-emptiness.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from .registry import REGISTRY_SCHEMA
+from .trace import TRACE_VERSION
+
+
+class SchemaError(ValueError):
+    """An export artifact does not conform to its schema."""
+
+
+#: Required fields and their types for each trace record kind.
+_HEADER_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "architecture": str,
+    "routing": str,
+    "requests": int,
+    "first_measured": int,
+    "sample_rate": (int, float),
+    "sample_seed": int,
+}
+
+_REQUEST_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "i": int,
+    "pop": int,
+    "leaf": int,
+    "object": int,
+    "serving": int,
+    "origin": (int, type(None)),
+    "cost": (int, float),
+    "size": (int, float),
+    "coop": bool,
+    "fallback": bool,
+}
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """What a validated trace file contained."""
+
+    headers: int
+    requests: int
+
+
+def validate_trace_record(record: object, where: str = "record") -> str:
+    """Validate one parsed trace record; returns its kind."""
+    if not isinstance(record, dict):
+        raise SchemaError(f"{where}: not a JSON object")
+    version = record.get("v")
+    if version != TRACE_VERSION:
+        raise SchemaError(
+            f"{where}: schema version {version!r} != {TRACE_VERSION}"
+        )
+    kind = record.get("kind")
+    if kind == "header":
+        fields = _HEADER_FIELDS
+    elif kind == "request":
+        fields = _REQUEST_FIELDS
+    else:
+        raise SchemaError(f"{where}: unknown record kind {kind!r}")
+    for name, expected in fields.items():
+        if name not in record:
+            raise SchemaError(f"{where}: missing field {name!r}")
+        value = record[name]
+        if isinstance(value, bool) and expected is not bool:
+            raise SchemaError(f"{where}: field {name!r} is a bool")
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"{where}: field {name!r} has type "
+                f"{type(value).__name__}"
+            )
+        if (
+            name in ("cost", "size", "sample_rate")
+            and isinstance(value, (int, float))
+            and not math.isfinite(value)
+        ):
+            raise SchemaError(f"{where}: field {name!r} is not finite")
+    extras = set(record) - set(fields) - {"v", "kind"}
+    if extras:
+        raise SchemaError(
+            f"{where}: unexpected fields {sorted(extras)}"
+        )
+    return str(kind)
+
+
+def validate_trace_file(path: str | Path) -> TraceStats:
+    """Validate a whole JSONL trace; the file must start with a header."""
+    headers = 0
+    requests = 0
+    seen_header = False
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                raise SchemaError(f"line {lineno}: blank line in trace")
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"line {lineno}: invalid JSON: {exc}") from exc
+            kind = validate_trace_record(record, where=f"line {lineno}")
+            if kind == "header":
+                headers += 1
+                seen_header = True
+            else:
+                if not seen_header:
+                    raise SchemaError(
+                        f"line {lineno}: request record before any header"
+                    )
+                requests += 1
+    if headers == 0:
+        raise SchemaError("trace contains no header record")
+    return TraceStats(headers=headers, requests=requests)
+
+
+# ----------------------------------------------------------------------
+# Registry snapshot
+# ----------------------------------------------------------------------
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def validate_registry_snapshot(snapshot: object) -> int:
+    """Validate a registry snapshot dict; returns the sample count."""
+    if not isinstance(snapshot, dict):
+        raise SchemaError("snapshot: not a JSON object")
+    if snapshot.get("schema") != REGISTRY_SCHEMA:
+        raise SchemaError(
+            f"snapshot: schema {snapshot.get('schema')!r} != "
+            f"{REGISTRY_SCHEMA!r}"
+        )
+    metrics = snapshot.get("metrics")
+    if not isinstance(metrics, list):
+        raise SchemaError("snapshot: `metrics` must be a list")
+    samples = 0
+    previous_name = ""
+    for index, family in enumerate(metrics):
+        where = f"metrics[{index}]"
+        if not isinstance(family, dict):
+            raise SchemaError(f"{where}: not an object")
+        name = family.get("name")
+        if not isinstance(name, str) or not _METRIC_NAME_RE.match(name):
+            raise SchemaError(f"{where}: invalid metric name {name!r}")
+        if name <= previous_name:
+            raise SchemaError(
+                f"{where}: families out of order ({name!r} after "
+                f"{previous_name!r})"
+            )
+        previous_name = name
+        if family.get("type") not in ("counter", "gauge", "histogram"):
+            raise SchemaError(
+                f"{where}: invalid type {family.get('type')!r}"
+            )
+        family_samples = family.get("samples")
+        if not isinstance(family_samples, list) or not family_samples:
+            raise SchemaError(f"{where}: `samples` must be non-empty")
+        for j, sample in enumerate(family_samples):
+            swhere = f"{where}.samples[{j}]"
+            if not isinstance(sample, dict):
+                raise SchemaError(f"{swhere}: not an object")
+            labels = sample.get("labels")
+            if not isinstance(labels, dict):
+                raise SchemaError(f"{swhere}: missing labels object")
+            for label in labels:
+                if not _LABEL_NAME_RE.match(label):
+                    raise SchemaError(
+                        f"{swhere}: invalid label name {label!r}"
+                    )
+            if family["type"] == "histogram":
+                if "buckets" not in sample or "sum" not in sample:
+                    raise SchemaError(
+                        f"{swhere}: histogram sample missing buckets/sum"
+                    )
+            elif not isinstance(sample.get("value"), (int, float)):
+                raise SchemaError(f"{swhere}: missing numeric value")
+            samples += 1
+    return samples
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$'
+)
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Validate Prometheus exposition text; returns the sample count.
+
+    Checks line grammar, that every sample's base name was declared by
+    a preceding ``# TYPE`` line (histogram samples may extend it with
+    ``_bucket``/``_sum``/``_count``), and that values parse as floats.
+    """
+    declared: dict[str, str] = {}
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            raise SchemaError(f"line {lineno}: blank line")
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram",
+            ):
+                raise SchemaError(f"line {lineno}: malformed TYPE line")
+            declared[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            raise SchemaError(f"line {lineno}: unknown comment line")
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise SchemaError(f"line {lineno}: malformed sample line")
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stem = name.removesuffix(suffix)
+            if stem != name and declared.get(stem) == "histogram":
+                base = stem
+                break
+        if base not in declared:
+            raise SchemaError(
+                f"line {lineno}: sample {name!r} has no TYPE declaration"
+            )
+        labels = match.group("labels")
+        if labels is not None:
+            body = labels[1:-1]
+            if body:
+                for pair in _split_label_pairs(body, lineno):
+                    if not _LABEL_PAIR_RE.match(pair):
+                        raise SchemaError(
+                            f"line {lineno}: malformed label pair {pair!r}"
+                        )
+        value = match.group("value")
+        if value not in ("NaN", "+Inf", "-Inf"):
+            try:
+                float(value)
+            except ValueError as exc:
+                raise SchemaError(
+                    f"line {lineno}: non-numeric value {value!r}"
+                ) from exc
+        samples += 1
+    if samples == 0:
+        raise SchemaError("exposition contains no samples")
+    return samples
+
+
+def _split_label_pairs(body: str, lineno: int) -> list[str]:
+    """Split ``k="v",k2="v2"`` respecting escaped quotes inside values."""
+    pairs: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            pairs.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if in_quotes or escaped:
+        raise SchemaError(f"line {lineno}: unterminated label value")
+    pairs.append("".join(current))
+    return pairs

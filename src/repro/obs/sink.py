@@ -1,0 +1,162 @@
+"""The engine-facing observability sink.
+
+:class:`Observer` bundles the two output channels — a
+:class:`~repro.obs.registry.MetricsRegistry` and an optional
+:class:`~repro.obs.trace.TraceWriter` — behind the single object the
+simulation engines consume.  The hot-loop contract:
+
+* ``Simulator(..., observer=None)`` is the default, and with it both
+  engines execute the exact pre-observability instruction stream —
+  no recorder allocation, no per-request branches beyond one ``is
+  None`` check hoisted out of the loop where possible;
+* with an observer attached, engines allocate one
+  :class:`RunRecorder` per run and update its flat counters inline
+  (gated behind the sink check — lint rule ``O501``), then
+  :meth:`Observer.finish_run` folds the recorder and the finished
+  :class:`~repro.core.metrics.SimulationResult` into the registry.
+
+Instrumentation never touches simulation state or any RNG, so enabling
+observability cannot change a single simulated number — the obs-parity
+tests pin this engine by engine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .registry import MetricsRegistry
+from .trace import TraceWriter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.metrics import SimulationResult
+
+
+class RunRecorder:
+    """Flat per-run counters the engine hot loops update inline.
+
+    One slot per global node id; plain Python lists so an increment is
+    a single ``list[int] += 1``.  ``serves`` counts measured requests
+    by serving node; ``copies`` counts response-path cache copy events
+    (insert or refresh) over the whole stream; ``evictions`` counts
+    objects evicted to make room.
+    """
+
+    __slots__ = ("architecture", "serves", "copies", "evictions")
+
+    def __init__(self, architecture: str, num_nodes: int) -> None:
+        self.architecture = architecture
+        self.serves = [0] * num_nodes
+        self.copies = [0] * num_nodes
+        self.evictions = [0] * num_nodes
+
+
+class Observer:
+    """Metrics registry + optional tracer, as one engine-facing sink."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: TraceWriter | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+
+    def start_run(
+        self,
+        architecture: str,
+        routing: str,
+        num_nodes: int,
+        num_requests: int,
+        first_measured: int,
+    ) -> RunRecorder:
+        """Open one simulation run: header record + fresh recorder."""
+        if self.tracer is not None:
+            self.tracer.write_header(
+                architecture, routing, num_requests, first_measured
+            )
+        return RunRecorder(architecture, num_nodes)
+
+    def finish_run(
+        self, recorder: RunRecorder, result: "SimulationResult"
+    ) -> None:
+        """Fold a finished run into the registry.
+
+        Per-node counters come from the recorder; per-link transfers,
+        per-PoP origin serves, and the aggregate tallies come from the
+        result itself (already accumulated by the engine, so flushing
+        them here costs nothing in the hot loop).
+        """
+        reg = self.registry
+        arch = recorder.architecture
+        reg.counter(
+            "repro_requests_total",
+            help="measured requests simulated",
+            architecture=arch,
+        ).inc(result.num_requests)
+        reg.counter(
+            "repro_cache_served_total",
+            help="measured requests served by a cache on the request path",
+            architecture=arch,
+        ).inc(result.cache_served)
+        reg.counter(
+            "repro_coop_served_total",
+            help="measured requests served via scoped sibling cooperation",
+            architecture=arch,
+        ).inc(result.coop_served)
+        reg.counter(
+            "repro_fallback_served_total",
+            help="measured requests that routed around a failed cache node",
+            architecture=arch,
+        ).inc(result.fallback_served)
+        reg.counter(
+            "repro_latency_hops_total",
+            help="total hop-cost latency over measured requests",
+            architecture=arch,
+        ).inc(result.total_latency)
+        for pop, count in enumerate(result.origin_serves):
+            if count:
+                reg.counter(
+                    "repro_origin_served_total",
+                    help="measured requests served by each origin PoP",
+                    architecture=arch,
+                    pop=pop,
+                ).inc(float(count))
+        for link, transfers in enumerate(result.link_transfers):
+            if transfers:
+                reg.counter(
+                    "repro_link_transfers_total",
+                    help="size-weighted object transfers per link",
+                    architecture=arch,
+                    link=link,
+                ).inc(float(transfers))
+        for node, count in enumerate(recorder.serves):
+            if count:
+                reg.counter(
+                    "repro_node_serves_total",
+                    help="measured requests served per node (caches and "
+                    "origin roots)",
+                    architecture=arch,
+                    node=node,
+                ).inc(count)
+        for node, count in enumerate(recorder.copies):
+            if count:
+                reg.counter(
+                    "repro_node_copies_total",
+                    help="response-path cache copy events per node "
+                    "(insert or recency refresh, full stream)",
+                    architecture=arch,
+                    node=node,
+                ).inc(count)
+        for node, count in enumerate(recorder.evictions):
+            if count:
+                reg.counter(
+                    "repro_node_evictions_total",
+                    help="cache evictions per node (full stream)",
+                    architecture=arch,
+                    node=node,
+                ).inc(count)
+
+    def close(self) -> None:
+        """Close the tracer (when any)."""
+        if self.tracer is not None:
+            self.tracer.close()

@@ -33,6 +33,7 @@ from .temporal import (
     temporal_objects,
 )
 from .trace import (
+    SKIPPED_LINES_METRIC,
     TraceRecord,
     anonymize,
     object_ids_by_popularity,
@@ -47,6 +48,7 @@ __all__ = [
     "REGIONS",
     "RegionProfile",
     "RegressionFit",
+    "SKIPPED_LINES_METRIC",
     "TraceRecord",
     "Workload",
     "ZipfDistribution",

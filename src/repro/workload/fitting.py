@@ -37,12 +37,28 @@ def fit_zipf_mle(
     ``counts[r]`` is the number of requests for the rank-(r+1) object.
     ``num_objects`` sets the truncation of the normalizing constant
     (defaults to the number of observed ranks).
+
+    Degenerate inputs raise :class:`ValueError` instead of returning a
+    bound-clipped junk exponent: all-zero counts make the likelihood
+    constant (any alpha "fits"), and a single observed rank leaves the
+    exponent unidentifiable (the optimizer would ride the search bound).
     """
     counts = np.asarray(counts, dtype=np.float64)
     if counts.size == 0:
         raise ValueError("counts must be non-empty")
+    if not np.all(np.isfinite(counts)):
+        raise ValueError("counts must be finite")
     if np.any(counts < 0):
         raise ValueError("counts must be non-negative")
+    if not np.any(counts > 0):
+        raise ValueError(
+            "counts are all zero: the Zipf likelihood is constant and "
+            "no exponent is identifiable"
+        )
+    if counts.size < 2:
+        raise ValueError(
+            "need at least two observed ranks to identify a Zipf exponent"
+        )
     n = num_objects if num_objects is not None else counts.size
     if n < counts.size:
         raise ValueError("num_objects must be >= number of observed ranks")

@@ -13,10 +13,19 @@ from collections import Counter
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
+
 _FIELDS = ("timestamp", "client", "url", "size", "served_locally")
+
+#: Counter mirroring lines dropped by :func:`read_trace` (label
+#: ``reason`` distinguishes truncated field counts from unparsable
+#: field values).
+SKIPPED_LINES_METRIC = "repro_trace_skipped_lines_total"
 
 
 @dataclass(frozen=True)
@@ -73,13 +82,51 @@ def write_trace(path: str | Path, records: Iterable[TraceRecord]) -> int:
     return count
 
 
-def read_trace(path: str | Path) -> Iterator[TraceRecord]:
-    """Stream records from ``path``, skipping comments and blank lines."""
+def read_trace(
+    path: str | Path,
+    registry: "MetricsRegistry | None" = None,
+    errors: str = "skip",
+) -> Iterator[TraceRecord]:
+    """Stream records from ``path``, skipping comments and blank lines.
+
+    Real CDN logs are collected from live machines and routinely end in
+    a truncated final line or carry the odd corrupted record, so a
+    malformed data line is *skipped and counted* rather than aborting
+    the stream mid-file (the old behaviour, which lost every record
+    after the first bad byte).  Skips are mirrored into ``registry``
+    (when given) as ``repro_trace_skipped_lines_total{reason}``, where
+    ``reason`` is ``"truncated"`` for a wrong field count and
+    ``"malformed"`` for fields that fail to parse.  Pass
+    ``errors="raise"`` to restore strict parsing; the ``ValueError``
+    then names the offending line number.
+    """
+    if errors not in ("skip", "raise"):
+        raise ValueError(f"errors must be 'skip' or 'raise', got {errors!r}")
+    if registry is not None:
+        # Pre-register both reasons so a clean file still exports zeros.
+        for reason in ("truncated", "malformed"):
+            registry.counter(
+                SKIPPED_LINES_METRIC,
+                help="malformed CDN-log lines skipped by read_trace",
+                reason=reason,
+            )
     with open(path, encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             if not line.strip() or line.startswith("#"):
                 continue
-            yield TraceRecord.from_line(line)
+            try:
+                record = TraceRecord.from_line(line)
+            except ValueError as exc:
+                if errors == "raise":
+                    raise ValueError(f"{path}:{lineno}: {exc}") from exc
+                fields = line.rstrip("\n").split("\t")
+                reason = (
+                    "truncated" if len(fields) != len(_FIELDS) else "malformed"
+                )
+                if registry is not None:
+                    registry.inc(SKIPPED_LINES_METRIC, reason=reason)
+                continue
+            yield record
 
 
 def object_ids_by_popularity(

@@ -91,6 +91,48 @@ class TestImprovements:
         assert imp.min() <= imp.max()
 
 
+class TestDegenerateBaselines:
+    """A zero no-cache baseline yields NaN ("undefined"), never 0.0."""
+
+    def _zero_latency_baseline(self):
+        # Every request served at distance 0 with no link crossings and
+        # no origin involvement: all three baselines are degenerate.
+        return collect([(0.0, [], 1.0, None, False)] * 4, name="NC")
+
+    def test_zero_baseline_gives_nan_not_zero(self):
+        baseline = self._zero_latency_baseline()
+        cached = collect([(0.0, [], 1.0, None, False)] * 4)
+        imp = improvements(cached, baseline)
+        assert np.isnan(imp.latency)
+        assert np.isnan(imp.congestion)
+        assert np.isnan(imp.origin_load)
+
+    def test_minmax_skip_nan_metrics(self):
+        baseline = collect([(10.0, [], 1.0, None, False)] * 4, name="NC")
+        # Latency baseline is positive; congestion/origin baselines are
+        # zero, so only latency is defined.
+        cached = collect([(5.0, [], 1.0, None, False)] * 4)
+        imp = improvements(cached, baseline)
+        assert imp.latency == pytest.approx(50.0)
+        assert np.isnan(imp.congestion)
+        assert imp.min() == pytest.approx(50.0)
+        assert imp.max() == pytest.approx(50.0)
+
+    def test_minmax_all_nan_is_nan(self):
+        baseline = self._zero_latency_baseline()
+        imp = improvements(baseline, baseline)
+        assert np.isnan(imp.min())
+        assert np.isnan(imp.max())
+
+    def test_nan_propagates_through_gap(self):
+        baseline = self._zero_latency_baseline()
+        imp = improvements(baseline, baseline)
+        g = gap(imp, imp)
+        assert np.isnan(g.latency)
+        assert np.isnan(g.congestion)
+        assert np.isnan(g.origin_load)
+
+
 class TestGap:
     def test_subtraction(self):
         baseline = collect([(10.0, [0], 1.0, 0, False)] * 4, name="NC")

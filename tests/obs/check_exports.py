@@ -1,0 +1,93 @@
+"""Standalone validator for a directory of observability exports.
+
+CI runs a traced smoke simulation (``python -m repro.obs smoke``) and
+then this script against the output directory::
+
+    python tests/obs/check_exports.py /tmp/obs-smoke
+
+It re-validates all three artifacts against the versioned schemas in
+:mod:`repro.obs.schema` — independently of the writer process, so a
+writer bug that bypasses its own inline validation still fails CI —
+and cross-checks that the JSON snapshot and the Prometheus text expose
+the same sample count.  Exit code 0 on success, 1 with a diagnostic on
+any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.obs import (
+    SchemaError,
+    validate_prometheus_text,
+    validate_registry_snapshot,
+    validate_trace_file,
+)
+
+
+def check_exports(out_dir: Path) -> list[str]:
+    """Validate one export directory; returns human-readable findings."""
+    findings: list[str] = []
+    registry_path = out_dir / "registry.json"
+    prom_path = out_dir / "metrics.prom"
+    trace_path = out_dir / "trace.jsonl"
+    for path in (registry_path, prom_path, trace_path):
+        if not path.is_file():
+            findings.append(f"missing artifact: {path.name}")
+    if findings:
+        return findings
+
+    json_samples = prom_samples = None
+    try:
+        snapshot = json.loads(registry_path.read_text(encoding="utf-8"))
+        json_samples = validate_registry_snapshot(snapshot)
+    except (json.JSONDecodeError, SchemaError) as exc:
+        findings.append(f"registry.json: {exc}")
+    try:
+        prom_samples = validate_prometheus_text(
+            prom_path.read_text(encoding="utf-8")
+        )
+    except SchemaError as exc:
+        findings.append(f"metrics.prom: {exc}")
+    try:
+        stats = validate_trace_file(trace_path)
+        if stats.headers == 0:
+            findings.append("trace.jsonl: no run headers")
+        if stats.requests == 0:
+            findings.append("trace.jsonl: no sampled request records")
+    except SchemaError as exc:
+        findings.append(f"trace.jsonl: {exc}")
+
+    # A histogram sample expands to several exposition lines, so the
+    # text export can only ever have at least as many samples as the
+    # JSON snapshot; fewer means the two exports drifted apart.
+    if (
+        json_samples is not None
+        and prom_samples is not None
+        and prom_samples < json_samples
+    ):
+        findings.append(
+            "export drift: registry.json has "
+            f"{json_samples} sample(s), metrics.prom only {prom_samples}"
+        )
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    """CLI wrapper; prints findings and returns the exit code."""
+    if len(argv) != 1:
+        print("usage: check_exports.py <export-dir>", file=sys.stderr)
+        return 2
+    findings = check_exports(Path(argv[0]))
+    if findings:
+        for finding in findings:
+            print(f"FAIL: {finding}", file=sys.stderr)
+        return 1
+    print(f"exports in {argv[0]} are schema-valid and consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

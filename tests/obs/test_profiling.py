@@ -1,0 +1,50 @@
+"""Profiling hooks: wall-clock phase timers and sim-clock span timers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    PHASE_METRIC,
+    SIM_SPAN_METRIC,
+    MetricsRegistry,
+    PhaseTimer,
+    SimClockTimer,
+)
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate_into_gauge(self):
+        reg = MetricsRegistry()
+        timer = PhaseTimer(reg)
+        with timer.phase("setup"):
+            pass
+        with timer.phase("setup"):
+            pass
+        with timer.phase("run"):
+            pass
+        phases = timer.as_dict()
+        assert set(phases) == {"setup", "run"}
+        assert phases["setup"] >= 0.0
+        assert reg.value(PHASE_METRIC, phase="run") >= 0.0
+
+    def test_as_dict_rounds(self):
+        timer = PhaseTimer(MetricsRegistry())
+        with timer.phase("x"):
+            pass
+        value = timer.as_dict(digits=3)["x"]
+        assert value == round(value, 3)
+
+
+class TestSimClockTimer:
+    def test_spans_observe_sim_clock_deltas(self):
+        clock = {"now": 0.0}
+        reg = MetricsRegistry()
+        timer = SimClockTimer(lambda: clock["now"], reg)
+        with timer.span("resolve"):
+            clock["now"] += 2.0
+        with timer.span("resolve"):
+            clock["now"] += 3.0
+        hist = reg.histogram(SIM_SPAN_METRIC, span="resolve")
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(5.0)

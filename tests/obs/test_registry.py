@@ -1,0 +1,113 @@
+"""MetricsRegistry: counters, gauges, histograms, and both exports."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    REGISTRY_SCHEMA,
+    validate_prometheus_text,
+    validate_registry_snapshot,
+)
+
+
+class TestSamples:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_requests_total", help="requests")
+        c.inc()
+        c.inc(4.0)
+        assert reg.value("repro_requests_total") == 5.0
+
+    def test_counter_rejects_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("repro_x_total").inc(-1.0)
+
+    def test_gauge_moves_both_ways(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_phase_seconds", phase="setup")
+        g.add(2.5)
+        g.add(-1.0)
+        assert reg.value("repro_phase_seconds", phase="setup") == 1.5
+
+    def test_histogram_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_span_seconds", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        cumulative = h.cumulative()
+        assert cumulative == [1, 2, 3]
+        assert h.sum == pytest.approx(55.5)
+        assert h.count == 3
+
+    def test_labels_split_samples(self):
+        reg = MetricsRegistry()
+        reg.inc("repro_events_total", event="a")
+        reg.inc("repro_events_total", 2.0, event="b")
+        assert reg.value("repro_events_total", event="a") == 1.0
+        assert reg.value("repro_events_total", event="b") == 2.0
+
+    def test_unwritten_value_is_zero(self):
+        reg = MetricsRegistry()
+        assert reg.value("repro_never_written_total") == 0.0
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_thing_total")
+        with pytest.raises(ValueError):
+            reg.gauge("repro_thing_total")
+
+    def test_label_set_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_thing_total", a="1")
+        with pytest.raises(ValueError):
+            reg.counter("repro_thing_total", b="2")
+
+
+class TestExports:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.inc("repro_requests_total", 7, architecture="EDGE")
+        reg.gauge("repro_phase_seconds", phase="sim").add(0.25)
+        h = reg.histogram("repro_span_seconds", buckets=DEFAULT_BUCKETS)
+        h.observe(0.003)
+        h.observe(4.2)
+        return reg
+
+    def test_snapshot_is_schema_valid(self):
+        reg = self._populated()
+        snapshot = reg.snapshot()
+        assert snapshot["schema"] == REGISTRY_SCHEMA
+        assert validate_registry_snapshot(snapshot) > 0
+
+    def test_json_roundtrip_is_deterministic(self):
+        reg = self._populated()
+        text = reg.to_json()
+        assert text == self._populated().to_json()
+        assert json.loads(text)["schema"] == REGISTRY_SCHEMA
+
+    def test_prometheus_text_validates(self):
+        reg = self._populated()
+        text = reg.to_prometheus()
+        validate_prometheus_text(text)
+        assert 'repro_requests_total{architecture="EDGE"} 7' in text
+        assert "# TYPE repro_span_seconds histogram" in text
+        assert 'le="+Inf"' in text
+
+    def test_prometheus_escapes_label_values(self):
+        reg = MetricsRegistry()
+        reg.inc("repro_events_total", host='we"ird\\host\n')
+        text = reg.to_prometheus()
+        validate_prometheus_text(text)
+        assert '\\"' in text and "\\n" in text
+
+    def test_nan_renders_and_validates(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_odd_gauge").add(math.nan)
+        validate_prometheus_text(reg.to_prometheus())

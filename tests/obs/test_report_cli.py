@@ -1,0 +1,87 @@
+"""The ``python -m repro.obs`` CLI: smoke runs and report rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, validate_trace_file
+from repro.obs.report import build_parser, main, render_snapshot, run_smoke
+
+
+@pytest.fixture(scope="module")
+def smoke_dir(tmp_path_factory):
+    """One shared small smoke run (it simulates six architectures)."""
+    out = tmp_path_factory.mktemp("obs-smoke")
+    run_smoke(out, num_requests=1500, num_objects=80, engine="fast")
+    return out
+
+
+class TestSmoke:
+    def test_writes_all_three_artifacts(self, smoke_dir):
+        for name in ("registry.json", "metrics.prom", "trace.jsonl"):
+            assert (smoke_dir / name).is_file(), name
+
+    def test_trace_validates_and_covers_all_runs(self, smoke_dir):
+        stats = validate_trace_file(smoke_dir / "trace.jsonl")
+        # no-cache baseline + each baseline architecture, one header each
+        assert stats.headers >= 2
+        assert stats.requests > 0
+
+    def test_registry_snapshot_parses(self, smoke_dir):
+        snapshot = json.loads((smoke_dir / "registry.json").read_text())
+        names = {m["name"] for m in snapshot["metrics"]}
+        assert "repro_requests_total" in names
+
+    def test_cli_smoke_and_report(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        code = main(
+            [
+                "smoke", "--out", str(out), "--requests", "800",
+                "--objects", "50", "--engine", "fast",
+            ]
+        )
+        assert code == 0
+        assert "smoke run ok" in capsys.readouterr().out
+        code = main(["report", str(out)])
+        assert code == 0
+        rendered = capsys.readouterr().out
+        assert "repro_requests_total" in rendered
+        assert "trace:" in rendered
+
+
+class TestCheckExports:
+    def test_clean_exports_pass(self, smoke_dir):
+        from .check_exports import check_exports
+
+        assert check_exports(smoke_dir) == []
+
+    def test_missing_artifact_reported(self, tmp_path):
+        from .check_exports import check_exports
+
+        findings = check_exports(tmp_path)
+        assert any("missing artifact" in f for f in findings)
+
+    def test_corrupt_trace_reported(self, smoke_dir, tmp_path):
+        from .check_exports import check_exports
+
+        broken = tmp_path / "broken"
+        broken.mkdir()
+        for name in ("registry.json", "metrics.prom"):
+            (broken / name).write_text(
+                (smoke_dir / name).read_text(), encoding="utf-8"
+            )
+        (broken / "trace.jsonl").write_text("not json\n", encoding="utf-8")
+        findings = check_exports(broken)
+        assert any("trace.jsonl" in f for f in findings)
+
+
+class TestParserAndRender:
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_render_empty_registry(self):
+        snapshot = MetricsRegistry().snapshot()
+        assert "empty registry" in render_snapshot(snapshot)

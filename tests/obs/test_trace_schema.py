@@ -1,0 +1,138 @@
+"""Trace writer, deterministic sampler, and the schema validators."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    SchemaError,
+    TraceSampler,
+    TraceWriter,
+    validate_trace_file,
+    validate_trace_record,
+)
+
+
+class TestSampler:
+    def test_decision_is_pure_function_of_seed_and_index(self):
+        a = TraceSampler(rate=0.5, seed=9)
+        b = TraceSampler(rate=0.5, seed=9)
+        assert [a.wants(i) for i in range(500)] == [
+            b.wants(i) for i in range(500)
+        ]
+
+    def test_different_seeds_select_different_subsets(self):
+        a = TraceSampler(rate=0.5, seed=1)
+        b = TraceSampler(rate=0.5, seed=2)
+        assert [a.wants(i) for i in range(500)] != [
+            b.wants(i) for i in range(500)
+        ]
+
+    def test_rate_extremes_are_exact(self):
+        assert all(TraceSampler(rate=1.0).wants(i) for i in range(100))
+        assert not any(TraceSampler(rate=0.0).wants(i) for i in range(100))
+
+    def test_rate_roughly_honored(self):
+        sampler = TraceSampler(rate=0.25, seed=0)
+        picked = sum(sampler.wants(i) for i in range(4000))
+        assert 800 < picked < 1200
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSampler(rate=1.5)
+
+
+class TestWriterRoundtrip:
+    def _write(self, buffer):
+        writer = TraceWriter(buffer, TraceSampler(rate=1.0, seed=3))
+        writer.write_header("EDGE", "symmetric", 100, 20)
+        writer.emit_request(
+            index=20, pop=1, leaf=9, obj=4, serving=9,
+            origin_pop=None, cost=0.0, size=1.0, coop=False, fallback=False,
+        )
+        writer.emit_request(
+            index=21, pop=0, leaf=8, obj=7, serving=0,
+            origin_pop=2, cost=3.0, size=2.5, coop=False, fallback=True,
+        )
+        writer.flush()
+        return writer
+
+    def test_every_line_validates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            writer = self._write(fh)
+        assert writer.headers == 1 and writer.emitted == 2
+        stats = validate_trace_file(path)
+        assert stats.headers == 1
+        assert stats.requests == 2
+
+    def test_records_are_canonical_json(self):
+        buffer = io.StringIO()
+        self._write(buffer)
+        for line in buffer.getvalue().splitlines():
+            record = json.loads(line)
+            canonical = json.dumps(
+                record, sort_keys=True, separators=(",", ":")
+            )
+            assert line == canonical
+            validate_trace_record(record)
+
+    def test_path_destination_opens_lazily(self, tmp_path):
+        path = tmp_path / "lazy.jsonl"
+        writer = TraceWriter(path)
+        assert not path.exists()
+        writer.write_header("EDGE", "symmetric", 10, 0)
+        writer.close()
+        assert validate_trace_file(path).headers == 1
+
+
+class TestValidatorRejections:
+    def test_wrong_version_rejected(self):
+        with pytest.raises(SchemaError, match="version"):
+            validate_trace_record({"v": 99, "kind": "header"})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_trace_record({"v": 1, "kind": "mystery"})
+
+    def test_missing_field_rejected(self):
+        record = {
+            "v": 1, "kind": "request", "i": 0, "pop": 0, "leaf": 0,
+            "object": 0, "serving": 0, "origin": None, "cost": 0.0,
+            "size": 1.0, "coop": False,
+            # "fallback" missing
+        }
+        with pytest.raises(SchemaError, match="fallback"):
+            validate_trace_record(record)
+
+    def test_extra_field_rejected(self):
+        record = {
+            "v": 1, "kind": "request", "i": 0, "pop": 0, "leaf": 0,
+            "object": 0, "serving": 0, "origin": None, "cost": 0.0,
+            "size": 1.0, "coop": False, "fallback": False, "extra": 1,
+        }
+        with pytest.raises(SchemaError, match="extra"):
+            validate_trace_record(record)
+
+    def test_non_finite_cost_rejected(self):
+        record = {
+            "v": 1, "kind": "request", "i": 0, "pop": 0, "leaf": 0,
+            "object": 0, "serving": 0, "origin": None, "cost": float("inf"),
+            "size": 1.0, "coop": False, "fallback": False,
+        }
+        with pytest.raises(SchemaError):
+            validate_trace_record(record)
+
+    def test_file_must_open_with_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        record = {
+            "v": 1, "kind": "request", "i": 0, "pop": 0, "leaf": 0,
+            "object": 0, "serving": 0, "origin": None, "cost": 0.0,
+            "size": 1.0, "coop": False, "fallback": False,
+        }
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(SchemaError, match="header"):
+            validate_trace_file(path)

@@ -49,6 +49,24 @@ class TestMle:
         estimate = fit_zipf_mle(np.full(100, 10.0))
         assert estimate < 0.05
 
+    def test_all_zero_counts_rejected(self):
+        # The likelihood is constant: the optimizer would return an
+        # arbitrary interior point instead of failing loudly.
+        with pytest.raises(ValueError, match="all zero"):
+            fit_zipf_mle(np.zeros(10))
+
+    def test_single_rank_rejected(self):
+        # One observed rank cannot identify an exponent; the optimizer
+        # would ride the search bound.
+        with pytest.raises(ValueError, match="at least two"):
+            fit_zipf_mle(np.array([42.0]))
+
+    def test_non_finite_counts_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            fit_zipf_mle(np.array([3.0, np.nan, 1.0]))
+        with pytest.raises(ValueError, match="finite"):
+            fit_zipf_mle(np.array([3.0, np.inf, 1.0]))
+
 
 class TestRegression:
     def test_exact_power_law_recovered(self):

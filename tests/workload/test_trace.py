@@ -56,6 +56,60 @@ class TestFileIo:
         assert next(iter(iterator)) == record()
 
 
+class TestMalformedLines:
+    """Corrupt log lines are skipped and counted, not fatal mid-file."""
+
+    def _dirty_file(self, tmp_path):
+        path = tmp_path / "trace.tsv"
+        good = [record(url=f"u{i}", ts=float(i)) for i in range(3)]
+        path.write_text(
+            "# header\n"
+            + good[0].to_line() + "\n"
+            + "only\ttwo\n"                         # truncated (2 fields)
+            + good[1].to_line() + "\n"
+            + "1.0\tc\tu\tnotanint\t0\n"            # malformed size field
+            + good[2].to_line()[:10] + "\n"         # truncated tail write
+            + good[2].to_line() + "\n"
+        )
+        return path, good
+
+    def test_bad_lines_skipped_good_lines_survive(self, tmp_path):
+        path, good = self._dirty_file(tmp_path)
+        assert list(read_trace(path)) == good
+
+    def test_skips_counted_in_registry(self, tmp_path):
+        from repro.obs import MetricsRegistry
+        from repro.workload import SKIPPED_LINES_METRIC
+
+        path, good = self._dirty_file(tmp_path)
+        registry = MetricsRegistry()
+        assert list(read_trace(path, registry=registry)) == good
+        assert registry.value(SKIPPED_LINES_METRIC, reason="truncated") == 2
+        assert registry.value(SKIPPED_LINES_METRIC, reason="malformed") == 1
+
+    def test_clean_file_exports_zero_skips(self, tmp_path):
+        from repro.obs import MetricsRegistry
+        from repro.workload import SKIPPED_LINES_METRIC
+
+        path = tmp_path / "trace.tsv"
+        write_trace(path, [record()])
+        registry = MetricsRegistry()
+        list(read_trace(path, registry=registry))
+        assert registry.value(SKIPPED_LINES_METRIC, reason="truncated") == 0
+        assert registry.value(SKIPPED_LINES_METRIC, reason="malformed") == 0
+
+    def test_strict_mode_raises_with_line_number(self, tmp_path):
+        path, _ = self._dirty_file(tmp_path)
+        with pytest.raises(ValueError, match=":3:"):
+            list(read_trace(path, errors="raise"))
+
+    def test_unknown_errors_mode_rejected(self, tmp_path):
+        path = tmp_path / "trace.tsv"
+        write_trace(path, [record()])
+        with pytest.raises(ValueError, match="errors"):
+            list(read_trace(path, errors="ignore"))
+
+
 class TestAnonymize:
     def test_deterministic(self):
         assert anonymize("10.1.2.3") == anonymize("10.1.2.3")
