@@ -12,8 +12,17 @@ from .client import Browser, VerificationError
 from .crypto import KeyPair, PublicKey, generate_keypair, sha256_hex, sign, verify
 from .deployment import ClientDomain, Deployment, Provider, build_deployment
 from .dns import DnsClient, DnsQuery, DnsServer, DnsUpdate
-from .faults import FaultEvent, FaultPlane, Outage
-from .http import STALE_WARNING, HttpRequest, HttpResponse, is_stale, mark_stale
+from .faults import FaultEvent, FaultPlane, HazardWindow, Outage
+from .http import (
+    STALE_WARNING,
+    HttpRequest,
+    HttpResponse,
+    is_shed,
+    is_stale,
+    mark_stale,
+    retry_after_seconds,
+    service_unavailable,
+)
 from .metalink import METALINK_HEADER, Metalink, build_metalink, verify_metalink
 from .mobility import DownloadResult, MobileServer, ResumingDownloader
 from .names import (
@@ -27,6 +36,12 @@ from .names import (
     principal_of,
 )
 from .origin import OriginServer
+from .overload import (
+    AdmissionControl,
+    OverloadPolicy,
+    PendingInterestTable,
+    PitEntry,
+)
 from .proxy import EdgeProxy
 from .resolution import (
     NameResolutionSystem,
@@ -37,6 +52,7 @@ from .resolution import (
 )
 from .retry import Retrier, RetryPolicy
 from .reverse_proxy import ReverseProxy
+from .scenarios import FlashCrowdResult, FlashCrowdScenario, run_flash_crowd
 from .simnet import (
     ARP_PORT,
     DNS_PORT,
@@ -45,12 +61,16 @@ from .simnet import (
     RESOLVER_PORT,
     AddressInUseError,
     DroppedMessageError,
+    EventScheduler,
     Host,
     HostDownError,
+    HostQueue,
     InjectedCallError,
     InjectedFaultError,
+    LinkSpec,
     NoRouteError,
     NoServiceError,
+    QueueOverflowError,
     SimNet,
     SimNetError,
     Subnet,
@@ -78,6 +98,7 @@ __all__ = [
     "ARP_PORT",
     "AdHocCacheProxy",
     "AddressInUseError",
+    "AdmissionControl",
     "Browser",
     "ClientDomain",
     "DHCP_PAC_OPTION",
@@ -91,12 +112,17 @@ __all__ = [
     "DownloadResult",
     "DroppedMessageError",
     "EdgeProxy",
+    "EventScheduler",
     "FINGERPRINT_CHARS",
     "FaultEvent",
     "FaultPlane",
+    "FlashCrowdResult",
+    "FlashCrowdScenario",
     "HTTP_PORT",
+    "HazardWindow",
     "Host",
     "HostDownError",
+    "HostQueue",
     "HttpRequest",
     "HttpResponse",
     "IDICN_SUFFIX",
@@ -105,6 +131,7 @@ __all__ = [
     "InjectedFaultError",
     "KeyPair",
     "LINK_LOCAL_PREFIX",
+    "LinkSpec",
     "MDNS_PORT",
     "METALINK_HEADER",
     "MdnsResponder",
@@ -115,10 +142,14 @@ __all__ = [
     "NoServiceError",
     "OriginServer",
     "Outage",
+    "OverloadPolicy",
     "PacFile",
     "PacRule",
+    "PendingInterestTable",
+    "PitEntry",
     "Provider",
     "PublicKey",
+    "QueueOverflowError",
     "RESOLVER_PORT",
     "RegisterRequest",
     "ResolutionClient",
@@ -141,6 +172,7 @@ __all__ = [
     "generate_keypair",
     "is_idicn_domain",
     "is_link_local",
+    "is_shed",
     "is_stale",
     "join_adhoc_network",
     "make_name",
@@ -152,6 +184,9 @@ __all__ = [
     "principal_of",
     "proxy_address",
     "proxy_candidates",
+    "retry_after_seconds",
+    "run_flash_crowd",
+    "service_unavailable",
     "sha256_hex",
     "sign",
     "verify",

@@ -9,18 +9,23 @@ edge proxy and a WPAD/PAC server, and auto-configured browsers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from . import http
 from .client import Browser
 from .crypto import KeyPair, generate_keypair
 from .dns import DnsClient, DnsServer
 from .origin import OriginServer
+from .overload import OverloadPolicy
 from .proxy import EdgeProxy
 from .resolution import NameResolutionSystem, ResolutionClient
 from .retry import RetryPolicy
 from .reverse_proxy import ReverseProxy
 from .simnet import HTTP_PORT, Host, SimNet
 from .wpad import DHCP_PAC_OPTION
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
 
 
 @dataclass
@@ -63,6 +68,9 @@ class Deployment:
     providers: list[Provider] = field(default_factory=list)
     domains: list[ClientDomain] = field(default_factory=list)
     retry_policy: RetryPolicy | None = None
+    #: The overload policy the deployment was built with (None = the
+    #: original synchronous, unbounded fabric).
+    overload: OverloadPolicy | None = None
 
     @property
     def backbone(self) -> str:
@@ -104,6 +112,10 @@ def build_deployment(
     verify_at_client: bool = False,
     proxies_per_domain: int = 1,
     retry_policy: RetryPolicy | None = None,
+    overload: OverloadPolicy | None = None,
+    registry: "MetricsRegistry | None" = None,
+    configure_browsers: bool = True,
+    provider_max_age: float | None = None,
 ) -> Deployment:
     """Build the standard single-provider deployment of Figure 11.
 
@@ -112,9 +124,20 @@ def build_deployment(
     component (browsers, proxies, resolver stubs, reverse proxy) with
     the same retry/backoff behaviour — ``None`` keeps the historical
     single-attempt semantics.
+
+    ``overload`` switches on the event-driven mode: bounded request
+    queues and PITs on every proxy and the reverse proxy, admission
+    control on the edge proxies, and optional link costs on the
+    backbone.  ``registry`` threads a metrics sink through every
+    component.  ``configure_browsers=False`` skips WPAD so browsers go
+    DIRECT via DNS — the "ICN, no request routing" comparison arm.
+    ``provider_max_age`` sets the reverse proxy's advertised freshness
+    lifetime (None = cacheable forever).
     """
     net = SimNet()
     net.create_subnet("backbone", "10.0.0")
+    if overload is not None and overload.link is not None:
+        net.set_link("backbone", overload.link)
 
     dns_host = net.create_host("dns", "backbone")
     dns_server = DnsServer(dns_host)
@@ -134,7 +157,13 @@ def build_deployment(
                                   retry_policy=retry_policy),
         dns_register=dns_server.add_record,
         retry_policy=retry_policy,
+        registry=registry,
+        max_age=provider_max_age,
+        pit=overload.pit_for(rp_host.name, registry) if overload else None,
+        cache_capacity=overload.rp_cache_capacity if overload else None,
     )
+    if overload is not None:
+        rp_host.queue = overload.queue_for(rp_host.name, registry)
     deployment = Deployment(
         net=net,
         dns_server=dns_server,
@@ -142,6 +171,7 @@ def build_deployment(
         providers=[Provider(origin=origin, reverse_proxy=reverse_proxy,
                             keypair=keypair)],
         retry_policy=retry_policy,
+        overload=overload,
     )
 
     for index in range(num_domains):
@@ -154,6 +184,9 @@ def build_deployment(
             proxy_host = net.create_host(f"{domain_name}-proxy{suffix}", subnet)
             # Proxies need a backbone leg to reach resolver/reverse proxy.
             net.attach(proxy_host, "backbone")
+            if overload is not None:
+                proxy_host.queue = overload.queue_for(proxy_host.name,
+                                                      registry)
             proxies.append(
                 EdgeProxy(
                     proxy_host,
@@ -162,6 +195,10 @@ def build_deployment(
                     dns=deployment.dns_client(proxy_host),
                     capacity=proxy_capacity,
                     retry_policy=retry_policy,
+                    registry=registry,
+                    pit=(overload.pit_for(proxy_host.name, registry)
+                         if overload else None),
+                    admission=overload.admission if overload else None,
                 )
             )
         pac_host = net.create_host(f"{domain_name}-pac", subnet)
@@ -187,7 +224,8 @@ def build_deployment(
                 verify_content=verify_at_client,
                 retry_policy=retry_policy,
             )
-            browser.configure()
+            if configure_browsers:
+                browser.configure()
             client_domain.browsers.append(browser)
         deployment.domains.append(client_domain)
     return deployment

@@ -49,6 +49,27 @@ class Outage:
 
 
 @dataclass(frozen=True)
+class HazardWindow:
+    """A clock-bounded hazard: ``rate`` applies for ``start <= clock < end``.
+
+    Lets chaos scenarios inject failures only during a flash crowd's
+    burst (overload-under-failure) instead of uniformly.  ``host=None``
+    applies to every destination; the effective rate at any instant is
+    the max of the base rate and every covering window.
+    """
+
+    kind: str  # "drop" | "error" | "slow"
+    start: float
+    end: float
+    rate: float
+    host: str | None = None
+
+    def covers(self, now: float) -> bool:
+        """Whether this window is active at ``now``."""
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
 class FaultEvent:
     """One injected fault, as recorded in the deterministic event log."""
 
@@ -88,6 +109,7 @@ class FaultPlane:
         self._host_drop: dict[str, float] = {}
         self._host_error: dict[str, float] = {}
         self._outages: list[Outage] = []
+        self._windows: list[HazardWindow] = []
         self.events: list[FaultEvent] = []
         self.drops = 0
         self.errors = 0
@@ -131,6 +153,31 @@ class FaultPlane:
         self._outages.append(outage)
         return outage
 
+    def schedule_hazard(
+        self,
+        kind: str,
+        start: float,
+        end: float,
+        rate: float,
+        host: str | None = None,
+    ) -> HazardWindow:
+        """Raise the ``kind`` hazard rate to ``rate`` while the clock is
+        in ``[start, end)`` (optionally only for calls to ``host``).
+
+        Windows *raise* rates (``max`` with the base rate), so the draw
+        count stays one per configured hazard class and the event stream
+        remains a pure function of (seed, call/clock sequence).
+        """
+        if kind not in ("drop", "error", "slow"):
+            raise ValueError(f"unknown hazard kind {kind!r}")
+        _check_rate(rate)
+        if end <= start:
+            raise ValueError(f"empty hazard window [{start}, {end})")
+        window = HazardWindow(kind=kind, start=start, end=end, rate=rate,
+                              host=host)
+        self._windows.append(window)
+        return window
+
     # ------------------------------------------------------------------
     # Queries and the delivery hook
     # ------------------------------------------------------------------
@@ -145,24 +192,45 @@ class FaultPlane:
         one PRNG draw per configured hazard, keeping the event stream a
         pure function of (seed, call sequence).
         """
-        drop = self._host_drop.get(dst.name, self.drop_rate)
+        drop = self._effective_rate(
+            "drop", self._host_drop.get(dst.name, self.drop_rate),
+            dst.name, net.clock,
+        )
         if drop > 0.0 and self._rng.random() < drop:
             self.drops += 1
             self._log(net, "drop", src, dst, port)
             raise DroppedMessageError(
                 f"message {src.name!r} -> {dst.name!r}:{port} dropped"
             )
-        error = self._host_error.get(dst.name, self.error_rate)
+        error = self._effective_rate(
+            "error", self._host_error.get(dst.name, self.error_rate),
+            dst.name, net.clock,
+        )
         if error > 0.0 and self._rng.random() < error:
             self.errors += 1
             self._log(net, "error", src, dst, port)
             raise InjectedCallError(
                 f"call {src.name!r} -> {dst.name!r}:{port} failed"
             )
-        if self.slow_rate > 0.0 and self._rng.random() < self.slow_rate:
+        slow = self._effective_rate("slow", self.slow_rate, dst.name, net.clock)
+        if slow > 0.0 and self._rng.random() < slow:
             self.slow_calls += 1
             self._log(net, "slow", src, dst, port)
             net.advance(self.slow_delay)
+
+    def _effective_rate(
+        self, kind: str, base: float, dst: str, now: float
+    ) -> float:
+        """``base`` raised by every hazard window covering ``now``."""
+        rate = base
+        for window in self._windows:
+            if (
+                window.kind == kind
+                and (window.host is None or window.host == dst)
+                and window.covers(now)
+            ):
+                rate = max(rate, window.rate)
+        return rate
 
     # ------------------------------------------------------------------
     # Determinism accounting

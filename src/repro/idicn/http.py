@@ -126,6 +126,36 @@ def bad_gateway(message: str = "bad gateway") -> HttpResponse:
     return HttpResponse(status=502, body=message.encode())
 
 
+def service_unavailable(retry_after: float) -> HttpResponse:
+    """A 503 shed response with a ``Retry-After`` hint (seconds).
+
+    The top rung of the overload ladder: the proxy refuses the request
+    outright and tells the client when to come back, displacing retry
+    load past the burst instead of amplifying it.
+    """
+    return HttpResponse(
+        status=503,
+        headers={"retry-after": f"{retry_after:g}"},
+        body=b"overloaded",
+    )
+
+
+def is_shed(response: HttpResponse) -> bool:
+    """Whether a response is an overload shed (503 with Retry-After)."""
+    return response.status == 503 and response.header("retry-after") is not None
+
+
+def retry_after_seconds(response: HttpResponse) -> float | None:
+    """The ``Retry-After`` delay of a shed response, if present/parsable."""
+    value = response.header("retry-after")
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        return None
+
+
 def split_url(url: str) -> tuple[str, str]:
     """Split ``http://host/path`` into (host, path).
 

@@ -1,0 +1,236 @@
+"""Pending-interest coalescing and the graceful-degradation ladder.
+
+NDN/CCNx routers collapse concurrent requests for the same name into
+one upstream fetch through the Pending Interest Table; the idICN
+argument (Section 7) is that edge proxies retain this flood resilience.
+This module gives the proxies that machinery plus the overload policy
+that drives the degradation ladder:
+
+1. **coalesce** — a request for a name whose fetch is already in flight
+   joins the :class:`PendingInterestTable` entry and is served from the
+   single upstream result (positive or negative) without touching the
+   upstream;
+2. **serve-stale** — past the ``stale_depth`` queue threshold a stale
+   cached copy is served immediately (RFC 7234 Warning 110) instead of
+   being revalidated upstream;
+3. **shed** — past ``shed_depth`` the request is refused outright with
+   503 + Retry-After, pushing the load out of the burst.
+
+Our network core serializes handlers, so "in flight" is expressed on
+the virtual clock: a PIT entry recorded at ``t`` coalesces every
+request arriving within its ``window`` (the per-entry timeout).  Entries
+past their window expire on contact; the table itself is bounded
+(``capacity``, FIFO eviction) — an unbounded PIT would be an unbounded
+wait (lint rule R601).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .simnet import HostQueue, LinkSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
+
+#: Events mirrored into ``repro_idicn_pit_events_total{host,event}``.
+_PIT_EVENTS = ("recorded", "coalesced", "negative_coalesced", "expired")
+
+
+@dataclass
+class PitEntry:
+    """One pending interest: a name fetch and its fan-out window.
+
+    ``result`` is whatever the owner stored for waiters (a cache entry,
+    a ``(content, metalink)`` pair, ...); ``None`` marks a *negative*
+    entry — the upstream fetch failed, and joiners inherit the failure
+    instead of hammering the dead upstream.
+    """
+
+    name: str
+    started_at: float
+    expires_at: float
+    result: object | None
+    waiters: int = 0
+
+
+class PendingInterestTable:
+    """A bounded PIT keyed by flat name, on the virtual clock.
+
+    ``join`` returns the live entry for a name (bumping its waiter
+    count) or ``None`` when the caller must perform the upstream fetch
+    itself and ``record`` the outcome.
+    """
+
+    def __init__(
+        self,
+        window: float = 0.5,
+        capacity: int = 1024,
+        host: str = "",
+        registry: "MetricsRegistry | None" = None,
+    ):
+        if window <= 0:
+            raise ValueError("PIT window must be > 0")
+        if capacity < 1:
+            raise ValueError("PIT capacity must be >= 1")
+        self.window = window
+        self.capacity = capacity
+        self.host = host
+        self._entries: dict[str, PitEntry] = {}
+        self.recorded = 0
+        self.coalesced = 0
+        self.negative_coalesced = 0
+        self.expired = 0
+        #: Optional mirror into
+        #: ``repro_idicn_pit_events_total{host,event}``.
+        self.registry = registry
+        if registry is not None:
+            for event in _PIT_EVENTS:
+                registry.counter(
+                    "repro_idicn_pit_events_total",
+                    help="pending-interest coalescing outcomes per host",
+                    host=host,
+                    event=event,
+                )
+
+    def _obs(self, event: str) -> None:
+        if self.registry is not None:
+            self.registry.inc(
+                "repro_idicn_pit_events_total", host=self.host, event=event
+            )
+
+    def join(self, name: str, now: float) -> PitEntry | None:
+        """The live entry for ``name`` at ``now``, or None (caller fetches)."""
+        entry = self._entries.get(name)
+        if entry is None:
+            return None
+        if now > entry.expires_at:
+            # Per-entry timeout: the pending interest lapsed before this
+            # request arrived; drop it and fetch fresh.
+            del self._entries[name]
+            self.expired += 1
+            self._obs("expired")
+            return None
+        entry.waiters += 1
+        if entry.result is None:
+            self.negative_coalesced += 1
+            self._obs("negative_coalesced")
+        else:
+            self.coalesced += 1
+            self._obs("coalesced")
+        return entry
+
+    def record(self, name: str, now: float, result: object | None) -> PitEntry:
+        """Record a completed fetch (``result=None`` = negative) at ``now``."""
+        if name not in self._entries and len(self._entries) >= self.capacity:
+            # FIFO-evict the oldest pending interest; counted as expired
+            # since its fan-out window is cut short.
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.expired += 1
+            self._obs("expired")
+        entry = PitEntry(
+            name=name,
+            started_at=now,
+            expires_at=now + self.window,
+            result=result,
+        )
+        self._entries[name] = entry
+        self.recorded += 1
+        self._obs("recorded")
+        return entry
+
+    @property
+    def live_entries(self) -> int:
+        """Entries currently in the table (including lapsed, un-touched ones)."""
+        return len(self._entries)
+
+
+@dataclass(frozen=True)
+class AdmissionControl:
+    """Queue-depth thresholds driving the degradation ladder.
+
+    Depth at or below ``stale_depth`` is normal operation; in
+    ``(stale_depth, shed_depth]`` stale cached copies are served without
+    upstream revalidation (Warning 110, reason ``overload``); above
+    ``shed_depth`` requests are shed with 503 + ``Retry-After:
+    retry_after``.
+    """
+
+    stale_depth: int = 8
+    shed_depth: int = 32
+    retry_after: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.stale_depth < 0:
+            raise ValueError("stale_depth must be >= 0")
+        if self.shed_depth < self.stale_depth:
+            raise ValueError("shed_depth must be >= stale_depth")
+        if self.retry_after <= 0:
+            raise ValueError("retry_after must be > 0")
+
+    def level(self, depth: int) -> str:
+        """The ladder rung for ``depth``: ``"ok"``/``"stale"``/``"shed"``."""
+        if depth > self.shed_depth:
+            return "shed"
+        if depth > self.stale_depth:
+            return "stale"
+        return "ok"
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Every event-driven-mode knob, bundled for ``build_deployment``.
+
+    ``coalesce=False`` disables the PIT (the bench's ablation arm);
+    ``admission=None`` disables the stale/shed rungs while keeping
+    queues and coalescing.  ``link`` attaches costs to the backbone
+    subnet; ``rp_cache_capacity`` bounds the reverse proxy's content
+    cache so crowds actually reach the origin.
+    """
+
+    coalesce: bool = True
+    pit_window: float = 0.5
+    pit_capacity: int = 1024
+    admission: AdmissionControl | None = AdmissionControl()
+    queue_capacity: int = 128
+    queue_concurrency: int = 1
+    service_time: float = 0.002
+    link: LinkSpec | None = None
+    rp_cache_capacity: int | None = None
+
+    def pit_for(
+        self, host: str, registry: "MetricsRegistry | None" = None
+    ) -> PendingInterestTable | None:
+        """A PIT for ``host`` per this policy (None when coalescing is off)."""
+        if not self.coalesce:
+            return None
+        return PendingInterestTable(
+            window=self.pit_window,
+            capacity=self.pit_capacity,
+            host=host,
+            registry=registry,
+        )
+
+    def queue_for(
+        self, host: str, registry: "MetricsRegistry | None" = None
+    ) -> HostQueue:
+        """A bounded request queue for ``host`` per this policy."""
+        return HostQueue(
+            capacity=self.queue_capacity,
+            concurrency=self.queue_concurrency,
+            service_time=self.service_time,
+            host=host,
+            registry=registry,
+        )
+
+
+# Re-exported for callers configuring links through this module.
+__all__ = [
+    "AdmissionControl",
+    "LinkSpec",
+    "OverloadPolicy",
+    "PendingInterestTable",
+    "PitEntry",
+]

@@ -29,6 +29,7 @@ from .dns import DnsClient
 from .metalink import METALINK_HEADER, Metalink, verify_metalink
 from .names import IcnName, name_matches_key, parse_domain
 from .crypto import PublicKey
+from .overload import AdmissionControl, PendingInterestTable, PitEntry
 from .resolution import ResolutionClient
 from .retry import Retrier, RetryPolicy
 from .simnet import HTTP_PORT, Host, SimNetError
@@ -47,7 +48,14 @@ _PROXY_EVENTS = (
     "verification_failure",
     "mirror_failover",
     "stale_served",
+    "shed",
 )
+
+#: Why a stale entry was served, mirrored into
+#: ``repro_idicn_stale_served_total{host,reason}``: ``failover`` = every
+#: upstream was unreachable, ``overload`` = the degradation ladder chose
+#: stale over an upstream revalidation.
+_STALE_REASONS = ("failover", "overload")
 
 
 @dataclass(frozen=True)
@@ -87,6 +95,8 @@ class EdgeProxy:
         capacity: int = 1024,
         retry_policy: RetryPolicy | None = None,
         registry: "MetricsRegistry | None" = None,
+        pit: PendingInterestTable | None = None,
+        admission: AdmissionControl | None = None,
     ):
         self.host = host
         self.resolver = resolver
@@ -96,6 +106,13 @@ class EdgeProxy:
         self._retrier = Retrier(
             retry_policy, registry=registry, component=f"proxy:{host.name}"
         )
+        #: Optional pending-interest table: concurrent fetches for one
+        #: name coalesce onto a single upstream request (see
+        #: :mod:`repro.idicn.overload`); ``None`` = no coalescing.
+        self.pit = pit
+        #: Optional queue-depth thresholds for the stale/shed rungs of
+        #: the degradation ladder; ``None`` = never degrade.
+        self.admission = admission
         #: Optional metrics sink mirroring the local counters below
         #: into ``repro_proxy_events_total{host,event}``; the events
         #: are pre-registered so an idle proxy still exports zeros.
@@ -108,6 +125,13 @@ class EdgeProxy:
                     host=host.name,
                     event=event,
                 )
+            for reason in _STALE_REASONS:
+                registry.counter(
+                    "repro_idicn_stale_served_total",
+                    help="stale responses served, by degradation reason",
+                    host=host.name,
+                    reason=reason,
+                )
         self.hits = 0
         self.misses = 0
         self.revalidations = 0
@@ -116,8 +140,18 @@ class EdgeProxy:
         #: Requests served from a non-primary source after the primary
         #: location failed (Metalink mirror failover).
         self.mirror_failovers = 0
-        #: Stale entries served because every upstream was unreachable.
+        #: Stale entries served, for any reason (aggregate of
+        #: :attr:`stale_reasons`).
         self.stale_served = 0
+        #: Stale serves split by why: ``failover`` (upstream dead) vs
+        #: ``overload`` (ladder skipped revalidation).
+        self.stale_reasons = {reason: 0 for reason in _STALE_REASONS}
+        #: Requests answered from a pending-interest entry instead of a
+        #: new upstream fetch (``negative_``: the entry was a failure).
+        self.coalesced = 0
+        self.negative_coalesced = 0
+        #: Requests refused with 503 + Retry-After (top ladder rung).
+        self.shed = 0
         host.bind(HTTP_PORT, self._serve)
 
     @property
@@ -140,19 +174,49 @@ class EdgeProxy:
             raise TypeError("edge proxy only speaks HTTP")
         if payload.method != "GET":
             return http.HttpResponse(status=405, body=b"method not allowed")
+        level = self._overload_level()
+        if level == "shed":
+            # Top rung of the ladder: refuse before any cache work.
+            self.shed += 1
+            self._obs("shed")
+            return http.service_unavailable(self.admission.retry_after)
+        overloaded = level == "stale"
         name = parse_domain(payload.host)
         if name is not None:
-            return self._serve_idicn(name, payload)
-        return self._serve_legacy(payload)
+            return self._serve_idicn(name, payload, overloaded)
+        return self._serve_legacy(payload, overloaded)
+
+    def _overload_level(self) -> str:
+        """The ladder rung for the queue depth seen at admission."""
+        if self.admission is None:
+            return "ok"
+        queue = self.host.queue
+        if queue is None:
+            return "ok"
+        return self.admission.level(queue.last_depth)
 
     def _serve_idicn(
-        self, name: IcnName, request: http.HttpRequest
+        self, name: IcnName, request: http.HttpRequest,
+        overloaded: bool = False,
     ) -> http.HttpResponse:
         key = f"icn:{name.flat}"
-        cached = self._lookup(key, name)
+        arrival = self._request_arrival()
+        cached = self._lookup(key, name, arrival, overloaded=overloaded)
         if cached is not None:
             entry, stale = cached
             return self._respond(entry, request, stale=stale)
+        # Miss: join an in-flight fetch for the same name if one is
+        # pending; a single upstream request fans out to every waiter.
+        joined = self._pit_join(key, arrival)
+        if joined is not None:
+            result = joined.result
+            if not isinstance(result, CacheEntry):
+                # Negative entry: the pending fetch already failed.
+                return http.bad_gateway(
+                    f"no verifiable copy of {name.flat} (pending fetch failed)"
+                )
+            self._insert(key, result)
+            return self._respond(result, request)
         if self.resolver is None:
             return http.bad_gateway("no resolver configured")
         locations = self.resolver.resolve(name)
@@ -179,12 +243,17 @@ class EdgeProxy:
                     if mirror not in tried:
                         tried.append(mirror)
             self._insert(key, entry)
+            self._pit_record(key, entry)
             return self._respond(entry, request)
+        self._pit_record(key, None)
         return http.bad_gateway(f"no verifiable copy of {name.flat}")
 
-    def _serve_legacy(self, request: http.HttpRequest) -> http.HttpResponse:
+    def _serve_legacy(
+        self, request: http.HttpRequest, overloaded: bool = False
+    ) -> http.HttpResponse:
         key = f"url:{request.host}{request.path}"
-        cached = self._lookup(key, None)
+        cached = self._lookup(key, None, self._request_arrival(),
+                              overloaded=overloaded)
         if cached is not None:
             entry, stale = cached
             return self._respond(entry, request, stale=stale)
@@ -272,24 +341,49 @@ class EdgeProxy:
     # Cache plumbing
     # ------------------------------------------------------------------
     def _lookup(
-        self, key: str, name: IcnName | None
+        self, key: str, name: IcnName | None, now: float,
+        overloaded: bool = False,
     ) -> tuple[CacheEntry, bool] | None:
-        """A servable cached entry and whether it is being served stale."""
+        """A servable cached entry and whether it is being served stale.
+
+        ``now`` is the *arrival* time of the request being served.  Under
+        backlog it lags the serialized clock, so freshness is evaluated
+        as the request would have seen it — a copy fetched after this
+        request arrived did not exist yet from its point of view, which
+        is what routes thundering-herd members through the PIT.
+        """
         if not self._cache.lookup(key):
             self.misses += 1
             self._obs("miss")
             return None
         entry = self._store[key]
-        now = self.host.net.clock
+        if entry.fetched_at > now:
+            # The cached copy landed after this request arrived: in a
+            # concurrent fabric it would have been pending during that
+            # fetch, so treat it as a miss and let the PIT absorb it.
+            self.misses += 1
+            self._obs("miss")
+            return None
         if entry.is_fresh(now):
             self.hits += 1
             self._obs("hit")
             return entry, False
-        # Stale: revalidate with a conditional GET where possible.
+        if overloaded:
+            # Middle rung of the ladder: under load a stale copy beats
+            # an upstream revalidation round-trip.
+            self._serve_stale("overload")
+            return entry, True
+        # Stale: revalidate with a conditional GET where possible; a
+        # pending revalidation for the same key is joined, not repeated.
         self.revalidations += 1
         self._obs("revalidation")
-        renewed = None
-        if entry.location is not None and name is not None:
+        joined = self._pit_join(key, now)
+        fetched = joined is None
+        renewed: CacheEntry | None = None
+        if not fetched:
+            result = joined.result
+            renewed = result if isinstance(result, CacheEntry) else None
+        elif entry.location is not None and name is not None:
             renewed = self._fetch_and_verify(
                 name, entry.location, conditional_etag=entry.etag
             )
@@ -298,10 +392,9 @@ class EdgeProxy:
         if renewed is None:
             # Upstream unreachable: serve the stale copy rather than
             # fail, flagging it per RFC 7234 (Warning: 110).
-            self.hits += 1
-            self.stale_served += 1
-            self._obs("hit")
-            self._obs("stale_served")
+            if fetched and entry.location is not None:
+                self._pit_record(key, None)
+            self._serve_stale("failover")
             return entry, True
         if renewed.body == b"" and renewed.etag == entry.etag:
             self.revalidations_304 += 1
@@ -309,10 +402,55 @@ class EdgeProxy:
             entry = replace(entry, fetched_at=renewed.fetched_at)
         else:
             entry = renewed
+        if fetched:
+            self._pit_record(key, entry)
         self._store[key] = entry
         self.hits += 1
         self._obs("hit")
         return entry, False
+
+    def _serve_stale(self, reason: str) -> None:
+        """Count one stale serve under ``reason`` (failover/overload)."""
+        self.hits += 1
+        self.stale_served += 1
+        self.stale_reasons[reason] += 1
+        self._obs("hit")
+        self._obs("stale_served")
+        if self.registry is not None:
+            self.registry.inc(
+                "repro_idicn_stale_served_total",
+                host=self.host.name,
+                reason=reason,
+            )
+
+    def _request_arrival(self) -> float:
+        """When the request being served arrived.
+
+        With a bounded queue this is the admission arrival time (it lags
+        the serialized clock by the backlog); without one, the clock.
+        """
+        queue = self.host.queue
+        if queue is not None and queue.last_arrival is not None:
+            return queue.last_arrival
+        return self.host.net.clock
+
+    def _pit_join(self, key: str, now: float) -> PitEntry | None:
+        """Join a live pending interest for ``key``, counting the outcome."""
+        if self.pit is None:
+            return None
+        entry = self.pit.join(key, now)
+        if entry is None:
+            return None
+        if entry.result is None:
+            self.negative_coalesced += 1
+        else:
+            self.coalesced += 1
+        return entry
+
+    def _pit_record(self, key: str, result: CacheEntry | None) -> None:
+        """Open a fan-out window for the completed fetch of ``key``."""
+        if self.pit is not None:
+            self.pit.record(key, self.host.net.clock, result)
 
     def _revalidate_legacy(self, entry: CacheEntry) -> CacheEntry | None:
         try:

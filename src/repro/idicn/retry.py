@@ -35,6 +35,11 @@ class RetryPolicy:
     ``base_delay * multiplier**retry`` with a uniform ``±jitter``
     fraction applied, and ``budget`` (if set) caps the summed backoff
     per request — once exceeded, the caller gives up early.
+
+    ``fatal_errors`` lists :class:`SimNetError` subclasses that are
+    never retried (give up immediately).  The overload scenarios put
+    :class:`repro.idicn.simnet.QueueOverflowError` here: retrying into a
+    full queue amplifies the very overload that caused the failure.
     """
 
     max_attempts: int = 3
@@ -43,10 +48,18 @@ class RetryPolicy:
     jitter: float = 0.25
     budget: float | None = None
     seed: int = 0
+    fatal_errors: tuple[type[SimNetError], ...] = ()
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        for exc_type in self.fatal_errors:
+            if not (isinstance(exc_type, type)
+                    and issubclass(exc_type, SimNetError)):
+                raise ValueError(
+                    f"fatal_errors entries must be SimNetError subclasses, "
+                    f"got {exc_type!r}"
+                )
         if self.base_delay < 0:
             raise ValueError("base_delay must be >= 0")
         if self.multiplier < 1.0:
@@ -113,6 +126,8 @@ class Retrier:
                 return host.call(address, port, payload)
             except SimNetError as exc:
                 last = exc
+                if policy.fatal_errors and isinstance(exc, policy.fatal_errors):
+                    break
                 if attempt + 1 >= policy.max_attempts:
                     break
                 delay = policy.backoff_delay(attempt, self._rng)

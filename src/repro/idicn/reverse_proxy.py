@@ -17,11 +17,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..cache.lru import LRUCache
 from . import http
 from .crypto import KeyPair
 from .metalink import METALINK_HEADER, Metalink, build_metalink
 from .names import IcnName, make_name, parse_domain
 from .origin import OriginServer  # noqa: F401  (documented collaborator)
+from .overload import PendingInterestTable
 from .resolution import ResolutionClient
 from .retry import Retrier, RetryPolicy
 from .simnet import HTTP_PORT, Host, SimNetError
@@ -44,6 +46,8 @@ class ReverseProxy:
         max_age: float | None = None,
         retry_policy: RetryPolicy | None = None,
         registry: "MetricsRegistry | None" = None,
+        pit: PendingInterestTable | None = None,
+        cache_capacity: int | None = None,
     ):
         self.host = host
         self.origin_address = origin_address
@@ -51,6 +55,16 @@ class ReverseProxy:
         self.resolver = resolver
         self.dns_register = dns_register
         self.mirrors = mirrors
+        #: Optional pending-interest table: a thundering herd of cache
+        #: misses for one name collapses onto a single origin fetch.
+        self.pit = pit
+        #: Optional bound on the content cache (LRU); ``None`` keeps the
+        #: historical cache-everything behaviour.
+        self._cache_index = (
+            LRUCache(capacity=cache_capacity)
+            if cache_capacity is not None
+            else None
+        )
         self._retrier = Retrier(
             retry_policy,
             registry=registry,
@@ -72,11 +86,64 @@ class ReverseProxy:
         self.max_age = max_age
         # flat name -> (content, metalink); the paper's "fresh copy".
         self._cache: dict[str, tuple[bytes, Metalink]] = {}
+        # flat name -> completion time of the fetch that produced the
+        # cached copy (drives arrival-time visibility in event mode).
+        self._fetched_at: dict[str, float] = {}
         self._labels: dict[str, str] = {}  # flat name -> origin label
         self.published: dict[str, IcnName] = {}
         self.origin_fetches = 0
         self.requests_served = 0
+        #: Requests served from a pending-interest entry instead of a
+        #: fresh origin fetch.
+        self.coalesced = 0
         host.bind(HTTP_PORT, self._serve)
+
+    # ------------------------------------------------------------------
+    # Bounded-cache plumbing (event-driven mode)
+    # ------------------------------------------------------------------
+    def _cache_get(
+        self, flat: str, arrival: float | None = None
+    ) -> tuple[bytes, Metalink] | None:
+        if self._cache_index is not None and not self._cache_index.lookup(flat):
+            return None
+        entry = self._cache.get(flat)
+        if (
+            entry is not None
+            and arrival is not None
+            and self._fetched_at.get(flat, 0.0) > arrival
+        ):
+            # The copy landed after this request arrived: from the
+            # request's point of view it was still pending, so treat it
+            # as a miss and let the PIT absorb the thundering herd.
+            return None
+        return entry
+
+    def _cache_put(
+        self,
+        flat: str,
+        entry: tuple[bytes, Metalink],
+        stamp: float | None = None,
+    ) -> None:
+        # ``stamp`` is when the producing fetch completed (defaults to
+        # now); coalesced serves pass the original completion time so
+        # the copy's visibility horizon is not dragged forward.
+        self._fetched_at[flat] = (
+            self.host.net.clock if stamp is None else stamp
+        )
+        if self._cache_index is not None:
+            for victim in self._cache_index.insert(flat):
+                self._cache.pop(victim, None)
+            if flat not in self._cache_index:
+                return
+        self._cache[flat] = entry
+
+    def _request_arrival(self) -> float:
+        """When the request being served arrived (lags the clock under
+        backlog); the serialized clock without a bounded queue."""
+        queue = self.host.queue
+        if queue is not None and queue.last_arrival is not None:
+            return queue.last_arrival
+        return self.host.net.clock
 
     def _obs(self, event: str) -> None:
         if self.registry is not None:
@@ -101,7 +168,7 @@ class ReverseProxy:
             raise LookupError(f"origin has no content for label {label!r}")
         name = make_name(label, self.keypair.public)
         metalink = build_metalink(name, content, self.keypair, mirrors=self.mirrors)
-        self._cache[name.flat] = (content, metalink)
+        self._cache_put(name.flat, (content, metalink))
         self._labels[name.flat] = label
         self.published[label] = name
         location = f"http://{self.host.address}/{name.flat}"
@@ -129,21 +196,42 @@ class ReverseProxy:
             name = parse_domain(payload.host)
             if name is not None:
                 flat = name.flat
-        entry = self._cache.get(flat)
+        arrival = self._request_arrival()
+        entry = self._cache_get(flat, arrival)
         if entry is None:
             # Cache miss: route to the origin (step 5) if we know the label.
             label = self._labels.get(flat)
             if label is None:
                 return http.not_found(f"unknown name {flat!r}")
-            content = self._fetch_origin(label)
-            if content is None:
-                return http.bad_gateway(f"origin lost label {label!r}")
-            name = make_name(label, self.keypair.public)
-            metalink = build_metalink(
-                name, content, self.keypair, mirrors=self.mirrors
+            joined = (
+                self.pit.join(flat, arrival)
+                if self.pit is not None
+                else None
             )
-            entry = (content, metalink)
-            self._cache[flat] = entry
+            if joined is not None:
+                # A fetch for this name is already pending: fan out.
+                result = joined.result
+                if not isinstance(result, tuple):
+                    return http.bad_gateway(
+                        f"origin fetch pending for {label!r} failed"
+                    )
+                entry = result
+                self.coalesced += 1
+                self._cache_put(flat, entry, stamp=joined.started_at)
+            else:
+                content = self._fetch_origin(label)
+                if content is None:
+                    if self.pit is not None:
+                        self.pit.record(flat, self.host.net.clock, None)
+                    return http.bad_gateway(f"origin lost label {label!r}")
+                name = make_name(label, self.keypair.public)
+                metalink = build_metalink(
+                    name, content, self.keypair, mirrors=self.mirrors
+                )
+                entry = (content, metalink)
+                if self.pit is not None:
+                    self.pit.record(flat, self.host.net.clock, entry)
+                self._cache_put(flat, entry)
         content, metalink = entry
         self.requests_served += 1
         self._obs("request_served")
@@ -174,9 +262,12 @@ class ReverseProxy:
 
     def invalidate(self, label: str) -> None:
         """Drop the cached copy of ``label`` (forces an origin re-fetch)."""
+        # The LRU index entry (if any) may linger; _cache_get treats a
+        # missing content entry as a miss regardless.
         name = self.published.get(label)
         if name is not None:
             self._cache.pop(name.flat, None)
+            self._fetched_at.pop(name.flat, None)
 
     def _fetch_origin(self, label: str) -> bytes | None:
         try:

@@ -1,0 +1,286 @@
+"""Flash-crowd scenario driver: overload resilience, end to end.
+
+Section 7 of the paper argues that retaining edge caches retains the
+flood resilience of "pure" ICN.  This module turns that claim into a
+runnable experiment: a seeded flash-crowd schedule (see
+:func:`repro.workload.temporal.flash_crowd_profile`) is compiled onto
+the event-driven :class:`repro.idicn.simnet.EventScheduler` against a
+full deployment, and every request's fate is classified against the
+degradation ladder — served fresh, served stale (Warning 110), shed
+(503 + Retry-After, optionally retried after the hint), or failed.
+
+The same driver powers the EDGE-vs-ICN-NR comparison
+(``configure_browsers`` toggled via :attr:`FlashCrowdScenario.direct`),
+the PIT-coalescing ablation (``OverloadPolicy(coalesce=False)``), and
+the chaos smoke test (fault hazards scheduled around the burst).
+
+Everything is a pure function of the seed: the schedule, fault draws,
+and retry jitter all flow through seeded generators, and the event loop
+breaks ties by insertion order — two runs with one seed produce
+byte-identical metrics snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..workload.temporal import FlashCrowdProfile, flash_crowd_profile
+from . import http
+from .deployment import Deployment, build_deployment
+from .faults import FaultPlane
+from .overload import OverloadPolicy
+from .retry import RetryPolicy
+from .simnet import EventScheduler, QueueOverflowError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class FlashCrowdScenario:
+    """Every knob of one flash-crowd run, bundled for reproducibility.
+
+    ``direct=True`` is the ICN-NR arm: browsers skip WPAD and go
+    straight to the reverse proxy via DNS, so the crowd lands on the
+    provider instead of the AD edge.  ``shed_retries`` is how many
+    times a client honours a 503's Retry-After before giving up.
+    ``error_rate``/``drop_rate`` arm a fault hazard window around the
+    burst (overload *under failure* — the chaos configuration).
+    """
+
+    num_requests: int = 2000
+    duration: float = 60.0
+    intensity: float = 20.0
+    num_objects: int = 50
+    alpha: float = 0.8
+    hot_fraction: float = 0.8
+    regional_correlation: float = 0.5
+    num_domains: int = 2
+    browsers_per_domain: int = 2
+    proxy_capacity: int = 64
+    max_age: float = 1.0
+    content_bytes: int = 512
+    direct: bool = False
+    shed_retries: int = 1
+    seed: int = 2013
+    overload: OverloadPolicy = OverloadPolicy()
+    retry_policy: RetryPolicy | None = None
+    error_rate: float = 0.0
+    drop_rate: float = 0.0
+    key_bits: int = 256
+
+    def __post_init__(self) -> None:
+        if self.num_domains < 1:
+            raise ValueError("num_domains must be >= 1")
+        if self.shed_retries < 0:
+            raise ValueError("shed_retries must be >= 0")
+        if self.content_bytes < 1:
+            raise ValueError("content_bytes must be >= 1")
+
+
+@dataclass
+class FlashCrowdResult:
+    """What happened: per-request fates, ladder counters, load, latency.
+
+    ``ok + stale + shed + failed == num_requests`` (each request is
+    classified exactly once, after any honoured Retry-After).  Latency
+    is completion clock minus the *original* arrival, so a shed-then-
+    retried request pays for its displacement.
+    """
+
+    num_requests: int
+    ok: int = 0
+    stale: int = 0
+    shed: int = 0
+    failed: int = 0
+    #: 503s whose Retry-After the client honoured (re-scheduled).
+    retried: int = 0
+    #: Every 503 the proxies issued (``shed`` counts only the final,
+    #: un-retried ones a client saw).
+    shed_responses: int = 0
+    coalesced: int = 0
+    negative_coalesced: int = 0
+    stale_failover: int = 0
+    stale_overload: int = 0
+    proxy_hits: int = 0
+    proxy_misses: int = 0
+    revalidations: int = 0
+    #: Requests the reverse proxy actually served (upstream load).
+    upstream_requests: int = 0
+    origin_fetches: int = 0
+    queue_overflows: int = 0
+    peak_queue_depth: int = 0
+    injected_faults: int = 0
+    events_run: int = 0
+    sim_duration: float = 0.0
+    p50_latency: float = 0.0
+    p99_latency: float = 0.0
+    latencies: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def completed(self) -> int:
+        """Requests classified (should equal ``num_requests``)."""
+        return self.ok + self.stale + self.shed + self.failed
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (drops the raw latency list)."""
+        data = asdict(self)
+        del data["latencies"]
+        return data
+
+
+def _object_content(index: int, size: int) -> bytes:
+    """Deterministic, distinct content for object ``index``."""
+    stamp = f"obj-{index}:".encode()
+    return (stamp * (size // len(stamp) + 1))[:size]
+
+
+def run_flash_crowd(
+    scenario: FlashCrowdScenario,
+    *,
+    seed: int | None = None,
+    registry: "MetricsRegistry | None" = None,
+) -> FlashCrowdResult:
+    """Run one flash crowd against a fresh deployment; fully seeded.
+
+    ``seed`` overrides the scenario's seed (for two-run determinism
+    checks); ``registry`` threads a metrics sink through every
+    component — passing ``None`` must not change any outcome.
+    """
+    effective_seed = scenario.seed if seed is None else seed
+    rng = np.random.default_rng(seed if seed is not None else scenario.seed)
+    profile = flash_crowd_profile(
+        scenario.num_requests,
+        scenario.duration,
+        rng,
+        intensity=scenario.intensity,
+        num_objects=scenario.num_objects,
+        alpha=scenario.alpha,
+        hot_fraction=scenario.hot_fraction,
+        num_regions=scenario.num_domains,
+        regional_correlation=scenario.regional_correlation,
+    )
+    deployment = build_deployment(
+        num_domains=scenario.num_domains,
+        browsers_per_domain=scenario.browsers_per_domain,
+        proxy_capacity=scenario.proxy_capacity,
+        key_bits=scenario.key_bits,
+        retry_policy=scenario.retry_policy,
+        overload=scenario.overload,
+        registry=registry,
+        configure_browsers=not scenario.direct,
+        provider_max_age=scenario.max_age,
+    )
+    provider = deployment.providers[0]
+    urls = [
+        "http://"
+        + provider.publish(
+            f"obj-{k}", _object_content(k, scenario.content_bytes)
+        )
+        + "/"
+        for k in range(scenario.num_objects)
+    ]
+
+    plane: FaultPlane | None = None
+    if scenario.error_rate > 0.0 or scenario.drop_rate > 0.0:
+        plane = FaultPlane(
+            deployment.net, seed=effective_seed + 1, registry=registry
+        )
+        window_start = max(0.0, profile.burst_time - scenario.duration / 10.0)
+        window_end = min(
+            scenario.duration, profile.burst_time + scenario.duration / 5.0
+        )
+        if scenario.error_rate > 0.0:
+            plane.schedule_hazard(
+                "error", window_start, window_end, scenario.error_rate
+            )
+        if scenario.drop_rate > 0.0:
+            plane.schedule_hazard(
+                "drop", window_start, window_end, scenario.drop_rate
+            )
+
+    net = deployment.net
+    scheduler = EventScheduler(net)
+    result = FlashCrowdResult(num_requests=profile.num_requests)
+
+    def dispatch(browser, url: str, arrival: float, attempt: int):
+        def fire() -> None:
+            try:
+                response = browser.get(url)
+            except QueueOverflowError:
+                # Transport-level shed before the browser's failover
+                # machinery could soften it (direct mode, no retries).
+                result.failed += 1
+                result.latencies.append(net.clock - arrival)
+                return
+            if http.is_shed(response) and attempt < scenario.shed_retries:
+                # Honour Retry-After: the retry lands past the burst.
+                result.retried += 1
+                delay = http.retry_after_seconds(response) or 1.0
+                scheduler.after(delay, dispatch(browser, url, arrival,
+                                                attempt + 1))
+                return
+            if http.is_shed(response):
+                result.shed += 1
+            elif response.ok and http.is_stale(response):
+                result.stale += 1
+            elif response.ok:
+                result.ok += 1
+            else:
+                result.failed += 1
+            result.latencies.append(net.clock - arrival)
+
+        return fire
+
+    for i in range(profile.num_requests):
+        domain = deployment.domains[int(profile.regions[i])]
+        browser = domain.browsers[i % len(domain.browsers)]
+        when = float(profile.times[i])
+        scheduler.at(when, dispatch(browser, urls[int(profile.objects[i])],
+                                    when, 0))
+    result.events_run = scheduler.run()
+
+    _collect(result, deployment, plane)
+    if result.latencies:
+        samples = np.asarray(result.latencies)
+        result.p50_latency = float(np.percentile(samples, 50))
+        result.p99_latency = float(np.percentile(samples, 99))
+    result.sim_duration = net.clock
+    return result
+
+
+def _collect(
+    result: FlashCrowdResult,
+    deployment: Deployment,
+    plane: FaultPlane | None,
+) -> None:
+    """Fold component counters into the result."""
+    proxies = [p for d in deployment.domains for p in d.proxies]
+    rp = deployment.providers[0].reverse_proxy
+    result.coalesced = sum(p.coalesced for p in proxies) + rp.coalesced
+    result.negative_coalesced = sum(p.negative_coalesced for p in proxies)
+    result.stale_failover = sum(
+        p.stale_reasons["failover"] for p in proxies
+    )
+    result.stale_overload = sum(
+        p.stale_reasons["overload"] for p in proxies
+    )
+    result.shed_responses = sum(p.shed for p in proxies)
+    result.proxy_hits = sum(p.hits for p in proxies)
+    result.proxy_misses = sum(p.misses for p in proxies)
+    result.revalidations = sum(p.revalidations for p in proxies)
+    result.upstream_requests = rp.requests_served
+    result.origin_fetches = rp.origin_fetches
+    queues = [
+        host.queue
+        for host in [p.host for p in proxies] + [rp.host]
+        if host.queue is not None
+    ]
+    result.queue_overflows = sum(q.overflows for q in queues)
+    result.peak_queue_depth = max(
+        (q.peak_depth for q in queues), default=0
+    )
+    result.injected_faults = plane.injected_faults if plane else 0

@@ -10,13 +10,45 @@ address per subnet, and expose services on numbered ports.  Delivery is
 synchronous — ``call`` invokes the destination handler and returns its
 response — plus subnet-scoped ``multicast`` for the Zeroconf machinery.
 Hosts can be partitioned to inject failures.
+
+On top of the synchronous core sits an opt-in concurrency/overload
+model (the "event-driven mode"):
+
+* an :class:`EventScheduler` holds a heap of ``(time, seq, action)``
+  events on the virtual clock — ties break by insertion sequence, so a
+  given schedule replays byte-identically;
+* a :class:`LinkSpec` per subnet charges propagation latency and
+  body-size/bandwidth transfer time to the clock on every delivery;
+* a :class:`HostQueue` per host bounds in-flight requests: a classic
+  c-server FIFO (``concurrency`` servers, ``service_time`` each) with a
+  hard ``capacity`` — admission past capacity raises
+  :class:`QueueOverflowError`, and the depth observed at admission
+  drives the proxies' graceful-degradation ladder.
+
+When no scheduler runs, no links are configured, and no host has a
+queue, behaviour is bit-identical to the original call-and-return
+fabric — existing tests and scenarios are unchanged.
+
+Because handlers execute serially, a scheduled event can fire with a
+timestamp *behind* the serialized clock (its arrival overlapped a
+previous event's processing).  The scheduler records each event's
+arrival in ``SimNet.event_time``; the event's first delivery *to a
+queued host* admits at that arrival time (unqueued infrastructure hops
+such as DNS pass it through), so queue depth builds exactly as
+overlapping arrivals would in a truly concurrent system.  Nested
+upstream calls made *during* a handler admit at the current clock
+(they happen "now").
 """
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
 
 Handler = Callable[["Host", str, Any], Any]
 
@@ -53,6 +85,151 @@ class InjectedCallError(InjectedFaultError):
     """The fault plane made the call fail with an explicit error."""
 
 
+class QueueOverflowError(SimNetError):
+    """The destination host's bounded request queue is full.
+
+    The transport-level shed: the host had more in-flight requests than
+    its :class:`HostQueue` capacity, so the connection was refused at
+    the door (before any application-level 503 could be produced).
+    """
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Per-subnet link costs charged to the virtual clock.
+
+    ``latency`` is one-way propagation delay in simulated seconds,
+    charged before the destination handler runs and again on the
+    response; ``bandwidth`` (bytes per simulated second, ``None`` =
+    infinite) additionally charges ``len(body) / bandwidth`` for the
+    response payload.
+    """
+
+    latency: float = 0.0
+    bandwidth: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError("link latency must be >= 0")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ValueError("link bandwidth must be > 0 (or None)")
+
+    def transfer_seconds(self, payload: Any) -> float:
+        """Serialization time for ``payload`` (its ``body``, if any)."""
+        if self.bandwidth is None:
+            return 0.0
+        body = getattr(payload, "body", b"")
+        if not isinstance(body, (bytes, bytearray, str)):
+            return 0.0
+        return len(body) / self.bandwidth
+
+
+class HostQueue:
+    """A bounded c-server FIFO request queue for one host.
+
+    Models ``concurrency`` parallel servers each taking ``service_time``
+    simulated seconds per request, with at most ``capacity`` requests in
+    the system (waiting + in service).  :meth:`admit` either returns the
+    request's service start time or raises :class:`QueueOverflowError`.
+
+    The queue is deliberately *always bounded* — an unbounded queue
+    under overload is an unbounded wait (lint rule R601).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        concurrency: int = 1,
+        service_time: float = 0.0,
+        host: str = "",
+        registry: "MetricsRegistry | None" = None,
+    ):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        if concurrency < 1:
+            raise ValueError("queue concurrency must be >= 1")
+        if service_time < 0:
+            raise ValueError("service_time must be >= 0")
+        self.capacity = capacity
+        self.concurrency = concurrency
+        self.service_time = service_time
+        self.host = host
+        #: Times at which each of the ``concurrency`` servers frees up.
+        self._free: list[float] = [0.0] * concurrency
+        heapq.heapify(self._free)
+        #: Finish times of requests still in the system, pruned lazily.
+        self._active: list[float] = []
+        self.admitted = 0
+        self.overflows = 0
+        #: Depth observed at the most recent admission (including the
+        #: admitted request) — what the degradation ladder reads.
+        self.last_depth = 0
+        self.peak_depth = 0
+        #: Arrival time of the most recent admission.  Handlers run
+        #: serially right after admission, so during a handler this is
+        #: *the current request's* arrival — it lags the serialized
+        #: clock by the backlog, which is how proxies see requests that
+        #: arrived "while" an earlier fetch was in flight.
+        self.last_arrival: float | None = None
+        #: Optional mirror into
+        #: ``repro_idicn_queue_events_total{host,event}``.
+        self.registry = registry
+        if registry is not None:
+            for event in ("admitted", "overflow"):
+                registry.counter(
+                    "repro_idicn_queue_events_total",
+                    help="per-host bounded-queue admissions and overflows",
+                    host=host,
+                    event=event,
+                )
+
+    def depth(self, now: float) -> int:
+        """Requests in the system (waiting + in service) at ``now``."""
+        self._prune(now)
+        return len(self._active)
+
+    def admit(self, arrival: float) -> float:
+        """Admit a request arriving at ``arrival``; return its start time.
+
+        Raises :class:`QueueOverflowError` when the system already holds
+        ``capacity`` requests at the arrival instant.
+        """
+        self._prune(arrival)
+        depth = len(self._active)
+        if depth >= self.capacity:
+            self.overflows += 1
+            if self.registry is not None:
+                self.registry.inc(
+                    "repro_idicn_queue_events_total",
+                    host=self.host,
+                    event="overflow",
+                )
+            raise QueueOverflowError(
+                f"host {self.host!r} queue full "
+                f"({depth}/{self.capacity} in flight)"
+            )
+        start = max(arrival, heapq.heappop(self._free))
+        finish = start + self.service_time
+        heapq.heappush(self._free, finish)
+        heapq.heappush(self._active, finish)
+        self.admitted += 1
+        self.last_depth = depth + 1
+        self.last_arrival = arrival
+        if self.last_depth > self.peak_depth:
+            self.peak_depth = self.last_depth
+        if self.registry is not None:
+            self.registry.inc(
+                "repro_idicn_queue_events_total",
+                host=self.host,
+                event="admitted",
+            )
+        return start
+
+    def _prune(self, now: float) -> None:
+        while self._active and self._active[0] <= now:
+            heapq.heappop(self._active)
+
+
 @dataclass
 class Subnet:
     """One broadcast domain with optional DHCP-style options.
@@ -68,6 +245,9 @@ class Subnet:
     hosts: dict[str, "Host"] = field(default_factory=dict)
     next_suffix: int = 1
     routed: bool = True
+    #: Optional per-subnet link costs (event-driven mode); ``None``
+    #: keeps delivery free, as in the original synchronous fabric.
+    link: LinkSpec | None = None
 
     def allocate_address(self) -> str:
         """Next free DHCP-style address on this subnet.
@@ -92,6 +272,9 @@ class Host:
         self.addresses: dict[str, str] = {}
         self.services: dict[int, Handler] = {}
         self.online = True
+        #: Optional bounded request queue (event-driven mode); ``None``
+        #: means unlimited concurrency with zero service time.
+        self.queue: HostQueue | None = None
 
     def bind(self, port: int, handler: Handler) -> None:
         """Expose ``handler(host, src_address, payload)`` on ``port``."""
@@ -152,6 +335,10 @@ class SimNet:
         #: Logical wall clock in seconds, advanced explicitly by tests
         #: and scenarios; used for HTTP cache freshness.
         self.clock = 0.0
+        #: Arrival time of the event currently being delivered, set by
+        #: :class:`EventScheduler` and consumed by the first delivery of
+        #: the event (see module docstring); ``None`` outside events.
+        self.event_time: float | None = None
 
     @property
     def messages_sent(self) -> int:
@@ -245,6 +432,10 @@ class SimNet:
         """DHCP options announced on ``subnet`` (e.g. the WPAD PAC URL)."""
         return dict(self._subnet(subnet).dhcp_options)
 
+    def set_link(self, subnet: str, link: LinkSpec | None) -> None:
+        """Attach (or clear) per-delivery link costs on ``subnet``."""
+        self._subnet(subnet).link = link
+
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
@@ -301,7 +492,32 @@ class SimNet:
         handler = dst.services.get(port)
         if handler is None:
             raise NoServiceError(f"{dst.name!r} has no service on port {port}")
-        return handler(dst, src_address, payload)
+        if dst.queue is not None:
+            # The scheduled arrival applies to the event's first *queued*
+            # hop — unqueued infrastructure hops (DNS, PAC) pass it
+            # through untouched, and nested upstream hops made during a
+            # handler admit at the serialized clock ("now").
+            arrival = (
+                self.event_time if self.event_time is not None else self.clock
+            )
+            self.event_time = None
+            # May raise QueueOverflowError (counted as a failed message
+            # by ``call``).  The clock advances to the end of service so
+            # the handler runs "after processing"; nested upstream time
+            # is an approximation not charged back to server occupancy.
+            start = dst.queue.admit(arrival)
+            finish = start + dst.queue.service_time
+            if finish > self.clock:
+                self.clock = finish
+        link = self.subnets[subnet].link
+        if link is not None and link.latency > 0:
+            self.advance(link.latency)
+        response = handler(dst, src_address, payload)
+        if link is not None:
+            cost = link.latency + link.transfer_seconds(response)
+            if cost > 0:
+                self.advance(cost)
+        return response
 
     def multicast(
         self, src: Host, subnet: str, port: int, payload: Any
@@ -345,6 +561,68 @@ class SimNet:
             if host is not None:
                 return host, subnet_name
         raise NoRouteError(f"no host owns address {address}")
+
+
+class EventScheduler:
+    """A seeded-friendly discrete-event loop over one :class:`SimNet`.
+
+    Events are ``(time, seq, action)`` triples in a heap; ``seq`` is the
+    insertion sequence number, so simultaneous events fire in the order
+    they were scheduled — the tie-break that makes a schedule replay
+    byte-identically.  ``run`` pops events in time order, advances the
+    clock monotonically (``clock = max(clock, time)``), publishes the
+    event's arrival in ``net.event_time`` for queue admission, and
+    executes the action synchronously.
+
+    Actions are plain zero-argument callables; anything they schedule
+    via :meth:`at`/:meth:`after` joins the same heap.
+    """
+
+    def __init__(self, net: SimNet):
+        self.net = net
+        self._heap: list[tuple[float, int, Callable[[], Any]]] = []
+        self._seq = 0
+        self.events_run = 0
+
+    @property
+    def pending(self) -> int:
+        """Events still waiting in the heap."""
+        return len(self._heap)
+
+    def at(self, time: float, action: Callable[[], Any]) -> None:
+        """Schedule ``action`` at absolute virtual ``time``."""
+        if time < 0:
+            raise ValueError("event time must be >= 0")
+        heapq.heappush(self._heap, (time, self._seq, action))
+        self._seq += 1
+
+    def after(self, delay: float, action: Callable[[], Any]) -> None:
+        """Schedule ``action`` ``delay`` seconds after the current clock."""
+        if delay < 0:
+            raise ValueError("event delay must be >= 0")
+        self.at(self.net.clock + delay, action)
+
+    def run(self, until: float | None = None, max_events: int = 1_000_000) -> int:
+        """Drain the heap (optionally only events at ``time <= until``).
+
+        Returns the number of events executed.  ``max_events`` bounds
+        the loop so a self-rescheduling action cannot spin forever.
+        """
+        ran = 0
+        while self._heap and ran < max_events:
+            if until is not None and self._heap[0][0] > until:
+                break
+            time, _seq, action = heapq.heappop(self._heap)
+            if time > self.net.clock:
+                self.net.clock = time
+            self.net.event_time = time
+            try:
+                action()
+            finally:
+                self.net.event_time = None
+            ran += 1
+        self.events_run += ran
+        return ran
 
 
 #: Well-known ports used by the idICN components.

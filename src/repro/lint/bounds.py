@@ -1,0 +1,143 @@
+"""Robustness rule (R601): no unbounded waits in the idICN fabric.
+
+The overload-resilience design (PR 6) rests on every wait being
+bounded: request queues have a hard capacity, pending-interest entries
+have a per-entry timeout, and retry loops have an attempt cap.  An
+unbounded queue or an un-exitable loop silently re-introduces the
+failure mode the degradation ladder exists to prevent, so inside
+``repro.idicn`` this family flags:
+
+* a queue-like container constructed without its capacity bound —
+  ``collections.deque`` without ``maxlen``, and the stdlib
+  ``queue.Queue``/``LifoQueue``/``PriorityQueue``,
+  ``asyncio.Queue``, or ``multiprocessing.Queue`` without ``maxsize``
+  (positional capacity arguments count);
+* a ``while True:`` (or ``while 1:``) loop containing no ``break`` at
+  its own level and no ``return``/``raise`` anywhere inside — nothing
+  can ever exit it.  Exits inside nested function definitions do not
+  count; a ``break`` inside a nested loop exits that loop, not this
+  one.
+
+Both checks are syntactic heuristics: a loop whose exit lives behind a
+helper call will be flagged and should either gain an explicit bound or
+a targeted suppression comment.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import rules
+from .astutil import import_map, resolve
+from .diagnostics import Diagnostic
+
+#: The package the robustness family applies to.
+_PACKAGE = "repro.idicn"
+
+#: Queue-like constructors and the keyword that bounds them.
+_QUEUE_BOUNDS: dict[str, str] = {
+    "collections.deque": "maxlen",
+    "queue.Queue": "maxsize",
+    "queue.LifoQueue": "maxsize",
+    "queue.PriorityQueue": "maxsize",
+    "asyncio.Queue": "maxsize",
+    "asyncio.LifoQueue": "maxsize",
+    "asyncio.PriorityQueue": "maxsize",
+    "multiprocessing.Queue": "maxsize",
+}
+
+#: Positional index at which the bound may be passed instead
+#: (``deque(iterable, maxlen)`` vs ``Queue(maxsize)``).
+_BOUND_POSITION: dict[str, int] = {"collections.deque": 1}
+
+
+def applies_to(module: str) -> bool:
+    """Whether the robustness family covers ``module``."""
+    return module == _PACKAGE or module.startswith(_PACKAGE + ".")
+
+
+def check_module(
+    path: str, module: str, tree: ast.Module
+) -> list[Diagnostic]:
+    """R601 diagnostics for one parsed module (empty outside scope)."""
+    if not applies_to(module):
+        return []
+    aliases = import_map(tree)
+    out: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = resolve(node.func, aliases)
+            if name in _QUEUE_BOUNDS and _unbounded(node, name):
+                out.append(
+                    Diagnostic(
+                        rule=rules.UNBOUNDED_WAIT,
+                        path=path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{name} constructed without "
+                            f"{_QUEUE_BOUNDS[name]}: an unbounded queue "
+                            "is an unbounded wait under overload"
+                        ),
+                    )
+                )
+        elif isinstance(node, ast.While) and _is_forever(node.test):
+            if not any(_exits(stmt, top=True) for stmt in node.body):
+                out.append(
+                    Diagnostic(
+                        rule=rules.UNBOUNDED_WAIT,
+                        path=path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "`while True` with no break/return/raise "
+                            "can never exit; bound the loop (attempt "
+                            "cap, timeout, or explicit exit)"
+                        ),
+                    )
+                )
+    return out
+
+
+def _unbounded(call: ast.Call, name: str) -> bool:
+    """Whether a queue-like construction carries no capacity bound."""
+    bound = _QUEUE_BOUNDS[name]
+    if any(kw.arg == bound for kw in call.keywords):
+        return False
+    position = _BOUND_POSITION.get(name, 0)
+    return len(call.args) <= position
+
+
+def _is_forever(test: ast.expr) -> bool:
+    """``while True`` / ``while 1`` — a loop only its body can end."""
+    return isinstance(test, ast.Constant) and (
+        test.value is True or test.value == 1
+    )
+
+
+def _exits(stmt: ast.stmt, top: bool) -> bool:
+    """Whether ``stmt`` can terminate the loop being checked.
+
+    ``top`` is True while a ``break`` would still bind to that loop;
+    it turns False inside nested loops.  Nested function/class bodies
+    are opaque — their returns never exit the enclosing loop.
+    """
+    if isinstance(stmt, ast.Break):
+        return top
+    if isinstance(stmt, (ast.Return, ast.Raise)):
+        return True
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return False
+    inner_top = top and not isinstance(
+        stmt, (ast.For, ast.AsyncFor, ast.While)
+    )
+    for field in ("body", "orelse", "finalbody"):
+        for child in getattr(stmt, field, []):
+            if _exits(child, inner_top):
+                return True
+    for handler in getattr(stmt, "handlers", []):
+        for child in handler.body:
+            if _exits(child, inner_top):
+                return True
+    return False

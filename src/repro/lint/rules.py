@@ -18,7 +18,11 @@ Rule ids are grouped by family:
 * ``O5xx`` — observability gating: instrumentation (observer, recorder,
   tracer) touched inside an engine hot loop must sit behind an ``if``
   on a sink-typed name, preserving the zero-overhead-when-disabled
-  contract of ``repro.obs``.
+  contract of ``repro.obs``;
+* ``R6xx`` — robustness: every wait inside ``repro.idicn`` must be
+  bounded — no queue-like container without a capacity bound, no
+  ``while True`` loop nothing can exit (the overload ladder's
+  guarantees collapse if any component can wait forever).
 
 ``E999`` reports files the linter could not parse.
 """
@@ -171,6 +175,17 @@ OBS_UNGATED = Rule(
     ),
 )
 
+UNBOUNDED_WAIT = Rule(
+    id="R601",
+    name="unbounded-wait",
+    severity=Severity.ERROR,
+    summary=(
+        "unbounded wait in repro.idicn: queue-like container without a "
+        "capacity bound, or a `while True` loop with no "
+        "break/return/raise"
+    ),
+)
+
 #: Every rule, in catalogue order.
 ALL_RULES: tuple[Rule, ...] = (
     SYNTAX_ERROR,
@@ -187,6 +202,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SET_ITERATION,
     POPITEM,
     OBS_UNGATED,
+    UNBOUNDED_WAIT,
 )
 
 #: Rule lookup by id (e.g. ``RULES_BY_ID["D101"]``).

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from . import conformance, determinism, obsgate, order, parity, rules
+from . import bounds, conformance, determinism, obsgate, order, parity, rules
 from .diagnostics import Diagnostic, Report
 from .suppressions import SuppressionIndex
 
@@ -209,6 +209,11 @@ def lint_paths(
         assert source_file.tree is not None
         raw.extend(
             determinism.check_module(
+                source_file.display, source_file.module, source_file.tree
+            )
+        )
+        raw.extend(
+            bounds.check_module(
                 source_file.display, source_file.module, source_file.tree
             )
         )

@@ -28,6 +28,8 @@ from .sizes import (
 )
 from .spatial import measured_skew, ranks_from_rankings, skewed_rankings
 from .temporal import (
+    FlashCrowdProfile,
+    flash_crowd_profile,
     generate_temporal_workload,
     repeat_distance_profile,
     temporal_objects,
@@ -46,6 +48,7 @@ __all__ = [
     "DEFAULT_MEDIAN_BYTES",
     "OBJECTS_PER_REQUEST",
     "REGIONS",
+    "FlashCrowdProfile",
     "RegionProfile",
     "RegressionFit",
     "SKIPPED_LINES_METRIC",
@@ -56,6 +59,7 @@ __all__ = [
     "assign_origins",
     "fit_zipf_mle",
     "fit_zipf_regression",
+    "flash_crowd_profile",
     "generate_temporal_workload",
     "generate_workload",
     "lognormal_sizes",

@@ -16,6 +16,8 @@ recovers the i.i.d. model.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..topology.network import Network
@@ -83,6 +85,132 @@ def generate_temporal_workload(
         objects=objects,
         sizes=unit_sizes(num_objects),
         origins=assign_origins(network, num_objects, rng, mode=origin_mode),
+    )
+
+
+@dataclass(frozen=True)
+class FlashCrowdProfile:
+    """A seeded flash-crowd request schedule.
+
+    ``times`` are sorted arrival offsets in ``[0, duration]`` seconds;
+    ``objects``/``regions`` give each request's target object and
+    originating region.  During the burst, arrivals concentrate around
+    ``burst_time``, the ``hot_object`` dominates the object mix, and
+    (with ``regional_correlation > 0``) requests concentrate in the
+    crowd region — the correlated regional crowd of a viral event.
+    """
+
+    times: np.ndarray
+    objects: np.ndarray
+    regions: np.ndarray
+    burst_time: float
+    duration: float
+    num_objects: int
+    num_regions: int
+    hot_object: int
+
+    @property
+    def num_requests(self) -> int:
+        """Number of requests in the schedule."""
+        return len(self.times)
+
+
+def _burst_shape(
+    t: np.ndarray, burst_time: float, onset: float, decay: float
+) -> np.ndarray:
+    """The burst envelope in (0, 1]: exponential ramp-up, then decay."""
+    t = np.asarray(t, dtype=np.float64)
+    before = np.exp(-(burst_time - t) / onset)
+    after = np.exp(-(t - burst_time) / decay)
+    return np.where(t <= burst_time, before, after)
+
+
+def flash_crowd_profile(
+    num_requests: int,
+    duration: float,
+    rng: np.random.Generator,
+    burst_time: float | None = None,
+    intensity: float = 10.0,
+    onset: float | None = None,
+    decay: float | None = None,
+    num_objects: int = 100,
+    alpha: float = 0.8,
+    hot_object: int = 0,
+    hot_fraction: float = 0.8,
+    num_regions: int = 1,
+    crowd_region: int = 0,
+    regional_correlation: float = 0.0,
+) -> FlashCrowdProfile:
+    """A seeded thundering-herd schedule around a popularity spike.
+
+    The arrival rate is ``1 + (intensity - 1) * s(t)`` where ``s`` is an
+    exponential onset/decay envelope peaking at ``burst_time`` (defaults:
+    burst at ``duration / 3``, onset ``duration / 20``, decay
+    ``duration / 10``).  Arrival times are drawn by inverse-CDF sampling
+    of that rate, so ``intensity`` is the peak-to-baseline rate ratio.
+
+    Each request targets ``hot_object`` with probability
+    ``hot_fraction * s(t)`` (the spike's subject), otherwise an i.i.d.
+    Zipf(``alpha``) draw; its region is ``crowd_region`` with
+    probability ``regional_correlation * s(t)``, otherwise uniform —
+    off-burst the stream degenerates to the plain i.i.d. model.
+
+    All draws flow through the injected ``rng``, so one seed yields a
+    byte-identical schedule.
+    """
+    if num_requests < 1:
+        raise ValueError(f"num_requests must be >= 1, got {num_requests}")
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    if intensity < 1.0:
+        raise ValueError(f"intensity must be >= 1, got {intensity}")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+    if not 0.0 <= regional_correlation <= 1.0:
+        raise ValueError(
+            f"regional_correlation must be in [0, 1], "
+            f"got {regional_correlation}"
+        )
+    if not 0 <= hot_object < num_objects:
+        raise ValueError(f"hot_object {hot_object} outside [0, {num_objects})")
+    if num_regions < 1:
+        raise ValueError(f"num_regions must be >= 1, got {num_regions}")
+    if not 0 <= crowd_region < num_regions:
+        raise ValueError(
+            f"crowd_region {crowd_region} outside [0, {num_regions})"
+        )
+    burst = duration / 3.0 if burst_time is None else burst_time
+    if not 0.0 <= burst <= duration:
+        raise ValueError(f"burst_time {burst} outside [0, {duration}]")
+    onset = duration / 20.0 if onset is None else onset
+    decay = duration / 10.0 if decay is None else decay
+    if onset <= 0 or decay <= 0:
+        raise ValueError("onset and decay must be > 0")
+
+    # Inverse-CDF sampling of the time-varying arrival rate on a grid.
+    grid = np.linspace(0.0, duration, 4096)
+    rate = 1.0 + (intensity - 1.0) * _burst_shape(grid, burst, onset, decay)
+    cdf = np.cumsum(rate)
+    cdf = (cdf - cdf[0]) / (cdf[-1] - cdf[0])
+    times = np.sort(np.interp(rng.random(num_requests), cdf, grid))
+
+    weight = _burst_shape(times, burst, onset, decay)
+    zipf = ZipfDistribution(alpha, num_objects).sample(rng, num_requests)
+    hot = rng.random(num_requests) < hot_fraction * weight
+    objects = np.where(hot, hot_object, zipf).astype(np.int64)
+    base_regions = rng.integers(0, num_regions, size=num_requests,
+                                dtype=np.int64)
+    crowd = rng.random(num_requests) < regional_correlation * weight
+    regions = np.where(crowd, crowd_region, base_regions).astype(np.int64)
+    return FlashCrowdProfile(
+        times=times,
+        objects=objects,
+        regions=regions,
+        burst_time=burst,
+        duration=duration,
+        num_objects=num_objects,
+        num_regions=num_regions,
+        hot_object=hot_object,
     )
 
 

@@ -1,0 +1,297 @@
+"""Tests for PIT coalescing and the graceful-degradation ladder."""
+
+import pytest
+
+from repro.idicn import (
+    AdmissionControl,
+    EdgeProxy,
+    EventScheduler,
+    FaultPlane,
+    HostQueue,
+    NameResolutionSystem,
+    OriginServer,
+    PendingInterestTable,
+    ResolutionClient,
+    ReverseProxy,
+    SimNet,
+    generate_keypair,
+)
+from repro.idicn import http
+from repro.idicn.simnet import HTTP_PORT
+from repro.obs import MetricsRegistry
+
+KEY = generate_keypair(bits=256, seed=10)
+
+
+class TestPendingInterestTable:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PendingInterestTable(window=0.0)
+        with pytest.raises(ValueError):
+            PendingInterestTable(capacity=0)
+
+    def test_join_before_record_is_none(self):
+        pit = PendingInterestTable(window=1.0)
+        assert pit.join("n", 0.0) is None
+
+    def test_join_within_window_coalesces(self):
+        pit = PendingInterestTable(window=1.0)
+        pit.record("n", 0.0, result="payload")
+        entry = pit.join("n", 0.5)
+        assert entry is not None and entry.result == "payload"
+        assert entry.waiters == 1
+        assert pit.coalesced == 1
+
+    def test_negative_entry_counts_separately(self):
+        pit = PendingInterestTable(window=1.0)
+        pit.record("n", 0.0, result=None)
+        entry = pit.join("n", 0.5)
+        assert entry is not None and entry.result is None
+        assert pit.negative_coalesced == 1
+        assert pit.coalesced == 0
+
+    def test_entry_expires_after_window(self):
+        pit = PendingInterestTable(window=1.0)
+        pit.record("n", 0.0, result="payload")
+        assert pit.join("n", 1.5) is None
+        assert pit.expired == 1
+        assert pit.live_entries == 0
+
+    def test_capacity_evicts_oldest(self):
+        pit = PendingInterestTable(window=100.0, capacity=2)
+        pit.record("a", 0.0, result=1)
+        pit.record("b", 0.0, result=2)
+        pit.record("c", 0.0, result=3)
+        assert pit.live_entries == 2
+        assert pit.join("a", 0.1) is None  # evicted
+        assert pit.join("c", 0.1) is not None
+
+    def test_registry_counters_preregistered(self):
+        registry = MetricsRegistry()
+        pit = PendingInterestTable(window=1.0, host="p", registry=registry)
+        for event in ("recorded", "coalesced", "negative_coalesced",
+                      "expired"):
+            assert registry.value("repro_idicn_pit_events_total",
+                                  host="p", event=event) == 0
+        pit.record("n", 0.0, result="x")
+        pit.join("n", 0.5)
+        assert registry.value("repro_idicn_pit_events_total",
+                              host="p", event="recorded") == 1
+        assert registry.value("repro_idicn_pit_events_total",
+                              host="p", event="coalesced") == 1
+
+
+class TestAdmissionControl:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionControl(stale_depth=-1)
+        with pytest.raises(ValueError):
+            AdmissionControl(stale_depth=10, shed_depth=5)
+        with pytest.raises(ValueError):
+            AdmissionControl(retry_after=0.0)
+
+    def test_ladder_levels(self):
+        control = AdmissionControl(stale_depth=2, shed_depth=4)
+        assert control.level(0) == "ok"
+        assert control.level(2) == "ok"
+        assert control.level(3) == "stale"
+        assert control.level(4) == "stale"
+        assert control.level(5) == "shed"
+
+
+@pytest.fixture
+def world():
+    """A deployment with a queued, PIT-equipped edge proxy."""
+    net = SimNet()
+    net.create_subnet("net", "10.0.0")
+    origin = OriginServer(net.create_host("origin", "net"))
+    resolver = NameResolutionSystem(net.create_host("nrs", "net"))
+    rp_host = net.create_host("rp", "net")
+    reverse = ReverseProxy(
+        rp_host,
+        origin_address=origin.host.address,
+        keypair=KEY,
+        resolver=ResolutionClient(rp_host, resolver.host.address),
+    )
+    proxy_host = net.create_host("proxy", "net")
+    proxy = EdgeProxy(
+        proxy_host,
+        resolver=ResolutionClient(proxy_host, resolver.host.address),
+        capacity=8,
+        pit=PendingInterestTable(window=5.0),
+        admission=AdmissionControl(stale_depth=2, shed_depth=4,
+                                   retry_after=3.0),
+    )
+    proxy_host.queue = HostQueue(capacity=64, service_time=1.0)
+    client = net.create_host("client", "net")
+    return net, origin, reverse, proxy, client
+
+
+def _publish(origin, reverse, content=b"payload", max_age=None):
+    origin.store("doc", content)
+    reverse.max_age = max_age
+    name = reverse.publish("doc")
+    return f"http://{name.domain}/"
+
+
+def _herd(net, proxy, client, url, times):
+    """Schedule one request per arrival time; return the responses."""
+    scheduler = EventScheduler(net)
+    responses = []
+    for when in times:
+        scheduler.at(
+            when,
+            lambda: responses.append(
+                client.call(proxy.host.address, HTTP_PORT, http.get(url))
+            ),
+        )
+    scheduler.run()
+    return responses
+
+
+class TestProxyCoalescing:
+    def test_thundering_herd_collapses_to_one_fetch(self, world):
+        net, origin, reverse, proxy, client = world
+        url = _publish(origin, reverse)
+        baseline = reverse.requests_served
+        responses = _herd(net, proxy, client, url, [0.0, 0.1, 0.2, 0.3])
+        assert all(r.ok for r in responses)
+        # One upstream fetch fanned out to the whole herd.
+        assert reverse.requests_served == baseline + 1
+        assert proxy.coalesced == 3
+        assert proxy.misses == 4  # every herd member arrived pre-fetch
+
+    def test_spaced_requests_hit_the_cache_instead(self, world):
+        net, origin, reverse, proxy, client = world
+        url = _publish(origin, reverse)
+        baseline = reverse.requests_served
+        # Arrivals after the first fetch completed: plain cache hits.
+        responses = _herd(net, proxy, client, url, [0.0, 10.0, 20.0])
+        assert all(r.ok for r in responses)
+        assert reverse.requests_served == baseline + 1
+        assert proxy.coalesced == 0
+        assert proxy.hits == 2
+
+    def test_negative_entry_propagates_failure(self, world):
+        net, origin, reverse, proxy, client = world
+        url = _publish(origin, reverse)
+        net.set_online(reverse.host, False)
+        responses = _herd(net, proxy, client, url, [0.0, 0.1, 0.2])
+        assert all(r.status == 502 for r in responses)
+        # One failed fetch; the rest inherited the negative entry
+        # instead of hammering the dead upstream.
+        assert proxy.negative_coalesced == 2
+
+    def test_pit_disabled_refetches_per_request(self, world):
+        net, origin, reverse, proxy, client = world
+        proxy.pit = None
+        url = _publish(origin, reverse)
+        baseline = reverse.requests_served
+        responses = _herd(net, proxy, client, url, [0.0, 0.1, 0.2])
+        assert all(r.ok for r in responses)
+        # The ablation arm: every herd member goes upstream itself.
+        assert reverse.requests_served == baseline + 3
+
+    def test_revalidations_coalesce_too(self, world):
+        net, origin, reverse, proxy, client = world
+        url = _publish(origin, reverse, max_age=1.0)
+        _herd(net, proxy, client, url, [0.0])
+        net.advance(50.0)  # entry now stale
+        baseline = reverse.requests_served
+        responses = _herd(net, proxy, client, url,
+                          [net.clock, net.clock + 0.1])
+        assert all(r.ok for r in responses)
+        assert reverse.requests_served == baseline + 1
+        # The first arrival revalidates; the second (arriving while the
+        # renewed copy was still "in flight") joins the PIT instead.
+        assert proxy.revalidations == 1
+        assert proxy.coalesced == 1
+
+
+class TestDegradationLadder:
+    def test_stale_rung_serves_warning_110(self, world):
+        net, origin, reverse, proxy, client = world
+        url = _publish(origin, reverse, max_age=1.0)
+        _herd(net, proxy, client, url, [0.0])
+        net.advance(50.0)  # cached copy now stale
+        # Build a backlog so the next admission sees depth above
+        # stale_depth=2 (but at or below shed_depth=4).
+        for _ in range(3):
+            proxy.host.queue.admit(net.clock)
+        baseline = reverse.requests_served
+        response = client.call(proxy.host.address, HTTP_PORT,
+                               http.get(url))
+        # Middle rung: the stale copy is served immediately, flagged
+        # per RFC 7234, with no upstream revalidation.
+        assert response.ok and http.is_stale(response)
+        assert response.header("warning") == http.STALE_WARNING
+        assert proxy.stale_reasons["overload"] == 1
+        assert reverse.requests_served == baseline
+
+    def test_shed_rung_refuses_with_retry_after(self, world):
+        net, origin, reverse, proxy, client = world
+        url = _publish(origin, reverse)
+        responses = _herd(net, proxy, client, url,
+                          [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6])
+        shed = [r for r in responses if http.is_shed(r)]
+        # Depth climbed past shed_depth=4: the tail was refused.
+        assert shed
+        assert proxy.shed == len(shed)
+        for response in shed:
+            assert response.status == 503
+            assert http.retry_after_seconds(response) == 3.0
+
+    def test_no_admission_control_never_degrades(self, world):
+        net, origin, reverse, proxy, client = world
+        proxy.admission = None
+        url = _publish(origin, reverse)
+        responses = _herd(net, proxy, client, url,
+                          [i * 0.1 for i in range(8)])
+        assert all(r.ok for r in responses)
+        assert proxy.shed == 0
+
+    def test_stale_reason_counter_in_registry(self, world):
+        net, origin, reverse, proxy, client = world
+        registry = MetricsRegistry()
+        proxy.registry = registry
+        for event in ("failover", "overload"):
+            registry.counter(
+                "repro_idicn_stale_served_total",
+                help="stale responses served, by degradation reason",
+                host=proxy.host.name,
+                reason=event,
+            )
+        url = _publish(origin, reverse, max_age=1.0)
+        _herd(net, proxy, client, url, [0.0])
+        net.advance(50.0)
+        # Failover rung: upstream dead, revalidation fails, stale wins.
+        net.set_online(reverse.host, False)
+        responses = _herd(net, proxy, client, url, [net.clock])
+        assert http.is_stale(responses[0])
+        assert registry.value("repro_idicn_stale_served_total",
+                              host="proxy", reason="failover") == 1
+        assert registry.value("repro_idicn_stale_served_total",
+                              host="proxy", reason="overload") == 0
+
+
+class TestHazardWindows:
+    def test_hazard_applies_only_inside_window(self):
+        net = SimNet()
+        net.create_subnet("net", "10.0.0")
+        server = net.create_host("server", "net")
+        client = net.create_host("client", "net")
+        server.bind(HTTP_PORT, lambda host, src, payload: "ok")
+        plane = FaultPlane(net, seed=7)
+        net.install_faults(plane)
+        plane.schedule_hazard("error", 10.0, 20.0, 1.0)
+        # Outside the window: every call succeeds.
+        for _ in range(5):
+            assert client.call(server.address, HTTP_PORT, "x") == "ok"
+        net.clock = 15.0
+        from repro.idicn import InjectedCallError
+
+        with pytest.raises(InjectedCallError):
+            client.call(server.address, HTTP_PORT, "x")
+        net.clock = 25.0
+        assert client.call(server.address, HTTP_PORT, "x") == "ok"
+        assert plane.injected_faults == 1

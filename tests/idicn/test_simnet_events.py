@@ -1,0 +1,293 @@
+"""Tests for the event-driven layer: scheduler, links, bounded queues."""
+
+import pytest
+
+from repro.idicn import (
+    EventScheduler,
+    HostQueue,
+    LinkSpec,
+    QueueOverflowError,
+    SimNet,
+)
+from repro.idicn.simnet import HTTP_PORT
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture
+def net():
+    network = SimNet()
+    network.create_subnet("lan", "10.0.0")
+    return network
+
+
+class TestEventScheduler:
+    def test_events_fire_in_time_order(self, net):
+        scheduler = EventScheduler(net)
+        fired = []
+        scheduler.at(2.0, lambda: fired.append("late"))
+        scheduler.at(1.0, lambda: fired.append("early"))
+        scheduler.at(3.0, lambda: fired.append("last"))
+        assert scheduler.run() == 3
+        assert fired == ["early", "late", "last"]
+
+    def test_ties_break_by_insertion_order(self, net):
+        scheduler = EventScheduler(net)
+        fired = []
+        for label in ("a", "b", "c"):
+            scheduler.at(1.0, lambda label=label: fired.append(label))
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_monotonically(self, net):
+        scheduler = EventScheduler(net)
+        net.clock = 5.0
+        seen = []
+        scheduler.at(1.0, lambda: seen.append(net.clock))
+        scheduler.at(9.0, lambda: seen.append(net.clock))
+        scheduler.run()
+        # A late-fired early event must not rewind the clock.
+        assert seen == [5.0, 9.0]
+
+    def test_after_is_relative_to_current_clock(self, net):
+        scheduler = EventScheduler(net)
+        net.clock = 10.0
+        fired = []
+        scheduler.after(2.5, lambda: fired.append(net.clock))
+        scheduler.run()
+        assert fired == [12.5]
+
+    def test_actions_can_reschedule(self, net):
+        scheduler = EventScheduler(net)
+        fired = []
+
+        def chain():
+            fired.append(net.clock)
+            if len(fired) < 3:
+                scheduler.after(1.0, chain)
+
+        scheduler.at(0.0, chain)
+        assert scheduler.run() == 3
+        assert fired == [0.0, 1.0, 2.0]
+
+    def test_run_until_leaves_later_events_pending(self, net):
+        scheduler = EventScheduler(net)
+        fired = []
+        scheduler.at(1.0, lambda: fired.append(1))
+        scheduler.at(5.0, lambda: fired.append(5))
+        assert scheduler.run(until=2.0) == 1
+        assert fired == [1]
+        assert scheduler.pending == 1
+
+    def test_max_events_bounds_a_spinning_action(self, net):
+        scheduler = EventScheduler(net)
+
+        def spin():
+            scheduler.after(0.0, spin)
+
+        scheduler.at(0.0, spin)
+        assert scheduler.run(max_events=10) == 10
+        assert scheduler.pending == 1  # the next spin, not an explosion
+
+    def test_negative_times_rejected(self, net):
+        scheduler = EventScheduler(net)
+        with pytest.raises(ValueError):
+            scheduler.at(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            scheduler.after(-0.5, lambda: None)
+
+    def test_event_time_cleared_even_when_action_raises(self, net):
+        scheduler = EventScheduler(net)
+
+        def boom():
+            raise RuntimeError("kaboom")
+
+        scheduler.at(1.0, boom)
+        with pytest.raises(RuntimeError):
+            scheduler.run()
+        assert net.event_time is None
+
+
+class TestLinkSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(latency=-1.0)
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth=0.0)
+
+    def test_transfer_seconds(self):
+        link = LinkSpec(bandwidth=100.0)
+
+        class Payload:
+            body = b"x" * 250
+
+        assert link.transfer_seconds(Payload()) == 2.5
+        assert LinkSpec().transfer_seconds(Payload()) == 0.0
+        assert link.transfer_seconds(object()) == 0.0
+
+    def test_link_costs_charged_on_delivery(self, net):
+        server = net.create_host("server", "lan")
+        client = net.create_host("client", "lan")
+
+        class Reply:
+            body = b"x" * 100
+
+        server.bind(HTTP_PORT, lambda host, src, payload: Reply())
+        net.set_link("lan", LinkSpec(latency=0.01, bandwidth=1000.0))
+        client.call(server.address, HTTP_PORT, "req")
+        # latency out + latency back + 100 bytes / 1000 B/s.
+        assert net.clock == pytest.approx(0.12)
+
+    def test_no_link_keeps_clock_untouched(self, net):
+        server = net.create_host("server", "lan")
+        client = net.create_host("client", "lan")
+        server.bind(HTTP_PORT, lambda host, src, payload: "ok")
+        client.call(server.address, HTTP_PORT, "req")
+        assert net.clock == 0.0
+
+
+class TestHostQueue:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostQueue(capacity=0)
+        with pytest.raises(ValueError):
+            HostQueue(capacity=1, concurrency=0)
+        with pytest.raises(ValueError):
+            HostQueue(capacity=1, service_time=-1.0)
+
+    def test_fifo_service_under_backlog(self):
+        queue = HostQueue(capacity=10, service_time=1.0)
+        # Three simultaneous arrivals on one server: service serializes.
+        assert queue.admit(0.0) == 0.0
+        assert queue.admit(0.0) == 1.0
+        assert queue.admit(0.0) == 2.0
+        assert queue.last_depth == 3
+        assert queue.peak_depth == 3
+
+    def test_concurrency_widens_the_pipe(self):
+        queue = HostQueue(capacity=10, concurrency=2, service_time=1.0)
+        assert queue.admit(0.0) == 0.0
+        assert queue.admit(0.0) == 0.0
+        assert queue.admit(0.0) == 1.0
+
+    def test_depth_drains_as_time_passes(self):
+        queue = HostQueue(capacity=10, service_time=1.0)
+        for _ in range(3):
+            queue.admit(0.0)
+        assert queue.depth(0.5) == 3
+        assert queue.depth(1.5) == 2
+        assert queue.depth(10.0) == 0
+
+    def test_overflow_at_capacity(self):
+        queue = HostQueue(capacity=2, service_time=10.0)
+        queue.admit(0.0)
+        queue.admit(0.0)
+        with pytest.raises(QueueOverflowError):
+            queue.admit(0.0)
+        assert queue.overflows == 1
+        assert queue.admitted == 2
+        # Once the backlog drains, admissions resume.
+        assert queue.admit(100.0) == 100.0
+
+    def test_last_arrival_records_admission_time(self):
+        queue = HostQueue(capacity=10, service_time=1.0)
+        assert queue.last_arrival is None
+        queue.admit(3.0)
+        assert queue.last_arrival == 3.0
+        queue.admit(3.5)
+        assert queue.last_arrival == 3.5
+
+    def test_registry_counters(self):
+        registry = MetricsRegistry()
+        queue = HostQueue(capacity=1, service_time=10.0, host="h",
+                          registry=registry)
+        # Pre-registered: zeros before any traffic.
+        assert registry.value("repro_idicn_queue_events_total",
+                              host="h", event="admitted") == 0
+        assert registry.value("repro_idicn_queue_events_total",
+                              host="h", event="overflow") == 0
+        queue.admit(0.0)
+        with pytest.raises(QueueOverflowError):
+            queue.admit(0.0)
+        assert registry.value("repro_idicn_queue_events_total",
+                              host="h", event="admitted") == 1
+        assert registry.value("repro_idicn_queue_events_total",
+                              host="h", event="overflow") == 1
+
+
+class TestEventTimeSemantics:
+    """``SimNet.event_time`` is consumed by the first *queued* hop."""
+
+    def test_queued_host_admits_at_event_arrival(self, net):
+        server = net.create_host("server", "lan")
+        client = net.create_host("client", "lan")
+        server.queue = HostQueue(capacity=10, service_time=1.0)
+        server.bind(HTTP_PORT, lambda host, src, payload: "ok")
+        scheduler = EventScheduler(net)
+        for when in (0.0, 0.1, 0.2):
+            scheduler.at(
+                when,
+                lambda: client.call(server.address, HTTP_PORT, "req"),
+            )
+        scheduler.run()
+        # All three arrived during the first request's service window:
+        # the serialized clock (1.0, 2.0, 3.0) did not hide the overlap.
+        assert server.queue.peak_depth == 3
+        assert server.queue.last_arrival == 0.2
+
+    def test_unqueued_hop_passes_event_time_through(self, net):
+        dns = net.create_host("dns", "lan")
+        server = net.create_host("server", "lan")
+        client = net.create_host("client", "lan")
+        server.queue = HostQueue(capacity=10, service_time=1.0)
+        # The "DNS" hop has no queue; resolution happens inside the
+        # event, before the queued server hop.
+        dns.bind(53, lambda host, src, payload: server.address)
+        server.bind(HTTP_PORT, lambda host, src, payload: "ok")
+
+        def lookup_then_fetch():
+            address = client.call(dns.address, 53, "server?")
+            client.call(address, HTTP_PORT, "req")
+
+        scheduler = EventScheduler(net)
+        scheduler.at(0.0, lookup_then_fetch)
+        scheduler.at(0.1, lookup_then_fetch)
+        scheduler.run()
+        # The DNS hop must not eat the arrival stamp: the second
+        # request still admits at 0.1, inside the first's service.
+        assert server.queue.peak_depth == 2
+
+    def test_nested_upstream_hop_admits_at_current_clock(self, net):
+        upstream = net.create_host("upstream", "lan")
+        server = net.create_host("server", "lan")
+        client = net.create_host("client", "lan")
+        server.queue = HostQueue(capacity=10, service_time=1.0)
+        upstream.queue = HostQueue(capacity=10, service_time=1.0)
+        arrivals = []
+        upstream.bind(
+            HTTP_PORT,
+            lambda host, src, payload: arrivals.append(
+                upstream.queue.last_arrival
+            ),
+        )
+        server.bind(
+            HTTP_PORT,
+            lambda host, src, payload: host.call(
+                upstream.address, HTTP_PORT, "fetch"
+            ),
+        )
+        scheduler = EventScheduler(net)
+        scheduler.at(0.0, lambda: client.call(server.address, HTTP_PORT,
+                                              "req"))
+        scheduler.run()
+        # The nested fetch happens "now" (after the server's service
+        # time), not at the original event arrival.
+        assert arrivals == [1.0]
+
+    def test_no_scheduler_means_clock_arrivals(self, net):
+        server = net.create_host("server", "lan")
+        client = net.create_host("client", "lan")
+        server.queue = HostQueue(capacity=10, service_time=1.0)
+        server.bind(HTTP_PORT, lambda host, src, payload: "ok")
+        net.clock = 7.0
+        client.call(server.address, HTTP_PORT, "req")
+        assert server.queue.last_arrival == 7.0

@@ -1,0 +1,162 @@
+"""R601: unbounded waits inside ``repro.idicn``."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+
+class TestUnboundedQueues:
+    def test_deque_without_maxlen_flagged(self, lint_tree):
+        report = lint_tree({
+            "src/repro/idicn/backlog.py": """\
+                from collections import deque
+
+                PENDING = deque()
+                """,
+        }, select=["R601"])
+        assert rule_ids(report) == ["R601"]
+        assert "maxlen" in report.diagnostics[0].message
+
+    def test_deque_with_maxlen_passes(self, lint_tree):
+        report = lint_tree({
+            "src/repro/idicn/backlog.py": """\
+                from collections import deque
+
+                PENDING = deque(maxlen=128)
+                ALSO_OK = deque([], 128)
+                """,
+        }, select=["R601"])
+        assert rule_ids(report) == []
+
+    def test_stdlib_queue_without_maxsize_flagged(self, lint_tree):
+        report = lint_tree({
+            "src/repro/idicn/backlog.py": """\
+                import queue
+
+                INBOX = queue.Queue()
+                PRIORITIES = queue.PriorityQueue(16)
+                """,
+        }, select=["R601"])
+        assert rule_ids(report) == ["R601"]
+        assert report.diagnostics[0].line == 3
+
+    def test_aliased_import_resolved(self, lint_tree):
+        report = lint_tree({
+            "src/repro/idicn/backlog.py": """\
+                from collections import deque as dq
+
+                PENDING = dq()
+                """,
+        }, select=["R601"])
+        assert rule_ids(report) == ["R601"]
+
+
+class TestForeverLoops:
+    def test_while_true_without_exit_flagged(self, lint_tree):
+        report = lint_tree({
+            "src/repro/idicn/pump.py": """\
+                def drain(q):
+                    while True:
+                        q.step()
+                """,
+        }, select=["R601"])
+        assert rule_ids(report) == ["R601"]
+
+    def test_while_one_is_forever_too(self, lint_tree):
+        report = lint_tree({
+            "src/repro/idicn/pump.py": """\
+                def drain(q):
+                    while 1:
+                        q.step()
+                """,
+        }, select=["R601"])
+        assert rule_ids(report) == ["R601"]
+
+    def test_break_return_raise_pass(self, lint_tree):
+        report = lint_tree({
+            "src/repro/idicn/pump.py": """\
+                def a(q):
+                    while True:
+                        if q.empty():
+                            break
+                        q.step()
+
+
+                def b(q):
+                    while True:
+                        if q.empty():
+                            return q
+                        q.step()
+
+
+                def c(q):
+                    while True:
+                        if q.stuck():
+                            raise TimeoutError
+                        q.step()
+                """,
+        }, select=["R601"])
+        assert rule_ids(report) == []
+
+    def test_break_in_nested_loop_does_not_count(self, lint_tree):
+        report = lint_tree({
+            "src/repro/idicn/pump.py": """\
+                def drain(q):
+                    while True:
+                        for item in q:
+                            if item is None:
+                                break
+                """,
+        }, select=["R601"])
+        assert rule_ids(report) == ["R601"]
+
+    def test_return_in_nested_function_does_not_count(self, lint_tree):
+        report = lint_tree({
+            "src/repro/idicn/pump.py": """\
+                def drain(q):
+                    while True:
+                        def helper():
+                            return 1
+                        helper()
+                """,
+        }, select=["R601"])
+        assert rule_ids(report) == ["R601"]
+
+    def test_bounded_while_condition_passes(self, lint_tree):
+        report = lint_tree({
+            "src/repro/idicn/pump.py": """\
+                def drain(q, budget):
+                    while budget > 0:
+                        q.step()
+                        budget -= 1
+                """,
+        }, select=["R601"])
+        assert rule_ids(report) == []
+
+
+class TestScope:
+    def test_outside_idicn_is_ignored(self, lint_tree):
+        report = lint_tree({
+            "src/repro/workload/backlog.py": """\
+                from collections import deque
+
+                PENDING = deque()
+                """,
+            "src/tools/backlog.py": """\
+                from collections import deque
+
+                PENDING = deque()
+                """,
+        }, select=["R601"])
+        assert rule_ids(report) == []
+
+    def test_inline_suppression_applies(self, lint_tree):
+        report = lint_tree({
+            "src/repro/idicn/backlog.py": """\
+                from collections import deque
+
+                PENDING = deque()  # lint: disable=R601
+                """,
+        }, select=["R601"])
+        assert rule_ids(report) == []
+        assert report.suppressed == 1

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.workload import (
+    flash_crowd_profile,
     generate_temporal_workload,
     repeat_distance_profile,
     temporal_objects,
@@ -97,3 +98,81 @@ class TestRepeatDistanceProfile:
 
     def test_empty(self):
         assert repeat_distance_profile(np.array([], dtype=int), 5).sum() == 0
+
+
+class TestFlashCrowdProfile:
+    def test_same_seed_is_byte_identical(self):
+        profiles = [
+            flash_crowd_profile(
+                5000, 60.0, np.random.default_rng(42), intensity=20.0,
+                num_regions=3, regional_correlation=0.5,
+            )
+            for _ in range(2)
+        ]
+        assert (profiles[0].times.tobytes()
+                == profiles[1].times.tobytes())
+        assert (profiles[0].objects.tobytes()
+                == profiles[1].objects.tobytes())
+        assert (profiles[0].regions.tobytes()
+                == profiles[1].regions.tobytes())
+
+    def test_times_sorted_and_in_range(self, rng):
+        profile = flash_crowd_profile(2000, 60.0, rng, intensity=10.0)
+        assert np.all(np.diff(profile.times) >= 0)
+        assert profile.times.min() >= 0.0
+        assert profile.times.max() <= 60.0
+        assert profile.num_requests == 2000
+
+    def test_arrivals_concentrate_around_burst(self, rng):
+        profile = flash_crowd_profile(20_000, 60.0, rng, intensity=30.0)
+        near = np.abs(profile.times - profile.burst_time) < 6.0
+        # A fifth of the timeline holds well over half the arrivals.
+        assert near.mean() > 0.5
+
+    def test_intensity_one_is_flat(self, rng):
+        profile = flash_crowd_profile(20_000, 60.0, rng, intensity=1.0)
+        near = np.abs(profile.times - profile.burst_time) < 6.0
+        assert near.mean() < 0.3
+
+    def test_hot_object_dominates_the_burst(self, rng):
+        profile = flash_crowd_profile(
+            20_000, 60.0, rng, intensity=20.0, hot_object=3,
+            hot_fraction=0.9,
+        )
+        near = np.abs(profile.times - profile.burst_time) < 3.0
+        hot_share = (profile.objects[near] == 3).mean()
+        far = profile.times > profile.burst_time + 20.0
+        far_share = (profile.objects[far] == 3).mean()
+        assert hot_share > 0.6
+        assert hot_share > far_share + 0.3
+
+    def test_regional_correlation_concentrates_the_crowd(self, rng):
+        profile = flash_crowd_profile(
+            20_000, 60.0, rng, intensity=20.0, num_regions=4,
+            crowd_region=2, regional_correlation=0.9,
+        )
+        near = np.abs(profile.times - profile.burst_time) < 3.0
+        assert (profile.regions[near] == 2).mean() > 0.6
+        assert profile.regions.max() < 4
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            flash_crowd_profile(0, 60.0, rng)
+        with pytest.raises(ValueError):
+            flash_crowd_profile(100, 0.0, rng)
+        with pytest.raises(ValueError):
+            flash_crowd_profile(100, 60.0, rng, intensity=0.5)
+        with pytest.raises(ValueError):
+            flash_crowd_profile(100, 60.0, rng, hot_fraction=1.5)
+        with pytest.raises(ValueError):
+            flash_crowd_profile(100, 60.0, rng, regional_correlation=-0.1)
+        with pytest.raises(ValueError):
+            flash_crowd_profile(100, 60.0, rng, hot_object=100)
+        with pytest.raises(ValueError):
+            flash_crowd_profile(100, 60.0, rng, num_regions=0)
+        with pytest.raises(ValueError):
+            flash_crowd_profile(100, 60.0, rng, crowd_region=5)
+        with pytest.raises(ValueError):
+            flash_crowd_profile(100, 60.0, rng, burst_time=100.0)
+        with pytest.raises(ValueError):
+            flash_crowd_profile(100, 60.0, rng, onset=0.0)
