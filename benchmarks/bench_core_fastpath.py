@@ -40,10 +40,14 @@ from repro.core import (
     simulate_no_cache,
 )
 from repro.core.latency import hop_costs as build_hop_costs
-from repro.obs import PhaseTimer
+from repro.obs import PhaseTimer, SpanTracker, validate_span_file
 from repro.topology import TOPOLOGY_NAMES
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+#: Deterministic span export for the bench (structure + request counts,
+#: never timings — those live in BENCH_core.json's phase_seconds).
+SPANS_JSONL = Path(__file__).parent / "results" / "bench_core_spans.jsonl"
 
 #: Acceptance floor for fast-vs-reference on the Figure 6 simulations.
 FULL_SCALE_SPEEDUP = 3.0
@@ -113,18 +117,32 @@ def _fingerprint(result):
 def test_core_engine_speedup(once):
     def run():
         timer = PhaseTimer()
-        with timer.phase("figure6_setup"):
-            worlds = _build_worlds()
+        tracker = SpanTracker(SEED)
+        bench_span = tracker.open(
+            "bench_core_fastpath", "run", scale=SCALE, seed=SEED
+        )
+        with tracker.span("figure6_setup", "phase") as setup_span:
+            with timer.phase("figure6_setup"):
+                worlds = _build_worlds()
+            setup_span.annotate(topologies=len(worlds))
         setup_seconds = timer.timings["figure6_setup"]
         runs_per_world = len(BASELINE_ARCHITECTURES) + 1
         requests = sum(
             world[1].num_requests * runs_per_world for world in worlds
         )
+        bench_span.annotate(requests=requests)
 
-        with timer.phase("figure6_reference"):
-            reference, ref_seconds = _simulate_all(worlds, "reference")
-        with timer.phase("figure6_fast"):
-            fast, fast_seconds = _simulate_all(worlds, "fast")
+        with tracker.span(
+            "figure6_reference", "phase",
+            engine="reference", requests=requests,
+        ):
+            with timer.phase("figure6_reference"):
+                reference, ref_seconds = _simulate_all(worlds, "reference")
+        with tracker.span(
+            "figure6_fast", "phase", engine="fast", requests=requests
+        ):
+            with timer.phase("figure6_fast"):
+                fast, fast_seconds = _simulate_all(worlds, "fast")
         # Differential check at bench scale: every aggregate the two
         # engines produced must coincide exactly.
         for name in reference:
@@ -133,12 +151,18 @@ def test_core_engine_speedup(once):
                     fast[name][arch]
                 ), (name, arch)
 
-        with timer.phase("figure8a_2pt_fast"):
-            sweep_gap(
-                "alpha", (0.4, 1.04),
-                lambda a: leaf_scaled_config("abilene", alpha=a),
-                ICN_NR, EDGE, engine="fast", workers=WORKERS,
-            )
+        with tracker.span("figure8a_2pt_fast", "phase", points=2):
+            with timer.phase("figure8a_2pt_fast"):
+                sweep_gap(
+                    "alpha", (0.4, 1.04),
+                    lambda a: leaf_scaled_config("abilene", alpha=a),
+                    ICN_NR, EDGE, engine="fast", workers=WORKERS,
+                )
+
+        tracker.close(bench_span)
+        SPANS_JSONL.parent.mkdir(exist_ok=True)
+        tracker.write(SPANS_JSONL)
+        validate_span_file(SPANS_JSONL)
 
         return {
             "schema": "bench_core/v1",

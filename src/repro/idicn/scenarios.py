@@ -37,6 +37,7 @@ from .simnet import EventScheduler, QueueOverflowError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.registry import MetricsRegistry
+    from ..obs.spans import SpanTracker
 
 
 @dataclass(frozen=True)
@@ -132,6 +133,41 @@ class FlashCrowdResult:
         return data
 
 
+def _deployment_probes(deployment: Deployment) -> list[tuple[str, object]]:
+    """Deterministic span probes: PIT occupancy and queue depth.
+
+    One probe per edge proxy's PIT and host queue, keyed by domain and
+    proxy index, plus the providers' reverse-proxy PITs.  Every value
+    read is simulated state (table sizes, queue depths), never a clock.
+    """
+    probes: list[tuple[str, object]] = []
+
+    def pit_probe(pit):
+        return lambda: float(pit.live_entries)
+
+    def depth_probe(queue):
+        return lambda: float(queue.last_depth)
+
+    for index, domain in enumerate(deployment.domains):
+        for p_index, proxy in enumerate(domain.proxies):
+            if proxy.pit is not None:
+                probes.append(
+                    (f"pit_domain{index}_proxy{p_index}",
+                     pit_probe(proxy.pit))
+                )
+            if proxy.host.queue is not None:
+                probes.append(
+                    (f"queue_domain{index}_proxy{p_index}",
+                     depth_probe(proxy.host.queue))
+                )
+    for index, provider in enumerate(deployment.providers):
+        reverse = getattr(provider, "reverse_proxy", None)
+        pit = getattr(reverse, "pit", None)
+        if pit is not None:
+            probes.append((f"pit_provider{index}", pit_probe(pit)))
+    return probes
+
+
 def _object_content(index: int, size: int) -> bytes:
     """Deterministic, distinct content for object ``index``."""
     stamp = f"obj-{index}:".encode()
@@ -143,12 +179,16 @@ def run_flash_crowd(
     *,
     seed: int | None = None,
     registry: "MetricsRegistry | None" = None,
+    spans: "SpanTracker | None" = None,
 ) -> FlashCrowdResult:
     """Run one flash crowd against a fresh deployment; fully seeded.
 
     ``seed`` overrides the scenario's seed (for two-run determinism
     checks); ``registry`` threads a metrics sink through every
     component — passing ``None`` must not change any outcome.
+    ``spans`` attaches a span tracker to the event scheduler with
+    per-proxy PIT-occupancy and queue-depth probes; all observed values
+    are simulated state, so traced runs replay byte-identically.
     """
     effective_seed = scenario.seed if seed is None else seed
     rng = np.random.default_rng(seed if seed is not None else scenario.seed)
@@ -203,7 +243,10 @@ def run_flash_crowd(
             )
 
     net = deployment.net
-    scheduler = EventScheduler(net)
+    probes: list[tuple[str, object]] = []
+    if spans is not None:
+        probes = _deployment_probes(deployment)
+    scheduler = EventScheduler(net, spans=spans, probes=tuple(probes))
     result = FlashCrowdResult(num_requests=profile.num_requests)
 
     def dispatch(browser, url: str, arrival: float, attempt: int):

@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.registry import MetricsRegistry
+    from ..obs.spans import SpanTracker
 
 Handler = Callable[["Host", str, Any], Any]
 
@@ -576,13 +577,30 @@ class EventScheduler:
 
     Actions are plain zero-argument callables; anything they schedule
     via :meth:`at`/:meth:`after` joins the same heap.
+
+    ``spans`` attaches an optional :class:`~repro.obs.spans.SpanTracker`:
+    each :meth:`run` then emits a ``phase`` span (``drain-NNNN``)
+    carrying per-event heap-depth observations plus whatever ``probes``
+    sample — ``(name, callable)`` pairs read once per executed event
+    (PIT occupancy, queue depth).  Every observed value is simulated
+    state, never wall-clock, so traced schedules stay byte-identical
+    across runs; with ``spans=None`` the loop executes exactly the
+    untraced instruction stream (lint rule ``O502``).
     """
 
-    def __init__(self, net: SimNet):
+    def __init__(
+        self,
+        net: SimNet,
+        spans: "SpanTracker | None" = None,
+        probes: tuple[tuple[str, Callable[[], float]], ...] = (),
+    ):
         self.net = net
         self._heap: list[tuple[float, int, Callable[[], Any]]] = []
         self._seq = 0
         self.events_run = 0
+        self.spans = spans
+        self.probes = tuple(probes)
+        self._drains = 0
 
     @property
     def pending(self) -> int:
@@ -608,6 +626,10 @@ class EventScheduler:
         Returns the number of events executed.  ``max_events`` bounds
         the loop so a self-rescheduling action cannot spin forever.
         """
+        span = None
+        if self.spans is not None:
+            span = self.spans.open(f"drain-{self._drains:04d}", "phase")
+            self._drains += 1
         ran = 0
         while self._heap and ran < max_events:
             if until is not None and self._heap[0][0] > until:
@@ -621,7 +643,14 @@ class EventScheduler:
             finally:
                 self.net.event_time = None
             ran += 1
+            if span is not None:
+                span.observe("pending_events", float(len(self._heap)))
+                for name, probe in self.probes:
+                    span.observe(name, float(probe()))
         self.events_run += ran
+        if span is not None:
+            span.annotate(events=ran, clock=self.net.clock)
+            self.spans.close(span)
         return ran
 
 

@@ -1,4 +1,4 @@
-"""Observability-gating rule (O501) for the engine hot modules.
+"""Observability-gating rules (O501/O502) for the hot modules.
 
 The observability contract (see ``repro.obs``) is *zero overhead when
 disabled*: with no :class:`~repro.obs.sink.Observer` attached, both
@@ -22,8 +22,15 @@ sink name.  The test itself is exempt (``if trace_wants(i):`` *is* the
 gate), as is any statement outside a loop, where a single ungated
 touch costs one branch per run rather than one per request.
 
+``O502`` extends the same contract to the sweep-scale sinks: inside the
+hot loops of ``core/sweep.py`` and ``idicn/simnet.py``, touches of
+span / progress / heartbeat sinks (``span``, ``spans``, ``tracker``,
+``progress``, ``heartbeat``, ``reporter`` — plus the O501 vocabulary,
+since sweeps also merge observer registries) must be gated the same
+way (``if spans is not None:``, ``if progress:``).
+
 False-positive escapes: name a variable outside the sink vocabulary,
-or justify an inline ``# lint: disable=O501``.
+or justify an inline ``# lint: disable=O501`` / ``disable=O502``.
 """
 
 from __future__ import annotations
@@ -32,24 +39,39 @@ import ast
 import re
 
 from . import rules
-from .diagnostics import Diagnostic
+from .diagnostics import Diagnostic, Rule
 
 #: Vocabulary of observability sink names: bare or ``_suffix``-ed.
 _SINK_NAME = re.compile(
     r"^(obs|observer|observing|rec|recorder|trace|tracer|sink)(_\w+)?$"
 )
 
+#: O502 vocabulary: the sweep-scale sinks plus the O501 set (a sweep
+#: loop that merges worker registries touches ``observer`` too).
+_SPAN_SINK_NAME = re.compile(
+    r"^(obs|observer|observing|rec|recorder|trace|tracer|sink"
+    r"|span|spans|tracker|progress|heartbeat|reporter)(_\w+)?$"
+)
 
-def _is_sink_name(name: str) -> bool:
-    return _SINK_NAME.match(name) is not None
+_O501_MESSAGE = (
+    "observability sink touched in a hot loop without an "
+    "enclosing sink-guard if (e.g. `if observing:`); ungated "
+    "instrumentation taxes every run, observed or not"
+)
+
+_O502_MESSAGE = (
+    "span/progress sink touched in a hot loop without an enclosing "
+    "sink-guard if (e.g. `if spans is not None:`); ungated "
+    "instrumentation taxes every sweep, observed or not"
+)
 
 
-def _mentions_sink(expr: ast.expr) -> bool:
+def _mentions_sink(expr: ast.expr, matcher: re.Pattern[str]) -> bool:
     """Whether any plain name in the expression is sink-vocabulary."""
     for node in ast.walk(expr):
-        if isinstance(node, ast.Name) and _is_sink_name(node.id):
+        if isinstance(node, ast.Name) and matcher.match(node.id):
             return True
-        if isinstance(node, ast.Attribute) and _is_sink_name(node.attr):
+        if isinstance(node, ast.Attribute) and matcher.match(node.attr):
             return True
     return False
 
@@ -58,6 +80,26 @@ def check_obsgate(
     hot_modules: list[tuple[str, ast.Module]],
 ) -> list[Diagnostic]:
     """Run O501 over the engine/fastpath module pair."""
+    return _check_gating(
+        hot_modules, _SINK_NAME, rules.OBS_UNGATED, _O501_MESSAGE
+    )
+
+
+def check_spangate(
+    hot_modules: list[tuple[str, ast.Module]],
+) -> list[Diagnostic]:
+    """Run O502 over the sweep/scheduler module pair."""
+    return _check_gating(
+        hot_modules, _SPAN_SINK_NAME, rules.SPAN_UNGATED, _O502_MESSAGE
+    )
+
+
+def _check_gating(
+    hot_modules: list[tuple[str, ast.Module]],
+    matcher: re.Pattern[str],
+    rule: Rule,
+    message: str,
+) -> list[Diagnostic]:
     out: list[Diagnostic] = []
     for path, tree in hot_modules:
         loops = [
@@ -79,12 +121,18 @@ def check_obsgate(
             if id(loop) in nested:
                 continue
             for stmt in loop.body + loop.orelse:
-                _scan(path, stmt, guarded=False, out=out)
+                _scan(path, stmt, False, out, matcher, rule, message)
     return out
 
 
 def _scan(
-    path: str, stmt: ast.stmt, guarded: bool, out: list[Diagnostic]
+    path: str,
+    stmt: ast.stmt,
+    guarded: bool,
+    out: list[Diagnostic],
+    matcher: re.Pattern[str],
+    rule: Rule,
+    message: str,
 ) -> None:
     """Flag ungated sink touches in one statement of a hot-loop body.
 
@@ -93,15 +141,15 @@ def _scan(
     ``if observing:`` covers an inner eviction ``while`` too).
     """
     if isinstance(stmt, ast.If):
-        if _mentions_sink(stmt.test):
+        if _mentions_sink(stmt.test, matcher):
             # This *is* the gate: the test's own sink reads are the one
             # permitted per-iteration cost; everything below is covered.
             for child in stmt.body + stmt.orelse:
-                _scan(path, child, guarded=True, out=out)
+                _scan(path, child, True, out, matcher, rule, message)
             return
-        _flag_expr(path, stmt.test, guarded, out)
+        _flag_expr(path, stmt.test, guarded, out, matcher, rule, message)
         for child in stmt.body + stmt.orelse:
-            _scan(path, child, guarded, out)
+            _scan(path, child, guarded, out, matcher, rule, message)
         return
     if isinstance(stmt, (ast.For, ast.While)):
         _flag_expr(
@@ -109,22 +157,27 @@ def _scan(
             stmt.iter if isinstance(stmt, ast.For) else stmt.test,
             guarded,
             out,
+            matcher,
+            rule,
+            message,
         )
         for child in stmt.body + stmt.orelse:
-            _scan(path, child, guarded, out)
+            _scan(path, child, guarded, out, matcher, rule, message)
         return
     if isinstance(stmt, (ast.With,)):
         for item in stmt.items:
-            _flag_expr(path, item.context_expr, guarded, out)
+            _flag_expr(
+                path, item.context_expr, guarded, out, matcher, rule, message
+            )
         for child in stmt.body:
-            _scan(path, child, guarded, out)
+            _scan(path, child, guarded, out, matcher, rule, message)
         return
     if isinstance(stmt, ast.Try):
         for child in stmt.body + stmt.orelse + stmt.finalbody:
-            _scan(path, child, guarded, out)
+            _scan(path, child, guarded, out, matcher, rule, message)
         for handler in stmt.handlers:
             for child in handler.body:
-                _scan(path, child, guarded, out)
+                _scan(path, child, guarded, out, matcher, rule, message)
         return
     if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
         # A def/class inside a hot loop is its own (pathological) cost;
@@ -132,34 +185,42 @@ def _scan(
         return
     # Leaf statements: expression statements, assignments, etc.
     for node in ast.walk(stmt):
-        if isinstance(node, ast.AugAssign) and _mentions_sink(node.target):
+        if isinstance(node, ast.AugAssign) and _mentions_sink(
+            node.target, matcher
+        ):
             if not guarded:
-                out.append(_diagnostic(path, node))
-        elif isinstance(node, ast.Call) and _mentions_sink(node.func):
+                out.append(_diagnostic(path, node, rule, message))
+        elif isinstance(node, ast.Call) and _mentions_sink(
+            node.func, matcher
+        ):
             if not guarded:
-                out.append(_diagnostic(path, node))
+                out.append(_diagnostic(path, node, rule, message))
 
 
 def _flag_expr(
-    path: str, expr: ast.expr, guarded: bool, out: list[Diagnostic]
+    path: str,
+    expr: ast.expr,
+    guarded: bool,
+    out: list[Diagnostic],
+    matcher: re.Pattern[str],
+    rule: Rule,
+    message: str,
 ) -> None:
     """Flag ungated sink *calls* inside a non-gate expression."""
     if guarded:
         return
     for node in ast.walk(expr):
-        if isinstance(node, ast.Call) and _mentions_sink(node.func):
-            out.append(_diagnostic(path, node))
+        if isinstance(node, ast.Call) and _mentions_sink(node.func, matcher):
+            out.append(_diagnostic(path, node, rule, message))
 
 
-def _diagnostic(path: str, node: ast.AST) -> Diagnostic:
+def _diagnostic(
+    path: str, node: ast.AST, rule: Rule, message: str
+) -> Diagnostic:
     return Diagnostic(
-        rule=rules.OBS_UNGATED,
+        rule=rule,
         path=path,
         line=node.lineno,
         col=node.col_offset,
-        message=(
-            "observability sink touched in a hot loop without an "
-            "enclosing sink-guard if (e.g. `if observing:`); ungated "
-            "instrumentation taxes every run, observed or not"
-        ),
+        message=message,
     )

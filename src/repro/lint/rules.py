@@ -175,6 +175,17 @@ OBS_UNGATED = Rule(
     ),
 )
 
+SPAN_UNGATED = Rule(
+    id="O502",
+    name="ungated-span-progress-hot-loop",
+    severity=Severity.ERROR,
+    summary=(
+        "span/progress/heartbeat sink touched in a sweep or scheduler "
+        "hot loop without a sink-guard if; breaks the "
+        "zero-overhead-when-disabled contract"
+    ),
+)
+
 UNBOUNDED_WAIT = Rule(
     id="R601",
     name="unbounded-wait",
@@ -202,6 +213,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SET_ITERATION,
     POPITEM,
     OBS_UNGATED,
+    SPAN_UNGATED,
     UNBOUNDED_WAIT,
 )
 

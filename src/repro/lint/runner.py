@@ -34,6 +34,8 @@ _ENGINE_MODULE = "repro.core.engine"
 _FASTPATH_MODULE = "repro.core.fastpath"
 _METRICS_MODULE = "repro.core.metrics"
 _CACHE_PACKAGE = "repro.cache"
+_SWEEP_MODULE = "repro.core.sweep"
+_SIMNET_MODULE = "repro.idicn.simnet"
 
 
 @dataclass(frozen=True)
@@ -246,6 +248,16 @@ def lint_paths(
     if hot_modules:
         raw.extend(order.check_order(hot_modules))
         raw.extend(obsgate.check_obsgate(hot_modules))
+
+    sweep = _resolve_anchor(files, _SWEEP_MODULE, sources)
+    simnet = _resolve_anchor(files, _SIMNET_MODULE, sources)
+    span_modules = [
+        (anchor.display, anchor.tree)
+        for anchor in (sweep, simnet)
+        if anchor is not None and anchor.tree is not None
+    ]
+    if span_modules:
+        raw.extend(obsgate.check_spangate(span_modules))
 
     cache_modules = _resolve_cache_package(files, sources)
     if cache_modules:

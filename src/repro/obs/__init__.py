@@ -16,11 +16,26 @@ The pieces:
 * :class:`PhaseTimer` / :class:`SimClockTimer` — wall-clock phase and
   simulated-clock span timers;
 * :class:`Observer` / :class:`RunRecorder` — the engine-facing sink;
+* :class:`SpanTracker` / :class:`Span` — hierarchical deterministic
+  spans (run → sweep → chunk → point → phase) with canonical JSONL
+  export and worker-record merging;
+* :class:`ProgressReporter` — atomically-rewritten live heartbeat
+  files, rendered by ``python -m repro.obs watch``;
+* :mod:`repro.obs.benchdiff` — the bench regression gate behind
+  ``python -m repro.obs bench-diff``;
 * :mod:`repro.obs.schema` — validators for all export formats;
-* ``python -m repro.obs`` — the ``report`` / ``smoke`` CLI.
+* ``python -m repro.obs`` — the ``report`` / ``smoke`` /
+  ``sweep-smoke`` / ``watch`` / ``bench-diff`` CLI.
 """
 
+from .benchdiff import MetricDelta, diff_reports, run_bench_diff
 from .profiling import PHASE_METRIC, SIM_SPAN_METRIC, PhaseTimer, SimClockTimer
+from .progress import (
+    PROGRESS_SCHEMA,
+    ProgressReporter,
+    read_heartbeat,
+    render_heartbeat,
+)
 from .registry import (
     DEFAULT_BUCKETS,
     REGISTRY_SCHEMA,
@@ -31,13 +46,25 @@ from .registry import (
 )
 from .schema import (
     SchemaError,
+    SpanStats,
     TraceStats,
+    validate_heartbeat,
     validate_prometheus_text,
     validate_registry_snapshot,
+    validate_span_file,
+    validate_span_record,
     validate_trace_file,
     validate_trace_record,
 )
 from .sink import Observer, RunRecorder
+from .spans import (
+    SPAN_KINDS,
+    SPAN_SCHEMA,
+    Span,
+    SpanTracker,
+    merge_span_records,
+    span_id,
+)
 from .trace import TRACE_VERSION, TraceSampler, TraceWriter
 
 __all__ = [
@@ -45,21 +72,38 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "MetricDelta",
     "MetricsRegistry",
     "Observer",
     "PHASE_METRIC",
+    "PROGRESS_SCHEMA",
     "PhaseTimer",
+    "ProgressReporter",
     "REGISTRY_SCHEMA",
     "RunRecorder",
     "SIM_SPAN_METRIC",
+    "SPAN_KINDS",
+    "SPAN_SCHEMA",
     "SchemaError",
     "SimClockTimer",
+    "Span",
+    "SpanStats",
+    "SpanTracker",
     "TRACE_VERSION",
     "TraceSampler",
     "TraceStats",
     "TraceWriter",
+    "diff_reports",
+    "merge_span_records",
+    "read_heartbeat",
+    "render_heartbeat",
+    "run_bench_diff",
+    "span_id",
+    "validate_heartbeat",
     "validate_prometheus_text",
     "validate_registry_snapshot",
+    "validate_span_file",
+    "validate_span_record",
     "validate_trace_file",
     "validate_trace_record",
 ]

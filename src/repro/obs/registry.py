@@ -48,12 +48,20 @@ def _check_name(name: str) -> str:
 
 
 def _format_value(value: float) -> str:
-    """Prometheus sample rendering: integers without a trailing ``.0``."""
-    if isinstance(value, float) and math.isnan(value):
+    """Prometheus sample rendering: integers without a trailing ``.0``.
+
+    Non-finite values use the Prometheus spellings ``+Inf`` / ``-Inf`` /
+    ``NaN`` — ``repr(float("inf"))`` yields ``inf``, which Prometheus
+    text-format parsers reject.
+    """
+    value = float(value)
+    if math.isnan(value):
         return "NaN"
-    if float(value).is_integer() and abs(value) < 1e15:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value.is_integer() and abs(value) < 1e15:
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
 
 
 def _escape_label(value: str) -> str:
@@ -126,6 +134,22 @@ class Histogram:
             running += count
             out.append(running)
         return out
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Add ``other``'s per-bucket counts, sum, and count into this one.
+
+        Both histograms must share the same bucket bounds — merging
+        across different bucket ladders would silently misbin counts.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.sum += other.sum
+        self.count += other.count
 
 
 #: One family: metric type, help text, and label-set -> sample object.
@@ -254,6 +278,121 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         """Registered family names, sorted."""
         return sorted(self._families)
+
+    def totals(self) -> dict[str, float]:
+        """Per-family counter totals, summed over every label set.
+
+        Only counter families appear (gauges can move both ways and
+        histograms are multi-valued, so a single total would mislead);
+        the result is a plain dict ready for a progress heartbeat.
+        """
+        out: dict[str, float] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.type != "counter":
+                continue
+            out[name] = sum(
+                sample.value  # type: ignore[union-attr]
+                for sample in family.samples.values()
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Merging (sharded collection)
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry | Mapping[str, object]") -> None:
+        """Fold another registry (or a snapshot dict) into this one.
+
+        The merge semantics per metric type:
+
+        * **counters** sum — chunked parallel collection totals exactly
+          what a serial run would have counted;
+        * **gauges** take the incoming value (labeled last-writer per
+          shard), so merge order matters for them — callers that need a
+          deterministic merged gauge must merge shards in a fixed order;
+        * **histograms** add per-bucket counts, sums, and totals (the
+          bucket bounds must agree).
+
+        Type or label-name conflicts raise, exactly as conflicting
+        re-registration does.  Help text follows first-registration-wins,
+        so pre-registering families in the parent pins the merged help.
+        """
+        if not isinstance(other, MetricsRegistry):
+            other = MetricsRegistry.from_snapshot(other)
+        for name in sorted(other._families):
+            family = other._families[name]
+            for key in sorted(family.samples):
+                sample = family.samples[key]
+                labels = dict(zip(family.label_names, key))
+                if isinstance(sample, Counter):
+                    self.counter(name, family.help, **labels).inc(
+                        sample.value
+                    )
+                elif isinstance(sample, Gauge):
+                    self.gauge(name, family.help, **labels).set(sample.value)
+                else:
+                    mine = self.histogram(
+                        name, family.help, buckets=sample.bounds, **labels
+                    )
+                    mine.merge_from(sample)
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: Mapping[str, object]
+    ) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` dict.
+
+        The snapshot's cumulative histogram buckets are differenced back
+        into per-bucket counts (the ``+Inf`` bucket is ``count`` minus
+        the last cumulative value), so
+        ``MetricsRegistry.from_snapshot(r.snapshot()).snapshot()`` is
+        byte-for-byte ``r.snapshot()`` — the roundtrip that lets worker
+        processes ship registries across a process boundary.
+        """
+        if snapshot.get("schema") != REGISTRY_SCHEMA:
+            raise ValueError(
+                f"snapshot schema {snapshot.get('schema')!r} != "
+                f"{REGISTRY_SCHEMA!r}"
+            )
+        registry = cls()
+        metrics = snapshot.get("metrics")
+        if not isinstance(metrics, list):
+            raise ValueError("snapshot `metrics` must be a list")
+        for family in metrics:
+            name = family["name"]
+            type_ = family["type"]
+            help_ = family.get("help", "")
+            if type_ not in _TYPES:
+                raise ValueError(f"metric {name!r}: unknown type {type_!r}")
+            for entry in family["samples"]:
+                labels = dict(entry["labels"])
+                if type_ == "counter":
+                    registry.counter(name, help_, **labels).inc(
+                        float(entry["value"])
+                    )
+                elif type_ == "gauge":
+                    registry.gauge(name, help_, **labels).set(
+                        float(entry["value"])
+                    )
+                else:
+                    buckets = [
+                        (float(bound), int(cum))
+                        for bound, cum in entry["buckets"]
+                    ]
+                    sample = registry.histogram(
+                        name,
+                        help_,
+                        buckets=[bound for bound, _ in buckets],
+                        **labels,
+                    )
+                    previous = 0
+                    for index, (_bound, cum) in enumerate(buckets):
+                        sample.counts[index] += cum - previous
+                        previous = cum
+                    sample.counts[-1] += int(entry["count"]) - previous
+                    sample.sum += float(entry["sum"])
+                    sample.count += int(entry["count"])
+        return registry
 
     # ------------------------------------------------------------------
     # Exports

@@ -25,7 +25,9 @@ import re
 from dataclasses import dataclass
 from pathlib import Path
 
+from .progress import PROGRESS_SCHEMA
 from .registry import REGISTRY_SCHEMA
+from .spans import SPAN_KINDS, SPAN_SCHEMA, span_id
 from .trace import TRACE_VERSION
 
 
@@ -197,6 +199,201 @@ def validate_registry_snapshot(snapshot: object) -> int:
                 raise SchemaError(f"{swhere}: missing numeric value")
             samples += 1
     return samples
+
+
+# ----------------------------------------------------------------------
+# Span files
+# ----------------------------------------------------------------------
+_SPAN_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """What a validated span file contained."""
+
+    spans: int
+    roots: int
+
+
+def validate_span_record(record: object, where: str = "record") -> str:
+    """Validate one parsed span record; returns its path.
+
+    Beyond field shape this re-derives the content-addressed ids: the
+    ``id`` must equal ``span_id(seed, path)`` and ``parent`` must equal
+    the id of the path's parent segment (``None`` for roots) — so a
+    span file cannot claim a hierarchy its paths do not encode.
+    """
+    if not isinstance(record, dict):
+        raise SchemaError(f"{where}: not a JSON object")
+    if record.get("schema") != SPAN_SCHEMA:
+        raise SchemaError(
+            f"{where}: schema {record.get('schema')!r} != {SPAN_SCHEMA!r}"
+        )
+    path = record.get("path")
+    if not isinstance(path, str) or not path or path.startswith("/"):
+        raise SchemaError(f"{where}: invalid span path {path!r}")
+    if any(not segment for segment in path.split("/")):
+        raise SchemaError(f"{where}: empty segment in path {path!r}")
+    name = record.get("name")
+    if name != path.rsplit("/", 1)[-1]:
+        raise SchemaError(
+            f"{where}: name {name!r} is not the last path segment"
+        )
+    if record.get("kind") not in SPAN_KINDS:
+        raise SchemaError(
+            f"{where}: kind {record.get('kind')!r} not in {SPAN_KINDS}"
+        )
+    seed = record.get("seed")
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise SchemaError(f"{where}: seed must be an int")
+    identifier = record.get("id")
+    if not isinstance(identifier, str) or not _SPAN_ID_RE.match(identifier):
+        raise SchemaError(f"{where}: malformed id {identifier!r}")
+    if identifier != span_id(seed, path):
+        raise SchemaError(
+            f"{where}: id {identifier!r} != sha256({seed}:{path!r})"
+        )
+    parent = record.get("parent")
+    if "/" in path:
+        expected = span_id(seed, path.rsplit("/", 1)[0])
+        if parent != expected:
+            raise SchemaError(
+                f"{where}: parent {parent!r} != id of parent path"
+            )
+    elif parent is not None:
+        raise SchemaError(f"{where}: root span has parent {parent!r}")
+    if not isinstance(record.get("attrs"), dict):
+        raise SchemaError(f"{where}: `attrs` must be an object")
+    observations = record.get("observations")
+    if not isinstance(observations, dict):
+        raise SchemaError(f"{where}: `observations` must be an object")
+    for obs_name, stats in observations.items():
+        owhere = f"{where}.observations[{obs_name!r}]"
+        if not isinstance(stats, dict):
+            raise SchemaError(f"{owhere}: not an object")
+        if set(stats) != {"count", "sum", "min", "max"}:
+            raise SchemaError(
+                f"{owhere}: fields {sorted(stats)} != "
+                "['count', 'max', 'min', 'sum']"
+            )
+        count = stats["count"]
+        if isinstance(count, bool) or not isinstance(count, int) or count < 1:
+            raise SchemaError(f"{owhere}: count must be a positive int")
+        for field in ("sum", "min", "max"):
+            value = stats[field]
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ) or not math.isfinite(value):
+                raise SchemaError(
+                    f"{owhere}: {field} must be a finite number"
+                )
+        if stats["min"] > stats["max"]:
+            raise SchemaError(f"{owhere}: min exceeds max")
+    extras = set(record) - {
+        "schema", "id", "parent", "kind", "name", "path", "seed",
+        "attrs", "observations",
+    }
+    if extras:
+        raise SchemaError(f"{where}: unexpected fields {sorted(extras)}")
+    return path
+
+
+def validate_span_file(path: str | Path) -> SpanStats:
+    """Validate a merged span JSONL export.
+
+    Beyond per-record checks this enforces the canonical file shape:
+    strictly increasing path order (which also rules out duplicates)
+    and that every non-root span's parent path is present in the file.
+    """
+    paths: list[str] = []
+    roots = 0
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                raise SchemaError(f"line {lineno}: blank line in span file")
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(
+                    f"line {lineno}: invalid JSON: {exc}"
+                ) from exc
+            span_path = validate_span_record(record, where=f"line {lineno}")
+            if paths and span_path <= paths[-1]:
+                raise SchemaError(
+                    f"line {lineno}: paths out of order ({span_path!r} "
+                    f"after {paths[-1]!r})"
+                )
+            paths.append(span_path)
+            if "/" not in span_path:
+                roots += 1
+    if not paths:
+        raise SchemaError("span file contains no records")
+    known = set(paths)
+    for span_path in paths:
+        if "/" in span_path:
+            parent = span_path.rsplit("/", 1)[0]
+            if parent not in known:
+                raise SchemaError(
+                    f"span {span_path!r}: parent path {parent!r} missing"
+                )
+    return SpanStats(spans=len(paths), roots=roots)
+
+
+# ----------------------------------------------------------------------
+# Progress heartbeats
+# ----------------------------------------------------------------------
+def validate_heartbeat(payload: object) -> None:
+    """Validate one progress heartbeat payload."""
+    if not isinstance(payload, dict):
+        raise SchemaError("heartbeat: not a JSON object")
+    if payload.get("schema") != PROGRESS_SCHEMA:
+        raise SchemaError(
+            f"heartbeat: schema {payload.get('schema')!r} != "
+            f"{PROGRESS_SCHEMA!r}"
+        )
+    for field in ("total", "done", "failed", "in_flight", "retried"):
+        value = payload.get(field)
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise SchemaError(
+                f"heartbeat: {field} must be a non-negative int"
+            )
+    elapsed = payload.get("elapsed_seconds")
+    if not isinstance(elapsed, (int, float)) or isinstance(elapsed, bool) \
+            or not math.isfinite(elapsed) or elapsed < 0:
+        raise SchemaError(
+            "heartbeat: elapsed_seconds must be a finite non-negative number"
+        )
+    eta = payload.get("eta_seconds")
+    if eta is not None and (
+        isinstance(eta, bool)
+        or not isinstance(eta, (int, float))
+        or not math.isfinite(eta)
+        or eta < 0
+    ):
+        raise SchemaError(
+            "heartbeat: eta_seconds must be null or a finite "
+            "non-negative number"
+        )
+    if int(payload["done"]) + int(payload["failed"]) > int(payload["total"]):
+        raise SchemaError("heartbeat: done + failed exceeds total")
+    counters = payload.get("counters")
+    if not isinstance(counters, dict):
+        raise SchemaError("heartbeat: `counters` must be an object")
+    for name, value in counters.items():
+        if not isinstance(name, str) or not _METRIC_NAME_RE.match(name):
+            raise SchemaError(f"heartbeat: invalid counter name {name!r}")
+        if isinstance(value, bool) or not isinstance(value, (int, float)) \
+                or not math.isfinite(value):
+            raise SchemaError(
+                f"heartbeat: counter {name!r} must be a finite number"
+            )
+    extras = set(payload) - {
+        "schema", "total", "done", "failed", "in_flight", "retried",
+        "elapsed_seconds", "eta_seconds", "counters",
+    }
+    if extras:
+        raise SchemaError(f"heartbeat: unexpected fields {sorted(extras)}")
 
 
 # ----------------------------------------------------------------------

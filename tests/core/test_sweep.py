@@ -178,11 +178,50 @@ def test_seeded_configs_gives_every_point_its_own_stream():
 
 
 def test_timeout_returns_partial_results():
-    """A deadline of zero reports every point as a timeout failure."""
+    """A deadline of zero cancels every point before its first attempt."""
     points = _points(3)
     outcome = run_sweep(points, workers=0, timeout=0.0)
     assert set(outcome.results) | set(outcome.failures) == {
         p.key for p in points
     }
-    for errors in outcome.failures.values():
-        assert any("timeout" in err for err in errors)
+    # Nothing ever started, so every failure is a pre-start
+    # cancellation (not a timeout) and recorded with zero attempts.
+    assert set(outcome.cancelled) == {p.key for p in points}
+    for key, errors in outcome.failures.items():
+        assert any(err.startswith("cancelled:") for err in errors)
+        assert outcome.attempts[key] == 0
+
+
+def _slow_failing_runner(point, engine):
+    import time as _time
+
+    _time.sleep(0.4)
+    raise RuntimeError(f"slow fault at {point.key}")
+
+
+def test_timeout_distinguishes_started_from_cancelled():
+    """Started-and-overran points say timeout; never-started say cancelled.
+
+    Serial path: the first point starts inside the deadline, burns it,
+    and fails; its retry is then refused with a ``timeout:`` error
+    (the point *ran* — one recorded attempt).  The remaining points
+    never start and are refused with ``cancelled:`` at zero attempts.
+    """
+    points = _points(3)
+    outcome = run_sweep(
+        points,
+        workers=0,
+        chunk_size=3,
+        timeout=0.2,
+        runner=_slow_failing_runner,
+        retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+    )
+    assert set(outcome.failures) == {p.key for p in points}
+    first = outcome.failures["alpha-0"]
+    assert "slow fault" in first[0]
+    assert first[-1].startswith("timeout:")
+    assert outcome.attempts["alpha-0"] == 1
+    assert set(outcome.cancelled) == {"alpha-1", "alpha-2"}
+    for key in outcome.cancelled:
+        assert outcome.attempts[key] == 0
+        assert outcome.failures[key][-1].startswith("cancelled:")

@@ -1,0 +1,158 @@
+"""O502 span/progress-gating rule over the sweep and scheduler loops."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+
+class TestUngatedFlagged:
+    def test_ungated_span_call_in_sweep_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                def run(points, spans):
+                    for point in points:
+                        spans.observe(point)
+                """
+            }
+        )
+        assert rule_ids(report) == ["O502"]
+
+    def test_ungated_progress_update_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                def run(points, progress):
+                    for point in points:
+                        progress.update(done=1)
+                """
+            }
+        )
+        assert rule_ids(report) == ["O502"]
+
+    def test_ungated_tracker_in_simnet_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/idicn/simnet.py": """\
+                def drain(heap, tracker):
+                    while heap:
+                        heap.pop()
+                        tracker.observe("pending", len(heap))
+                """
+            }
+        )
+        assert rule_ids(report) == ["O502"]
+
+    def test_o501_vocabulary_also_covered(self, lint_tree):
+        # O502 is a superset vocabulary: the observer names O501 knows
+        # are hot in the sweep loops too.
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                def run(points, observer):
+                    for point in points:
+                        observer.on_point(point)
+                """
+            }
+        )
+        assert rule_ids(report) == ["O502"]
+
+    def test_unrelated_guard_does_not_gate(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                def run(points, spans, verbose):
+                    for point in points:
+                        if verbose:
+                            spans.observe(point)
+                """
+            }
+        )
+        assert rule_ids(report) == ["O502"]
+
+
+class TestGatedAllowed:
+    def test_is_not_none_gate_allowed(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                def run(points, spans):
+                    for point in points:
+                        if spans is not None:
+                            spans.observe(point)
+                """
+            }
+        )
+        assert rule_ids(report) == []
+
+    def test_outer_gate_covers_inner_loop(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/idicn/simnet.py": """\
+                def drain(batches, span):
+                    for heap in batches:
+                        if span is not None:
+                            while heap:
+                                heap.pop()
+                                span.observe("pending", len(heap))
+                """
+            }
+        )
+        # The inner loop sits under the sink guard: one branch per
+        # batch, not one per event.
+        assert rule_ids(report) == []
+
+    def test_outside_loop_allowed(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                def run(points, progress):
+                    progress.start(total=len(points))
+                    total = 0
+                    for point in points:
+                        total += 1
+                    progress.finish()
+                    return total
+                """
+            }
+        )
+        assert rule_ids(report) == []
+
+    def test_engine_modules_not_double_flagged(self, lint_tree):
+        # O502 anchors on sweep/simnet only; the engine loops stay
+        # O501 territory (span names are not in O501's vocabulary).
+        report = lint_tree(
+            {
+                "src/repro/core/fastpath.py": """\
+                def run(requests, progress):
+                    for i in requests:
+                        progress.update(done=i)
+                """
+            }
+        )
+        assert rule_ids(report) == []
+
+    def test_other_modules_out_of_scope(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/obs/progress.py": """\
+                def render(counters, reporter):
+                    for name in counters:
+                        reporter.update(name)
+                """
+            }
+        )
+        assert rule_ids(report) == []
+
+    def test_inline_suppression_honored(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                def run(points, spans):
+                    for point in points:
+                        spans.observe(point)  # lint: disable=O502 -- traced
+                """
+            }
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 1

@@ -5,12 +5,20 @@ then this script against the output directory::
 
     python tests/obs/check_exports.py /tmp/obs-smoke
 
-It re-validates all three artifacts against the versioned schemas in
+It re-validates all artifacts against the versioned schemas in
 :mod:`repro.obs.schema` — independently of the writer process, so a
 writer bug that bypasses its own inline validation still fails CI —
 and cross-checks that the JSON snapshot and the Prometheus text expose
 the same sample count.  Exit code 0 on success, 1 with a diagnostic on
 any failure.
+
+The same entry point also understands ``sweep-smoke`` output
+directories (``registry.json`` + ``registry.deterministic.json`` +
+``spans.jsonl`` + ``heartbeat.json``): the mode is detected from which
+artifacts are present.  For sweeps it additionally checks that the
+deterministic snapshot really is the full registry minus the
+wall-clock families, that the span file has exactly one root, and that
+the final heartbeat accounts for every point.
 """
 
 from __future__ import annotations
@@ -19,16 +27,19 @@ import json
 import sys
 from pathlib import Path
 
+from repro.core.sweep import WALLCLOCK_METRICS
 from repro.obs import (
     SchemaError,
+    validate_heartbeat,
     validate_prometheus_text,
     validate_registry_snapshot,
+    validate_span_file,
     validate_trace_file,
 )
 
 
 def check_exports(out_dir: Path) -> list[str]:
-    """Validate one export directory; returns human-readable findings."""
+    """Validate one smoke export directory; returns findings."""
     findings: list[str] = []
     registry_path = out_dir / "registry.json"
     prom_path = out_dir / "metrics.prom"
@@ -75,17 +86,102 @@ def check_exports(out_dir: Path) -> list[str]:
     return findings
 
 
+def _family_names(snapshot: dict) -> set[str]:
+    return {family["name"] for family in snapshot.get("metrics", [])}
+
+
+def check_sweep_exports(out_dir: Path) -> list[str]:
+    """Validate one sweep-smoke export directory; returns findings."""
+    findings: list[str] = []
+    registry_path = out_dir / "registry.json"
+    deterministic_path = out_dir / "registry.deterministic.json"
+    spans_path = out_dir / "spans.jsonl"
+    heartbeat_path = out_dir / "heartbeat.json"
+    paths = (registry_path, deterministic_path, spans_path, heartbeat_path)
+    for path in paths:
+        if not path.is_file():
+            findings.append(f"missing artifact: {path.name}")
+    if findings:
+        return findings
+
+    full = deterministic = None
+    try:
+        full = json.loads(registry_path.read_text(encoding="utf-8"))
+        validate_registry_snapshot(full)
+    except (json.JSONDecodeError, SchemaError) as exc:
+        findings.append(f"registry.json: {exc}")
+    try:
+        deterministic = json.loads(
+            deterministic_path.read_text(encoding="utf-8")
+        )
+        validate_registry_snapshot(deterministic)
+    except (json.JSONDecodeError, SchemaError) as exc:
+        findings.append(f"registry.deterministic.json: {exc}")
+    if full is not None and deterministic is not None:
+        stripped = _family_names(deterministic)
+        if stripped & WALLCLOCK_METRICS:
+            findings.append(
+                "registry.deterministic.json: wall-clock families leaked "
+                "into the deterministic snapshot: "
+                f"{sorted(stripped & WALLCLOCK_METRICS)}"
+            )
+        if stripped != _family_names(full) - WALLCLOCK_METRICS:
+            findings.append(
+                "registry.deterministic.json: families are not "
+                "registry.json minus the wall-clock set"
+            )
+
+    try:
+        stats = validate_span_file(spans_path)
+        if stats.roots != 1:
+            findings.append(
+                "spans.jsonl: expected exactly 1 root span, "
+                f"found {stats.roots}"
+            )
+    except SchemaError as exc:
+        findings.append(f"spans.jsonl: {exc}")
+
+    try:
+        heartbeat = json.loads(heartbeat_path.read_text(encoding="utf-8"))
+        validate_heartbeat(heartbeat)
+        total = heartbeat["total"]
+        finished = heartbeat["done"] + heartbeat["failed"]
+        if total == 0:
+            findings.append("heartbeat.json: sweep had no points")
+        elif finished != total:
+            findings.append(
+                "heartbeat.json: final heartbeat accounts for "
+                f"{finished}/{total} points"
+            )
+        if heartbeat["in_flight"] != 0:
+            findings.append(
+                "heartbeat.json: final heartbeat still reports "
+                f"{heartbeat['in_flight']} point(s) in flight"
+            )
+    except (json.JSONDecodeError, SchemaError, KeyError) as exc:
+        findings.append(f"heartbeat.json: {exc!r}")
+    return findings
+
+
 def main(argv: list[str]) -> int:
     """CLI wrapper; prints findings and returns the exit code."""
     if len(argv) != 1:
         print("usage: check_exports.py <export-dir>", file=sys.stderr)
         return 2
-    findings = check_exports(Path(argv[0]))
+    out_dir = Path(argv[0])
+    if (out_dir / "spans.jsonl").is_file() or (
+        out_dir / "heartbeat.json"
+    ).is_file():
+        findings = check_sweep_exports(out_dir)
+        flavour = "sweep exports"
+    else:
+        findings = check_exports(out_dir)
+        flavour = "exports"
     if findings:
         for finding in findings:
             print(f"FAIL: {finding}", file=sys.stderr)
         return 1
-    print(f"exports in {argv[0]} are schema-valid and consistent")
+    print(f"{flavour} in {argv[0]} are schema-valid and consistent")
     return 0
 
 

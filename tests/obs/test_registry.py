@@ -111,3 +111,139 @@ class TestExports:
         reg = MetricsRegistry()
         reg.gauge("repro_odd_gauge").add(math.nan)
         validate_prometheus_text(reg.to_prometheus())
+
+    def test_infinities_render_prometheus_spellings(self):
+        # The text format requires `+Inf`/`-Inf`, not Python's `inf`.
+        reg = MetricsRegistry()
+        reg.gauge("repro_pos_gauge").set(math.inf)
+        reg.gauge("repro_neg_gauge").set(-math.inf)
+        text = reg.to_prometheus()
+        validate_prometheus_text(text)
+        assert "repro_pos_gauge +Inf" in text
+        assert "repro_neg_gauge -Inf" in text
+        assert " inf" not in text and " -inf" not in text
+
+
+class TestHistogramBoundaries:
+    def test_value_equal_to_bound_counts_toward_that_bucket(self):
+        # Prometheus buckets are `le` (<=): an observation exactly on a
+        # bound belongs to that bound's bucket, not the next one up.
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_edge_seconds", buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.cumulative() == [1, 1, 1]
+        h.observe(10.0)
+        assert h.cumulative() == [1, 2, 2]
+
+    def test_above_top_bound_lands_in_inf_bucket_only(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_edge_seconds", buckets=(1.0, 10.0))
+        h.observe(10.0000001)
+        assert h.cumulative() == [0, 0, 1]
+
+    def test_inf_bucket_line_agrees_with_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_edge_seconds", buckets=(1.0,))
+        for v in (0.5, 1.0, 2.0, math.inf):
+            h.observe(v)
+        text = reg.to_prometheus()
+        validate_prometheus_text(text)
+        assert 'repro_edge_seconds_bucket{le="1"} 2' in text
+        assert 'repro_edge_seconds_bucket{le="+Inf"} 4' in text
+        assert "repro_edge_seconds_count 4" in text
+
+
+class TestMerge:
+    def _shard(self, requests: float, phase: float) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.inc("repro_requests_total", requests, architecture="EDGE")
+        reg.gauge("repro_phase_seconds", phase="sim").set(phase)
+        h = reg.histogram("repro_span_seconds", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        return reg
+
+    def test_counters_sum(self):
+        parent = self._shard(3.0, 0.1)
+        parent.merge(self._shard(4.0, 0.2))
+        assert (
+            parent.value("repro_requests_total", architecture="EDGE") == 7.0
+        )
+
+    def test_gauges_last_writer_wins(self):
+        parent = self._shard(1.0, 0.1)
+        parent.merge(self._shard(1.0, 0.9))
+        assert parent.value("repro_phase_seconds", phase="sim") == 0.9
+
+    def test_histograms_add_per_bucket(self):
+        parent = self._shard(1.0, 0.1)
+        parent.merge(self._shard(1.0, 0.1))
+        h = parent.histogram("repro_span_seconds", buckets=(1.0, 10.0))
+        assert h.cumulative() == [2, 4, 4]
+        assert h.sum == pytest.approx(11.0)
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        parent = MetricsRegistry()
+        parent.histogram("repro_span_seconds", buckets=(1.0, 10.0))
+        other = MetricsRegistry()
+        other.histogram("repro_span_seconds", buckets=(2.0, 20.0))
+        with pytest.raises(ValueError, match="buckets"):
+            parent.merge(other)
+
+    def test_merge_order_invisible_for_counters_and_histograms(self):
+        shards = [self._shard(float(n), 0.0) for n in range(1, 4)]
+        forward = MetricsRegistry()
+        for shard in shards:
+            forward.merge(shard)
+        backward = MetricsRegistry()
+        for shard in reversed(shards):
+            backward.merge(shard)
+        assert forward.to_json() == backward.to_json()
+
+    def test_merge_accepts_snapshot_dict(self):
+        parent = MetricsRegistry()
+        parent.merge(self._shard(5.0, 0.3).snapshot())
+        assert (
+            parent.value("repro_requests_total", architecture="EDGE") == 5.0
+        )
+
+    def test_type_conflict_rejected_on_merge(self):
+        parent = MetricsRegistry()
+        parent.counter("repro_thing_total")
+        other = MetricsRegistry()
+        other.gauge("repro_thing_total").set(1.0)
+        with pytest.raises(ValueError):
+            parent.merge(other)
+
+    def test_preregistered_help_wins(self):
+        parent = MetricsRegistry()
+        parent.counter("repro_requests_total", help="parent help")
+        shard = MetricsRegistry()
+        shard.counter("repro_requests_total", help="shard help").inc(2.0)
+        parent.merge(shard)
+        families = {
+            f["name"]: f for f in parent.snapshot()["metrics"]
+        }
+        assert families["repro_requests_total"]["help"] == "parent help"
+
+    def test_from_snapshot_roundtrip_is_byte_identical(self):
+        reg = self._shard(7.0, 0.4)
+        # Exercise the +Inf bucket so the cumulative differencing covers
+        # the implicit tail too.
+        reg.histogram("repro_span_seconds", buckets=(1.0, 10.0)).observe(
+            99.0
+        )
+        rebuilt = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert rebuilt.to_json() == reg.to_json()
+
+    def test_from_snapshot_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            MetricsRegistry.from_snapshot({"schema": "nope", "metrics": []})
+
+    def test_totals_sums_counters_only(self):
+        reg = self._shard(2.0, 0.1)
+        reg.inc("repro_requests_total", 3.0, architecture="ICN-NR")
+        totals = reg.totals()
+        assert totals == {"repro_requests_total": 5.0}
+        assert "repro_phase_seconds" not in totals
+        assert "repro_span_seconds" not in totals

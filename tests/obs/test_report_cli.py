@@ -77,6 +77,104 @@ class TestCheckExports:
         assert any("trace.jsonl" in f for f in findings)
 
 
+@pytest.fixture(scope="module")
+def sweep_dir(tmp_path_factory):
+    """One shared small sweep-smoke run through the CLI."""
+    out = tmp_path_factory.mktemp("obs-sweep")
+    code = main(
+        [
+            "sweep-smoke", "--out", str(out), "--points", "3",
+            "--requests", "1200", "--objects", "60", "--workers", "2",
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestSweepSmoke:
+    def test_writes_all_four_artifacts(self, sweep_dir):
+        for name in (
+            "registry.json", "registry.deterministic.json",
+            "spans.jsonl", "heartbeat.json",
+        ):
+            assert (sweep_dir / name).is_file(), name
+
+    def test_clean_sweep_exports_pass(self, sweep_dir):
+        from .check_exports import check_sweep_exports
+
+        assert check_sweep_exports(sweep_dir) == []
+
+    def test_unfinished_heartbeat_reported(self, sweep_dir, tmp_path):
+        from .check_exports import check_sweep_exports
+
+        broken = tmp_path / "broken"
+        broken.mkdir()
+        for name in (
+            "registry.json", "registry.deterministic.json", "spans.jsonl"
+        ):
+            (broken / name).write_text(
+                (sweep_dir / name).read_text(), encoding="utf-8"
+            )
+        heartbeat = json.loads((sweep_dir / "heartbeat.json").read_text())
+        heartbeat["done"] -= 1
+        (broken / "heartbeat.json").write_text(
+            json.dumps(heartbeat), encoding="utf-8"
+        )
+        findings = check_sweep_exports(broken)
+        assert any("accounts for 2/3" in f for f in findings)
+
+    def test_wallclock_leak_reported(self, sweep_dir, tmp_path):
+        from .check_exports import check_sweep_exports
+
+        broken = tmp_path / "leak"
+        broken.mkdir()
+        for name in ("registry.json", "spans.jsonl", "heartbeat.json"):
+            (broken / name).write_text(
+                (sweep_dir / name).read_text(), encoding="utf-8"
+            )
+        # "Deterministic" twin that still carries wall-clock families.
+        (broken / "registry.deterministic.json").write_text(
+            (sweep_dir / "registry.json").read_text(), encoding="utf-8"
+        )
+        findings = check_sweep_exports(broken)
+        assert any("wall-clock families leaked" in f for f in findings)
+
+    def test_watch_renders_final_heartbeat(self, sweep_dir, capsys):
+        assert main(["watch", str(sweep_dir / "heartbeat.json")]) == 0
+        rendered = capsys.readouterr().out
+        assert "3/3 points" in rendered
+
+    def test_watch_missing_file_fails(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path / "absent.json")]) == 1
+        assert "no heartbeat" in capsys.readouterr().err
+
+
+class TestBenchDiffCli:
+    def _write(self, path, **numbers):
+        report = {"schema": "bench_core/v1", "scale": 0.2}
+        report.update(numbers)
+        path.write_text(json.dumps(report), encoding="utf-8")
+        return path
+
+    def test_ok_and_regressed_exits(self, tmp_path, capsys):
+        base = self._write(
+            tmp_path / "base.json", figure6={"fast_seconds": 2.0}
+        )
+        same = self._write(
+            tmp_path / "same.json", figure6={"fast_seconds": 2.0}
+        )
+        worse = self._write(
+            tmp_path / "worse.json", figure6={"fast_seconds": 3.0}
+        )
+        assert main(["bench-diff", str(base), str(same)]) == 0
+        assert "bench-diff: OK" in capsys.readouterr().out
+        assert (
+            main(["bench-diff", str(base), str(worse), "--fail-over", "10"])
+            == 1
+        )
+        assert "REGRESSED" in capsys.readouterr().out
+
+
 class TestParserAndRender:
     def test_parser_requires_subcommand(self):
         with pytest.raises(SystemExit):
