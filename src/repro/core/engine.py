@@ -41,6 +41,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: :class:`SimulationResult` objects (pinned by the differential suite).
 ENGINES = ("reference", "fast")
 
+#: Pinned seed for the probabilistic-insertion coin flips.  Deliberately
+#: a fixed algorithmic constant, independent of the experiment seed: the
+#: insertion stream must be identical across engines and runs for the
+#: differential suite's field-for-field equality.  ``core/fastpath.py``
+#: pins the same value.
+_INSERT_SEED = 0xC0FFEE
+
 
 class Simulator:
     """Runs one architecture over one workload on one network."""
@@ -193,7 +200,7 @@ class Simulator:
         insert = self._insert
         insertion = self.architecture.insertion
         insert_probability = self.architecture.insertion_probability
-        insert_rng = np.random.default_rng(0xC0FFEE)
+        insert_rng = np.random.default_rng(_INSERT_SEED)
 
         failed = self._failed
         observer = self.observer

@@ -46,6 +46,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
 
 __all__ = ["FastEngine", "fast_no_cache"]
 
+#: Pinned seed for the probabilistic-insertion coin flips — must stay
+#: identical to ``repro.core.engine._INSERT_SEED`` (duplicated rather
+#: than imported to keep the runtime import DAG acyclic); the
+#: differential suite pins the engines' streams to each other.
+_INSERT_SEED = 0xC0FFEE
+
 
 class FastEngine:
     """One-shot fast executor for a configured :class:`Simulator`.
@@ -228,7 +234,7 @@ class FastEngine:
         ins_everywhere = insertion == "everywhere"
         ins_lcd = insertion == "lcd"
         insert_probability = arch.insertion_probability
-        insert_random = np.random.default_rng(0xC0FFEE).random
+        insert_random = np.random.default_rng(_INSERT_SEED).random
 
         # Policy flags for the membership-first hot path: misses need no
         # struct call at all; hits refresh recency inline (LRU), bump a

@@ -98,7 +98,7 @@ class FaultPlane:
         self.net = net
         self.seed = seed
         #: Optional metrics sink: every injected fault also increments
-        #: ``repro_fault_injections_total{kind}``.  Observation draws
+        #: ``repro_fault_injections_total{kind,target}``.  Observation draws
         #: nothing from the PRNG, so the event signature is unchanged.
         self.registry = registry
         self._rng = np.random.default_rng(seed)
@@ -237,9 +237,15 @@ class FaultPlane:
     # ------------------------------------------------------------------
     def _log(self, net: SimNet, kind: str, src: Host, dst: Host, port: int) -> None:
         if self.registry is not None:
-            self.registry.inc(
-                "repro_fault_injections_total", kind=kind, target=dst.name
-            )
+            # Registered-at-observe with help text so merged registries
+            # carry the family schema (lint rule M901); target hosts are
+            # not known up front, so __init__ cannot pre-register.
+            self.registry.counter(
+                "repro_fault_injections_total",
+                help="faults injected by the fault plane",
+                kind=kind,
+                target=dst.name,
+            ).inc()
         self.events.append(
             FaultEvent(
                 seq=len(self.events),

@@ -14,11 +14,29 @@ for knobs it already knows about:
 * **cache conformance** (C3xx) — every policy implements the full
   ``Cache`` interface and has a registered fast-struct twin;
 * **order stability** (O4xx) — no unordered iteration or ``popitem`` in
-  the engine hot modules.
+  the engine hot modules;
+* **observability gating** (O5xx) — sink touches in the hot loops stay
+  behind their zero-overhead guards;
+* **seed flow** (S7xx) — whole-program: every generator's seed traces
+  to a SeedSequence/seeded-config lineage, never to ambient entropy or
+  a literal smuggled into an already-seeded call chain;
+* **worker safety** (W8xx) — whole-program: everything reachable from
+  the sweep's worker dispatch is picklable, writes no module-level
+  state, and captures no open handles or locks;
+* **metrics contract** (M9xx) — whole-program: observed metric families
+  are registered with help text, label sets stay consistent, wall-clock
+  values stay on the allow-list, schema versions stay named constants.
 
-Run as ``python -m repro.lint [paths]`` (text or ``--format json``),
-or through :func:`lint_paths` from tests.  Findings are silenced with
-inline ``# lint: disable=<rule>`` comments next to a justification.
+The whole-program families run on a module/call graph and a shared
+data-flow engine (``repro.lint.graph``, ``repro.lint.dataflow``) built
+once per run over every collected ``repro.*`` module.
+
+Run as ``python -m repro.lint [paths]`` (text, ``--format json``, or
+``--format github`` for CI annotations), or through :func:`lint_paths`
+from tests.  Findings are silenced with inline
+``# lint: disable=<rule>`` comments next to a justification; the
+comments themselves are linted (unknown ids are ``E998``, and
+``--strict`` reports entries that matched nothing as ``E997``).
 See DESIGN.md, "Static analysis & determinism contract".
 """
 

@@ -32,9 +32,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help=(
+            "output format (default: text); `github` emits GitHub "
+            "Actions ::error/::warning annotations"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -49,7 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--strict",
         action="store_true",
-        help="treat warnings as failures (exit 1)",
+        help=(
+            "treat warnings as failures (exit 1) and report "
+            "suppression comments that matched nothing (E997)"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -79,12 +85,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.paths,
             select=_split_ids(args.select),
             ignore=_split_ids(args.ignore),
+            strict=args.strict,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
         print(report.render_json())
+    elif args.format == "github":
+        print(report.render_github())
     else:
         print(report.render_text())
     return report.exit_code(strict=args.strict)

@@ -144,3 +144,33 @@ class Report:
             f"{self.suppressed} suppressed"
         )
         return "\n".join(lines)
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow commands: one annotation per finding.
+
+        ``::error file=...,line=...,col=...,title=ID::message`` rows
+        annotate the PR diff inline when emitted from a workflow step;
+        columns are 1-based in the annotation UI.  A plain summary line
+        follows (GitHub ignores lines without the ``::`` prefix).
+        """
+        lines = []
+        for diagnostic in self.sorted_diagnostics():
+            level = (
+                "error"
+                if diagnostic.effective_severity is Severity.ERROR
+                else "warning"
+            )
+            message = diagnostic.message.replace("%", "%25").replace(
+                "\n", "%0A"
+            )
+            lines.append(
+                f"::{level} file={diagnostic.path},line={diagnostic.line},"
+                f"col={diagnostic.col + 1},title={diagnostic.rule.id}"
+                f"::{message}"
+            )
+        lines.append(
+            f"{self.files_checked} file(s) checked: "
+            f"{self.errors} error(s), {self.warnings} warning(s), "
+            f"{self.suppressed} suppressed"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,577 @@
+"""Whole-program model for repro.lint: modules, symbols, and calls.
+
+The per-file rule families see one tree at a time; the cross-module
+families (seed-flow S7xx, worker-safety W8xx, metrics-contract M9xx)
+need to answer questions that span files: *who calls this function*,
+*which module-level constant does this name resolve to*, *what type is
+this local*.  This module builds that picture once per lint run:
+
+* :class:`ModuleGraph` — every collected ``repro.*`` module with its
+  import map (absolute *and* relative imports resolved to dotted
+  targets), its module-level constants, classes, and functions;
+* :class:`FunctionInfo` — one function or method, with its qualified
+  name (``repro.core.sweep:_run_chunk``), parameters, defaults, and
+  enclosing class/function;
+* :class:`CallGraph` — resolved call edges between known functions,
+  with the actual :class:`ast.Call` sites preserved so data-flow
+  queries can map caller arguments onto callee parameters.  Resolution
+  covers plain calls, ``module.attr`` calls, ``self.method()``,
+  constructor calls (``Simulator(...)`` → ``Simulator.__init__``),
+  one-level local type inference (``sim = Simulator(...); sim.run()``),
+  and ``functools.partial`` bindings.
+
+Everything here is a static over-approximation: unresolvable calls are
+recorded by dotted name (when one exists) and otherwise dropped, which
+is the safe direction for the reachability-style rules built on top.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .astutil import dotted
+
+
+def _resolve_relative(module: str, level: int, target: str | None) -> str | None:
+    """Absolute dotted module for a ``from ...x import y`` statement.
+
+    ``module`` is the importing module's dotted name.  Level 1 means
+    "the importing module's package", so ``from .retry import X`` inside
+    ``repro.idicn.faults`` resolves against ``repro.idicn``.
+    """
+    parts = module.split(".")
+    # Dropping `level` trailing components from the module name yields
+    # the base package (the module's own last component counts as one).
+    if level > len(parts):
+        return None
+    base = parts[: len(parts) - level]
+    if target:
+        base = base + target.split(".")
+    return ".".join(base) if base else None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the analyzed program."""
+
+    module: str
+    qualname: str  # e.g. "run_sweep", "Simulator.__init__", "outer.<locals>.inner"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    path: str
+    #: Name of the class this is a method of, if any.
+    owner_class: str | None = None
+    #: Qualname of the enclosing function for nested defs, if any.
+    parent_function: str | None = None
+
+    @property
+    def key(self) -> str:
+        """Program-wide identity: ``module:qualname``."""
+        return f"{self.module}:{self.qualname}"
+
+    @property
+    def is_toplevel(self) -> bool:
+        """Whether this is a plain module-level function (picklable)."""
+        return self.owner_class is None and self.parent_function is None
+
+    def params(self) -> list[ast.arg]:
+        """Positional + keyword-only parameters, ``self``/``cls`` dropped."""
+        args = self.node.args
+        out = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        if self.owner_class is not None and out and out[0].arg in ("self", "cls"):
+            out = out[1:]
+        return out
+
+    def param_names(self) -> set[str]:
+        """Every parameter name, including ``self`` and star-args."""
+        args = self.node.args
+        names = {
+            a.arg
+            for a in args.posonlyargs + args.args + args.kwonlyargs
+        }
+        if args.vararg is not None:
+            names.add(args.vararg.arg)
+        if args.kwarg is not None:
+            names.add(args.kwarg.arg)
+        return names
+
+    def default_for(self, name: str) -> ast.expr | None:
+        """The default-value expression for parameter ``name``, if any."""
+        args = self.node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        # Defaults right-align against the positional parameters.
+        offset = len(positional) - len(args.defaults)
+        for index, arg in enumerate(positional):
+            if arg.arg == name and index >= offset:
+                return args.defaults[index - offset]
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if arg.arg == name and default is not None:
+                return default
+        return None
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table for one module."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    #: Local alias -> absolute dotted target (relative imports resolved).
+    imports: dict[str, str] = field(default_factory=dict)
+    #: Module-level NAME = <expr> assignments (last assignment wins).
+    constants: dict[str, ast.expr] = field(default_factory=dict)
+    #: Top-level class name -> ClassDef.
+    classes: dict[str, ast.ClassDef] = field(default_factory=dict)
+    #: qualname -> FunctionInfo for every def in the module (any depth).
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+class ModuleGraph:
+    """Every analyzed module, with cross-module symbol resolution."""
+
+    def __init__(self, modules: dict[str, tuple[str, ast.Module]]):
+        """``modules`` maps dotted module name -> (display path, tree)."""
+        names = set(modules)
+        self.modules: dict[str, ModuleInfo] = {}
+        for name, (path, tree) in modules.items():
+            # A package __init__ keeps the package's own dotted name, so
+            # its level-1 relative imports resolve against *itself*, not
+            # its parent.  Detect packages by path or by known submodules.
+            is_package = str(path).endswith("__init__.py") or any(
+                other.startswith(name + ".") for other in names
+            )
+            self.modules[name] = self._index_module(
+                name, path, tree, is_package
+            )
+        #: key -> FunctionInfo over the whole program.
+        self.functions: dict[str, FunctionInfo] = {}
+        for info in self.modules.values():
+            for function in info.functions.values():
+                self.functions[function.key] = function
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def _index_module(
+        self, name: str, path: str, tree: ast.Module, is_package: bool = False
+    ) -> ModuleInfo:
+        info = ModuleInfo(name=name, path=path, tree=tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    info.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0:
+                    base = node.module
+                else:
+                    level = node.level - 1 if is_package else node.level
+                    base = _resolve_relative(name, level, node.module)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    info.imports[local] = f"{base}.{alias.name}"
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        info.constants[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    info.constants[stmt.target.id] = stmt.value
+            elif isinstance(stmt, ast.ClassDef):
+                info.classes[stmt.name] = stmt
+        self._index_functions(info, tree.body, prefix="", owner=None, parent=None)
+        return info
+
+    def _index_functions(
+        self,
+        info: ModuleInfo,
+        body: list[ast.stmt],
+        prefix: str,
+        owner: str | None,
+        parent: str | None,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{stmt.name}"
+                function = FunctionInfo(
+                    module=info.name,
+                    qualname=qualname,
+                    node=stmt,
+                    path=info.path,
+                    owner_class=owner,
+                    parent_function=parent,
+                )
+                info.functions[qualname] = function
+                self._index_functions(
+                    info,
+                    stmt.body,
+                    prefix=f"{qualname}.<locals>.",
+                    owner=None,
+                    parent=qualname,
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_functions(
+                    info,
+                    stmt.body,
+                    prefix=f"{prefix}{stmt.name}.",
+                    owner=f"{prefix}{stmt.name}",
+                    parent=parent,
+                )
+            elif isinstance(stmt, (ast.If, ast.Try, ast.With, ast.For, ast.While)):
+                # defs behind guards (TYPE_CHECKING, platform ifs) count.
+                inner: list[ast.stmt] = []
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, ast.stmt):
+                        inner.append(child)
+                if isinstance(stmt, ast.Try):
+                    for handler in stmt.handlers:
+                        inner.extend(handler.body)
+                self._index_functions(info, inner, prefix, owner, parent)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve_name(self, module: str, name: str) -> str | None:
+        """Absolute dotted target of ``name`` as seen from ``module``.
+
+        ``a.b.c`` resolves its head through the module's imports; a head
+        that is neither imported nor a module-level symbol resolves to
+        itself (builtins, stdlib module names used bare).
+        """
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        head, _, rest = name.partition(".")
+        target = info.imports.get(head)
+        if target is None:
+            if head in info.functions or head in info.classes or head in info.constants:
+                target = f"{module}.{head}"
+            else:
+                target = head
+        return f"{target}.{rest}" if rest else target
+
+    def function_at(self, dotted_name: str) -> FunctionInfo | None:
+        """The FunctionInfo a fully-resolved dotted name points at.
+
+        Tries the longest module prefix: ``repro.core.sweep.run_sweep``
+        splits into module ``repro.core.sweep`` + qualname ``run_sweep``;
+        re-exports (``repro.cache.LRUCache``) chase the import chain of
+        the package ``__init__``.  A prefix whose next component is a
+        known *non-function* symbol (class, constant) settles the lookup
+        as "not a function" — without that stop, a package re-exporting
+        a symbol that shares its own name (``topology.topology``) makes
+        the chased name grow forever.
+        """
+        seen: set[str] = set()
+        for _ in range(32):  # hop cap backstop for pathological chains
+            if dotted_name in seen:
+                return None
+            seen.add(dotted_name)
+            parts = dotted_name.split(".")
+            for split in range(len(parts) - 1, 0, -1):
+                module = ".".join(parts[:split])
+                info = self.modules.get(module)
+                if info is None:
+                    continue
+                qualname = ".".join(parts[split:])
+                if qualname in info.functions:
+                    return info.functions[qualname]
+                head = parts[split]
+                # Re-export: the name is imported into this module from
+                # elsewhere; chase one link and retry.
+                if head in info.imports:
+                    rest = parts[split + 1 :]
+                    dotted_name = ".".join([info.imports[head]] + rest)
+                    break
+                if head in info.classes or head in info.constants:
+                    return None
+            else:
+                return None
+        return None
+
+    def class_at(self, dotted_name: str) -> tuple[str, ast.ClassDef] | None:
+        """(module, ClassDef) for a fully-resolved dotted class name."""
+        seen: set[str] = set()
+        while dotted_name not in seen:
+            seen.add(dotted_name)
+            module, _, cls = dotted_name.rpartition(".")
+            info = self.modules.get(module)
+            if info is None:
+                return None
+            if cls in info.classes:
+                return module, info.classes[cls]
+            if cls in info.imports:
+                dotted_name = info.imports[cls]
+                continue
+            return None
+        return None
+
+    def constant_value(self, module: str, name: str) -> object | None:
+        """Literal value of a module-level constant, through imports.
+
+        Resolves string/number constants and frozensets/tuples/sets of
+        constants; returns None when the name does not resolve to a
+        module-level literal anywhere in the graph.
+        """
+        resolved = self.resolve_name(module, name)
+        if resolved is None:
+            return None
+        seen: set[str] = set()
+        while resolved not in seen:
+            seen.add(resolved)
+            owner, _, const = resolved.rpartition(".")
+            info = self.modules.get(owner)
+            if info is None:
+                return None
+            if const in info.constants:
+                return _literal_value(info.constants[const])
+            if const in info.imports:
+                resolved = info.imports[const]
+                continue
+            return None
+        return None
+
+    def string_of(self, module: str, expr: ast.expr) -> str | None:
+        """The static string value of an expression, if determinable."""
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return expr.value
+        name = dotted(expr)
+        if name is not None:
+            value = self.constant_value(module, name)
+            if isinstance(value, str):
+                return value
+        return None
+
+
+def _literal_value(expr: ast.expr) -> object | None:
+    """Evaluate a constant-only expression (strings, numbers, frozenset
+    / set / tuple / list of constants, ``frozenset({...})`` calls)."""
+    if isinstance(expr, ast.Constant):
+        return expr.value
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        items = [_literal_value(e) for e in expr.elts]
+        if any(item is None for item in items):
+            return None
+        return frozenset(items) if isinstance(expr, ast.Set) else tuple(items)
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in ("frozenset", "set", "tuple")
+        and len(expr.args) == 1
+        and not expr.keywords
+    ):
+        inner = _literal_value(expr.args[0])
+        if inner is None:
+            return None
+        return frozenset(inner) if expr.func.id in ("frozenset", "set") else tuple(inner)
+    return None
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge: who calls whom, and the Call node."""
+
+    caller: FunctionInfo
+    callee: FunctionInfo
+    call: ast.Call
+    #: Arguments bound ahead of the call's own, from functools.partial.
+    bound_args: tuple[ast.expr, ...] = ()
+    bound_keywords: tuple[ast.keyword, ...] = ()
+
+
+class CallGraph:
+    """Resolved call edges over a :class:`ModuleGraph`."""
+
+    def __init__(self, graph: ModuleGraph):
+        self.graph = graph
+        #: callee key -> call sites targeting it.
+        self.callers: dict[str, list[CallSite]] = {}
+        #: caller key -> call sites it makes.
+        self.callees: dict[str, list[CallSite]] = {}
+        #: caller key -> dotted names of calls that did not resolve.
+        self.external_calls: dict[str, list[tuple[str, ast.Call]]] = {}
+        for function in graph.functions.values():
+            self._index_function(function)
+
+    def _index_function(self, function: FunctionInfo) -> None:
+        local_types = self._infer_local_types(function)
+        partials = self._collect_partials(function)
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = self._resolve_call(function, node, local_types, partials)
+            if resolved is None:
+                name = dotted(node.func)
+                if name is not None:
+                    full = self.graph.resolve_name(function.module, name)
+                    self.external_calls.setdefault(function.key, []).append(
+                        (full or name, node)
+                    )
+                continue
+            callee, bound_args, bound_keywords = resolved
+            site = CallSite(
+                caller=function,
+                callee=callee,
+                call=node,
+                bound_args=tuple(bound_args),
+                bound_keywords=tuple(bound_keywords),
+            )
+            self.callers.setdefault(callee.key, []).append(site)
+            self.callees.setdefault(function.key, []).append(site)
+
+    def _infer_local_types(
+        self, function: FunctionInfo
+    ) -> dict[str, tuple[str, ast.ClassDef]]:
+        """Locals assigned from a known constructor call -> their class."""
+        types: dict[str, tuple[str, ast.ClassDef]] = {}
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            name = dotted(node.value.func)
+            if name is None:
+                continue
+            full = self.graph.resolve_name(function.module, name)
+            if full is None:
+                continue
+            found = self.graph.class_at(full)
+            if found is not None:
+                types[target.id] = found
+        return types
+
+    def _collect_partials(
+        self, function: FunctionInfo
+    ) -> dict[str, tuple[FunctionInfo, list[ast.expr], list[ast.keyword]]]:
+        """Locals bound via ``functools.partial(known_fn, ...)``."""
+        partials: dict[
+            str, tuple[FunctionInfo, list[ast.expr], list[ast.keyword]]
+        ] = {}
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call) or not value.args:
+                continue
+            func_name = dotted(value.func)
+            if func_name is None:
+                continue
+            full = self.graph.resolve_name(function.module, func_name)
+            if full not in ("functools.partial", "partial"):
+                continue
+            inner = dotted(value.args[0])
+            if inner is None:
+                continue
+            inner_full = self.graph.resolve_name(function.module, inner)
+            if inner_full is None:
+                continue
+            callee = self.graph.function_at(inner_full)
+            if callee is not None:
+                partials[target.id] = (
+                    callee, list(value.args[1:]), list(value.keywords)
+                )
+        return partials
+
+    def _resolve_call(
+        self,
+        function: FunctionInfo,
+        node: ast.Call,
+        local_types: dict[str, tuple[str, ast.ClassDef]],
+        partials: dict[str, tuple[FunctionInfo, list[ast.expr], list[ast.keyword]]],
+    ) -> tuple[FunctionInfo, list[ast.expr], list[ast.keyword]] | None:
+        func = node.func
+        # partial-bound local invoked: g(...) where g = partial(f, a).
+        if isinstance(func, ast.Name) and func.id in partials:
+            callee, bound, bound_kw = partials[func.id]
+            return callee, bound, bound_kw
+        # self.method() / cls.method().
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+            and function.owner_class is not None
+        ):
+            info = self.graph.modules.get(function.module)
+            if info is not None:
+                qualname = f"{function.owner_class}.{func.attr}"
+                method = info.functions.get(qualname)
+                if method is not None:
+                    return method, [], []
+            return None
+        # local.method() with an inferred constructor type, and
+        # ClassName(...).method() chained construction.
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            found: tuple[str, ast.ClassDef] | None = None
+            if isinstance(base, ast.Name) and base.id in local_types:
+                found = local_types[base.id]
+            elif isinstance(base, ast.Call):
+                base_name = dotted(base.func)
+                if base_name is not None:
+                    full = self.graph.resolve_name(function.module, base_name)
+                    if full is not None:
+                        found = self.graph.class_at(full)
+            if found is not None:
+                cls_module, cls_node = found
+                info = self.graph.modules.get(cls_module)
+                if info is not None:
+                    method = info.functions.get(f"{cls_node.name}.{func.attr}")
+                    if method is not None:
+                        return method, [], []
+                return None
+        # Plain and dotted calls, through imports and re-exports.
+        name = dotted(func)
+        if name is None:
+            return None
+        # Nested function called from its enclosing scope.
+        info = self.graph.modules.get(function.module)
+        if info is not None and "." not in name:
+            nested = info.functions.get(f"{function.qualname}.<locals>.{name}")
+            if nested is not None:
+                return nested, [], []
+        full = self.graph.resolve_name(function.module, name)
+        if full is None:
+            return None
+        callee = self.graph.function_at(full)
+        if callee is not None:
+            return callee, [], []
+        # Constructor call: Simulator(...) -> Simulator.__init__.
+        found_cls = self.graph.class_at(full)
+        if found_cls is not None:
+            cls_module, cls_node = found_cls
+            info = self.graph.modules.get(cls_module)
+            if info is not None:
+                init = info.functions.get(f"{cls_node.name}.__init__")
+                if init is not None:
+                    return init, [], []
+        return None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def reachable_from(self, roots: list[FunctionInfo]) -> list[FunctionInfo]:
+        """Call-graph closure from ``roots`` (roots included), stable order."""
+        seen: dict[str, FunctionInfo] = {}
+        frontier = list(roots)
+        while frontier:
+            function = frontier.pop()
+            if function.key in seen:
+                continue
+            seen[function.key] = function
+            for site in self.callees.get(function.key, ()):
+                if site.callee.key not in seen:
+                    frontier.append(site.callee)
+        return [seen[key] for key in sorted(seen)]

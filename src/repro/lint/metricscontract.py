@@ -1,0 +1,372 @@
+"""Metrics/schema contract rules (M9xx): the registry stays mergeable.
+
+``MetricsRegistry.merge`` is first-registration-wins and label-set
+driven; a worker shard that observes a family the parent never
+registered, or observes it with a different label set, produces merged
+output that drifts between runs.  These rules pin the contract
+statically, across every module at once:
+
+* ``M901`` — every metric family observed anywhere (``registry.inc``
+  shortcut, or ``counter()/gauge()/histogram()`` access without
+  ``help=``) must be registered with help text somewhere in the
+  program.  Registration may be up-front (``_preregister_*``,
+  component ``__init__``) or at the observing call itself — what
+  matters is that the family's help/label schema exists.
+* ``M902`` — a family's label *names* must be identical at every call
+  site; sites passing dynamic ``**labels`` are skipped (statically
+  unknowable), as are sites whose metric name is not a static string.
+* ``M903`` — wall-clock semantics and schema versions: an observed
+  value that traces to ``time.perf_counter``-style sources must belong
+  to a family listed in ``repro.core.sweep.WALLCLOCK_METRICS`` (so
+  deterministic snapshots strip it), and JSONL schema-version strings
+  (``repro.obs/*/v*``) must be spelled via the ``repro.obs`` module
+  constants, never as inline literals elsewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from . import rules
+from .dataflow import OriginResolver
+from .diagnostics import Diagnostic
+from .graph import CallGraph, FunctionInfo, ModuleGraph
+
+#: Registry factory methods whose first argument names a family.
+FAMILY_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+#: Sample methods that record an observation on a family handle.
+OBSERVE_METHODS = frozenset({"inc", "add", "set", "observe"})
+
+#: Keywords on family calls that are not label names.
+NON_LABEL_KEYWORDS = frozenset({"help", "buckets", "amount"})
+
+#: Call origins that make an observed value wall-clock tainted.
+WALLCLOCK_SOURCES = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.thread_time",
+    }
+)
+
+#: Module holding the wall-clock family allow-list.
+SWEEP_MODULE = "repro.core.sweep"
+WALLCLOCK_CONSTANT = "WALLCLOCK_METRICS"
+
+#: JSONL schema-version strings (``repro.obs/registry/v1`` etc.).
+SCHEMA_LITERAL = re.compile(r"^repro\.obs/[a-z_]+/v\d+$")
+#: Package whose module-level constants may define schema strings.
+SCHEMA_HOME = "repro.obs"
+
+
+@dataclass
+class MetricSite:
+    """One statically-resolvable metric call site."""
+
+    name: str
+    function: FunctionInfo
+    call: ast.Call
+    registers: bool  # has help= (defines the family schema)
+    labels: frozenset[str]
+    dynamic_labels: bool  # **labels present
+    #: Value expression observed at this site, when the site observes.
+    observed_value: ast.expr | None = None
+
+
+def check_metrics(graph: ModuleGraph, callgraph: CallGraph) -> list[Diagnostic]:
+    """Run M901-M903 over every ``repro.*`` module in the program graph."""
+    sites: list[MetricSite] = []
+    for module_name in sorted(graph.modules):
+        if not module_name.startswith("repro"):
+            continue
+        info = graph.modules[module_name]
+        for qualname in sorted(info.functions):
+            sites.extend(_collect_sites(graph, info.functions[qualname]))
+    out = _check_registration(sites)
+    out.extend(_check_label_consistency(sites))
+    out.extend(_check_wallclock(graph, callgraph, sites))
+    out.extend(_check_schema_literals(graph))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Site collection
+# ----------------------------------------------------------------------
+def _family_call_name(
+    graph: ModuleGraph, function: FunctionInfo, call: ast.Call
+) -> str | None:
+    """Static family name of a ``*.counter/gauge/histogram(...)`` call."""
+    if not (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in FAMILY_METHODS
+    ):
+        return None
+    name_expr: ast.expr | None = call.args[0] if call.args else None
+    if name_expr is None:
+        for keyword in call.keywords:
+            if keyword.arg == "name":
+                name_expr = keyword.value
+    if name_expr is None:
+        return None
+    return graph.string_of(function.module, name_expr)
+
+
+def _labels_of(call: ast.Call) -> tuple[frozenset[str], bool]:
+    labels = frozenset(
+        keyword.arg
+        for keyword in call.keywords
+        if keyword.arg is not None and keyword.arg not in NON_LABEL_KEYWORDS
+    )
+    dynamic = any(keyword.arg is None for keyword in call.keywords)
+    return labels, dynamic
+
+
+def _collect_sites(
+    graph: ModuleGraph, function: FunctionInfo
+) -> list[MetricSite]:
+    sites: list[MetricSite] = []
+    #: id(inner family Call) -> the observing outer call's value expr,
+    #: for chained ``registry.gauge(...).set(value)`` sites.
+    chained: dict[int, ast.expr | None] = {}
+    #: local name -> family name, for two-step handle patterns.
+    handles: dict[str, str] = {}
+    for node in ast.walk(function.node):
+        if not isinstance(node, ast.Call):
+            continue
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in OBSERVE_METHODS
+            and isinstance(node.func.value, ast.Call)
+        ):
+            value = node.args[0] if node.args else None
+            if value is None:
+                for keyword in node.keywords:
+                    if keyword.arg == "amount":
+                        value = keyword.value
+            chained[id(node.func.value)] = value
+    for node in ast.walk(function.node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and isinstance(node.value, ast.Call):
+                family = _family_call_name(graph, function, node.value)
+                if family is not None:
+                    handles[target.id] = family
+    for node in ast.walk(function.node):
+        if not isinstance(node, ast.Call):
+            continue
+        family = _family_call_name(graph, function, node)
+        if family is not None:
+            labels, dynamic = _labels_of(node)
+            registers = any(kw.arg == "help" for kw in node.keywords)
+            sites.append(
+                MetricSite(
+                    name=family,
+                    function=function,
+                    call=node,
+                    registers=registers,
+                    labels=labels,
+                    dynamic_labels=dynamic,
+                    observed_value=chained.get(id(node)),
+                )
+            )
+            continue
+        # registry.inc("name", amount, **labels) shortcut: observation.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "inc"
+            and node.args
+        ):
+            name = graph.string_of(function.module, node.args[0])
+            if name is not None:
+                labels, dynamic = _labels_of(node)
+                value = node.args[1] if len(node.args) > 1 else None
+                if value is None:
+                    for keyword in node.keywords:
+                        if keyword.arg == "amount":
+                            value = keyword.value
+                sites.append(
+                    MetricSite(
+                        name=name,
+                        function=function,
+                        call=node,
+                        registers=False,
+                        labels=labels,
+                        dynamic_labels=dynamic,
+                        observed_value=value,
+                    )
+                )
+                continue
+        # handle.set(value) on a previously-bound family handle.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in OBSERVE_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in handles
+        ):
+            value = node.args[0] if node.args else None
+            sites.append(
+                MetricSite(
+                    name=handles[node.func.value.id],
+                    function=function,
+                    call=node,
+                    registers=False,
+                    labels=frozenset(),
+                    dynamic_labels=True,  # labels live on the handle site
+                    observed_value=value,
+                )
+            )
+    return sites
+
+
+# ----------------------------------------------------------------------
+# M901: observed-but-never-registered
+# ----------------------------------------------------------------------
+def _check_registration(sites: list[MetricSite]) -> list[Diagnostic]:
+    registered = {site.name for site in sites if site.registers}
+    out: list[Diagnostic] = []
+    seen: set[str] = set()
+    for site in sites:
+        if site.registers or site.name in registered or site.name in seen:
+            continue
+        seen.add(site.name)
+        out.append(
+            Diagnostic(
+                rule=rules.METRIC_UNREGISTERED,
+                path=site.function.path,
+                line=site.call.lineno,
+                col=site.call.col_offset,
+                message=(
+                    f"metric family `{site.name}` is observed but never "
+                    "registered with help text anywhere in the program; "
+                    "merge output would depend on observation order"
+                ),
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# M902: label-set consistency per family
+# ----------------------------------------------------------------------
+def _check_label_consistency(sites: list[MetricSite]) -> list[Diagnostic]:
+    schema: dict[str, tuple[frozenset[str], MetricSite]] = {}
+    for site in sites:
+        if site.dynamic_labels:
+            continue
+        if site.name not in schema or (
+            site.registers and not schema[site.name][1].registers
+        ):
+            schema[site.name] = (site.labels, site)
+    out: list[Diagnostic] = []
+    for site in sites:
+        if site.dynamic_labels or site.name not in schema:
+            continue
+        expected, anchor = schema[site.name]
+        if site is anchor or site.labels == expected:
+            continue
+        expected_text = "{" + ", ".join(sorted(expected)) + "}"
+        got_text = "{" + ", ".join(sorted(site.labels)) + "}"
+        out.append(
+            Diagnostic(
+                rule=rules.METRIC_LABEL_DRIFT,
+                path=site.function.path,
+                line=site.call.lineno,
+                col=site.call.col_offset,
+                message=(
+                    f"metric family `{site.name}` observed with label set "
+                    f"{got_text} but its schema (from "
+                    f"{anchor.function.path}:{anchor.call.lineno}) is "
+                    f"{expected_text}; label names must match at every site"
+                ),
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# M903: wall-clock semantics + schema-version literals
+# ----------------------------------------------------------------------
+def _check_wallclock(
+    graph: ModuleGraph, callgraph: CallGraph, sites: list[MetricSite]
+) -> list[Diagnostic]:
+    allowed = graph.constant_value(SWEEP_MODULE, WALLCLOCK_CONSTANT)
+    if not isinstance(allowed, frozenset):
+        return []
+    resolver = OriginResolver(graph, callgraph)
+    out: list[Diagnostic] = []
+    for site in sites:
+        if site.observed_value is None or site.name in allowed:
+            continue
+        origins = resolver.origins(site.function, site.observed_value)
+        tainted = sorted(
+            origin.detail
+            for origin in origins
+            if origin.kind == "call" and origin.detail in WALLCLOCK_SOURCES
+        )
+        if not tainted:
+            continue
+        out.append(
+            Diagnostic(
+                rule=rules.METRIC_SEMANTICS,
+                path=site.function.path,
+                line=site.call.lineno,
+                col=site.call.col_offset,
+                message=(
+                    f"metric family `{site.name}` observes a wall-clock "
+                    f"tainted value (via {', '.join(tainted)}) but is not "
+                    f"listed in {SWEEP_MODULE}.{WALLCLOCK_CONSTANT}; "
+                    "deterministic snapshots would fail byte-equality"
+                ),
+            )
+        )
+    return out
+
+
+def _check_schema_literals(graph: ModuleGraph) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for module_name in sorted(graph.modules):
+        if not module_name.startswith("repro"):
+            continue
+        info = graph.modules[module_name]
+        defining = module_name == SCHEMA_HOME or module_name.startswith(
+            SCHEMA_HOME + "."
+        )
+        exempt: set[int] = set()
+        if defining:
+            for name, value in info.constants.items():
+                if isinstance(value, ast.Constant):
+                    exempt.add(id(value))
+        # Docstrings and other expression-statement strings are prose.
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Constant):
+                exempt.add(id(node.value))
+        for node in ast.walk(info.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and SCHEMA_LITERAL.match(node.value)
+                and id(node) not in exempt
+            ):
+                out.append(
+                    Diagnostic(
+                        rule=rules.METRIC_SEMANTICS,
+                        path=info.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"inline schema-version literal "
+                            f"`{node.value}`; import the constant from "
+                            "the repro.obs module that defines it"
+                        ),
+                    )
+                )
+    return out
+

@@ -9,9 +9,10 @@ statically:
 
 * ``P201`` — every ``Simulator.__init__`` parameter must taint at least
   one ``self.*`` attribute that ``core/fastpath.py`` reads off the
-  simulator (via ``sim.<attr>`` / ``self._sim.<attr>``).  Taint is a
-  simple forward pass over the constructor: a parameter flows through
-  local assignments into stored attributes (``budgets`` →
+  simulator (via ``sim.<attr>`` / ``self._sim.<attr>``).  Taint is the
+  shared forward pass from :mod:`repro.lint.dataflow`
+  (:func:`~repro.lint.dataflow.constructor_taint`): a parameter flows
+  through local assignments into stored attributes (``budgets`` →
   ``self.caches`` via ``make_cache(policy, budgets[node] * ...)``).
   The ``engine`` parameter is the dispatch knob itself and is exempt.
 * ``P202`` — every ``SimulationResult`` dataclass field must be passed
@@ -26,6 +27,7 @@ import ast
 
 from . import rules
 from .astutil import find_class, find_method
+from .dataflow import constructor_taint
 from .diagnostics import Diagnostic
 
 #: ``Simulator.__init__`` parameters that select between engines rather
@@ -68,7 +70,7 @@ def _check_knobs(
         )
         if a.arg != "self"
     ]
-    attr_taint = _constructor_taint(init, {a.arg for a in params})
+    attr_taint = constructor_taint(init, {a.arg for a in params})
     consumed = _simulator_attrs_read(fastpath_tree)
     out: list[Diagnostic] = []
     for param in params:
@@ -101,116 +103,6 @@ def _check_knobs(
             )
         )
     return out
-
-
-def _constructor_taint(
-    init: ast.FunctionDef | ast.AsyncFunctionDef,
-    params: set[str],
-) -> dict[str, set[str]]:
-    """Stored attribute name -> set of __init__ params that taint it.
-
-    A forward pass in statement order: local names accumulate the
-    parameter taint of the names on their right-hand side, and every
-    assignment to ``self.X`` (or ``self.X[...]``) charges the taint of
-    its value to attribute ``X``.  Loop/with/if bodies are walked in
-    source order; that over-approximates reachability, which is the
-    safe direction for this rule (it can only make a knob look *more*
-    consumed locally, never hide a missing fast-engine read).
-    """
-    taint: dict[str, set[str]] = {p: {p} for p in params}
-    attrs: dict[str, set[str]] = {}
-
-    def names_taint(expr: ast.expr) -> set[str]:
-        found: set[str] = set()
-        for node in ast.walk(expr):
-            if isinstance(node, ast.Name):
-                found |= taint.get(node.id, set())
-        return found
-
-    def visit(stmts: list[ast.stmt]) -> None:
-        for stmt in stmts:
-            if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
-                value = stmt.value
-                if value is None:
-                    continue
-                value_taint = names_taint(value)
-                targets = (
-                    stmt.targets
-                    if isinstance(stmt, ast.Assign)
-                    else [stmt.target]
-                )
-                for target in targets:
-                    for name in _attr_targets(target):
-                        attrs.setdefault(name, set()).update(value_taint)
-                    for name in _name_targets(target):
-                        taint.setdefault(name, set()).update(value_taint)
-            elif isinstance(stmt, ast.For):
-                iter_taint = names_taint(stmt.iter)
-                for name in _name_targets(stmt.target):
-                    taint.setdefault(name, set()).update(iter_taint)
-                visit(stmt.body)
-                visit(stmt.orelse)
-            elif isinstance(stmt, ast.While):
-                visit(stmt.body)
-                visit(stmt.orelse)
-            elif isinstance(stmt, ast.If):
-                visit(stmt.body)
-                visit(stmt.orelse)
-            elif isinstance(stmt, ast.With):
-                visit(stmt.body)
-            elif isinstance(stmt, ast.Try):
-                visit(stmt.body)
-                for handler in stmt.handlers:
-                    visit(handler.body)
-                visit(stmt.orelse)
-                visit(stmt.finalbody)
-            elif isinstance(stmt, ast.Expr):
-                # Method calls like `self.caches[...].insert(...)` don't
-                # store new state; preload insertion happens via
-                # `self._insert`, whose inputs are already attributes.
-                continue
-
-    visit(init.body)
-    return attrs
-
-
-def _attr_targets(target: ast.expr) -> list[str]:
-    """Attribute names written by one assignment target on ``self``."""
-    node = target
-    while isinstance(node, ast.Subscript):
-        node = node.value
-    if (
-        isinstance(node, ast.Attribute)
-        and isinstance(node.value, ast.Name)
-        and node.value.id == "self"
-    ):
-        return [node.attr]
-    if isinstance(node, (ast.Tuple, ast.List)):
-        out: list[str] = []
-        for element in node.elts:
-            out.extend(_attr_targets(element))
-        return out
-    return []
-
-
-def _name_targets(target: ast.expr) -> list[str]:
-    """Local names written by one assignment target.
-
-    ``caches[node] = ...`` taints the local ``caches`` container, so
-    subscript targets unwrap to their base name.
-    """
-    while isinstance(target, ast.Subscript):
-        target = target.value
-    if isinstance(target, ast.Name):
-        return [target.id]
-    if isinstance(target, ast.Starred):
-        return _name_targets(target.value)
-    if isinstance(target, (ast.Tuple, ast.List)):
-        out: list[str] = []
-        for element in target.elts:
-            out.extend(_name_targets(element))
-        return out
-    return []
 
 
 def _simulator_attrs_read(fastpath_tree: ast.Module) -> set[str]:

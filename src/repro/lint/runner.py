@@ -10,12 +10,19 @@ and then anchors the project-scope families:
   ``repro.core.metrics``;
 * cache conformance needs the ``repro/cache/`` modules;
 * order stability and observability gating need the engine/fastpath
-  pair.
+  pair;
+* the whole-program families (seed-flow ``S7xx``, worker-safety
+  ``W8xx``, metrics-contract ``M9xx``) run over a
+  :class:`~repro.lint.graph.ModuleGraph`/:class:`~repro.lint.graph.CallGraph`
+  built from every collected ``repro.*`` module plus the resolved
+  anchors.
 
 Anchors are taken from the linted set first and fall back to the
 package directory on disk (so ``python -m repro.lint src/repro/idicn``
 still checks engine parity for the package it belongs to).  Inline
-suppressions are applied last, against every family uniformly.
+suppressions are applied last, against every family uniformly; the
+suppression comments themselves are checked (unknown ids are ``E998``
+errors, and ``strict`` runs report unused entries as ``E997``).
 """
 
 from __future__ import annotations
@@ -25,9 +32,21 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from . import bounds, conformance, determinism, obsgate, order, parity, rules
+from . import (
+    bounds,
+    conformance,
+    determinism,
+    metricscontract,
+    obsgate,
+    order,
+    parity,
+    rules,
+    seedflow,
+    workersafety,
+)
 from .diagnostics import Diagnostic, Report
-from .suppressions import SuppressionIndex
+from .graph import CallGraph, ModuleGraph
+from .suppressions import Suppression, SuppressionIndex
 
 #: Module names the project-scope families anchor on.
 _ENGINE_MODULE = "repro.core.engine"
@@ -112,6 +131,12 @@ def _load(path: Path) -> SourceFile:
             path, display, module, source, None,
             f"syntax error: {exc.msg} (line {exc.lineno})",
         )
+    except ValueError as exc:
+        # e.g. null bytes in the source: not a SyntaxError, but the
+        # file is just as unparseable — report it, don't crash the run.
+        return SourceFile(
+            path, display, module, source, None, f"unparseable file: {exc}"
+        )
     return SourceFile(path, display, module, source, tree)
 
 
@@ -178,16 +203,23 @@ def _resolve_cache_package(
     return modules
 
 
+def _in_program(module: str) -> bool:
+    """Whether a module belongs to the whole-program ``repro`` graph."""
+    return module == "repro" or module.startswith("repro.")
+
+
 def lint_paths(
     paths: Sequence[str | Path],
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    strict: bool = False,
 ) -> Report:
     """Lint files under ``paths`` and return the full report.
 
     ``select`` restricts the run to the given rule ids; ``ignore``
     removes ids from whatever is selected.  Inline suppressions are
-    applied on top of both.
+    applied on top of both.  ``strict`` additionally reports
+    suppression comments that silenced nothing (``E997``).
     """
     selected = _selected_rules(select, ignore)
     collected = [_load(path) for path in collect_files(paths)]
@@ -263,8 +295,52 @@ def lint_paths(
     if cache_modules:
         raw.extend(conformance.check_cache_conformance(cache_modules))
 
+    # Whole-program families over every repro.* module plus anchors.
+    program: dict[str, tuple[str, ast.Module]] = {}
+    anchors = (engine, fastpath, metrics, sweep, simnet)
+    for source_file in list(collected) + [a for a in anchors if a is not None]:
+        if source_file.tree is None or not _in_program(source_file.module):
+            continue
+        program.setdefault(
+            source_file.module, (source_file.display, source_file.tree)
+        )
+    if program:
+        graph = ModuleGraph(program)
+        callgraph = CallGraph(graph)
+        raw.extend(seedflow.check_seedflow(graph, callgraph))
+        raw.extend(workersafety.check_workersafety(graph, callgraph))
+        raw.extend(metricscontract.check_metrics(graph, callgraph))
+
+    # Suppression indexes are built eagerly for every file so the
+    # comments themselves can be checked, not just applied.
+    indexes = {
+        display: SuppressionIndex.from_source(source)
+        for display, source in sources.items()
+    }
+    for display in sorted(indexes):
+        for entry in indexes[display].entries:
+            unknown = sorted(
+                rule_id
+                for rule_id in entry.ids
+                if rule_id != "ALL" and rule_id not in rules.RULES_BY_ID
+            )
+            if unknown:
+                raw.append(
+                    Diagnostic(
+                        rule=rules.UNKNOWN_SUPPRESSION,
+                        path=display,
+                        line=entry.line,
+                        col=0,
+                        message=(
+                            "suppression comment names unknown rule "
+                            f"id(s) {', '.join(unknown)}; it can never "
+                            "match a finding"
+                        ),
+                    )
+                )
+
     # Apply rule selection, dedup, and inline suppressions.
-    indexes: dict[str, SuppressionIndex] = {}
+    used: set[tuple[str, Suppression]] = set()
     seen: set[tuple[str, str, int, int]] = set()
     for diagnostic in raw:
         if diagnostic.rule.id not in selected:
@@ -279,15 +355,47 @@ def lint_paths(
             continue
         seen.add(key)
         index = indexes.get(diagnostic.path)
-        if index is None and diagnostic.path in sources:
-            index = SuppressionIndex.from_source(sources[diagnostic.path])
-            indexes[diagnostic.path] = index
-        if index is not None and index.is_suppressed(
-            diagnostic.rule.id, diagnostic.line
-        ):
+        entry = (
+            index.match(diagnostic.rule.id, diagnostic.line)
+            if index is not None
+            else None
+        )
+        if entry is not None:
+            used.add((diagnostic.path, entry))
             report.suppressed += 1
             continue
         report.diagnostics.append(diagnostic)
+
+    if strict and rules.UNUSED_SUPPRESSION.id in selected:
+        full_selection = select is None
+        for display in sorted(indexes):
+            for entry in indexes[display].entries:
+                if (display, entry) in used:
+                    continue
+                known = {
+                    rule_id
+                    for rule_id in entry.ids
+                    if rule_id in rules.RULES_BY_ID
+                }
+                relevant = bool(known & selected) or (
+                    "ALL" in entry.ids and full_selection
+                )
+                if not relevant:
+                    continue
+                ids = ", ".join(sorted(entry.ids))
+                scope = "file-wide " if entry.file_wide else ""
+                report.diagnostics.append(
+                    Diagnostic(
+                        rule=rules.UNUSED_SUPPRESSION,
+                        path=display,
+                        line=entry.line,
+                        col=0,
+                        message=(
+                            f"{scope}suppression of {ids} matched no "
+                            "finding this run; remove it or re-justify it"
+                        ),
+                    )
+                )
     return report
 
 

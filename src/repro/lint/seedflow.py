@@ -1,0 +1,269 @@
+"""Seed-flow rules (S7xx): generator seeds must keep their lineage.
+
+The determinism family (D1xx) checks each construction site in
+isolation; these rules follow the *value* of the seed argument through
+the whole program using the backward origin resolver:
+
+* ``S701`` — the seed handed to ``np.random.default_rng`` /
+  ``Generator`` / ``RandomState`` must not trace to an ambient source:
+  wall clocks, OS entropy, process ids, ``os.environ``, or another
+  unseeded generator.  Such a seed differs between runs, which breaks
+  bit-reproducibility even though the construction itself looks seeded.
+* ``S702`` — a generator constructed from a bare literal inside a call
+  chain that already carries an ``rng``/``seed`` parameter splits the
+  deterministic stream: the caller went to the trouble of threading a
+  seed and a callee quietly re-seeds from a constant.  ``D104`` flags
+  the intra-function case; this is its interprocedural extension (the
+  enclosing function itself has no rng/seed parameter, but a transitive
+  caller does).  Named module-level constants are exempt — hoisting a
+  pinned algorithmic seed to ``_SOMETHING_SEED = 0x...`` both documents
+  it and satisfies the rule.
+* ``S703`` — a generator constructed at module scope (or as a class
+  attribute) is ambient state shared by every caller and across
+  ``multiprocessing`` forks; generators must be built inside a
+  seeded call chain.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import rules
+from .astutil import dotted
+from .dataflow import Origin, OriginResolver
+from .diagnostics import Diagnostic
+from .graph import CallGraph, FunctionInfo, ModuleGraph
+
+#: Packages whose modules are subject to the seed-flow family.
+SEEDFLOW_PACKAGES = (
+    "repro.core",
+    "repro.cache",
+    "repro.workload",
+    "repro.idicn",
+)
+
+#: Fully-resolved constructors whose first argument is a seed.
+GENERATOR_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+    }
+)
+
+#: Call origins that vary between runs: the seed is ambient.
+AMBIENT_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "os.urandom",
+        "os.getrandom",
+        "os.getpid",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbits",
+        "random.random",
+        "random.randint",
+        "random.getrandbits",
+        "numpy.random.default_rng",
+        "numpy.random.random",
+        "numpy.random.randint",
+    }
+)
+
+#: Parameter names that mark a call chain as seed-carrying.
+RNG_PARAM_NAMES = frozenset(
+    {"rng", "generator", "seed", "base_seed", "random_state", "seed_sequence"}
+)
+
+#: Call-origin suffixes that prove SeedSequence-derived lineage.
+_SEED_CALL_SUFFIXES = (
+    "SeedSequence",
+    ".spawn",
+    "spawn_seeds",
+    "seeded_configs",
+    "generate_state",
+)
+
+
+def _is_seed_lineage(origin: Origin) -> bool:
+    """Whether one origin leaf carries acceptable seed lineage."""
+    if origin.kind == "attr":
+        last = origin.detail.rsplit(".", 1)[-1].lower()
+        return "seed" in last
+    if origin.kind == "param":
+        param = origin.detail.rsplit(":", 1)[-1].lower()
+        return "seed" in param or param in ("rng", "generator")
+    if origin.kind == "call":
+        return any(origin.detail.endswith(s) for s in _SEED_CALL_SUFFIXES)
+    if origin.kind == "module-const":
+        # A *named* constant is a documented, pinned seed.
+        return True
+    return False
+
+
+def _is_ambient(origin: Origin) -> bool:
+    if origin.kind == "call":
+        return origin.detail in AMBIENT_CALLS
+    if origin.kind == "literal":
+        return origin.value is None
+    if origin.kind in ("name", "attr"):
+        return "environ" in origin.detail
+    return False
+
+
+def _seed_argument(call: ast.Call) -> ast.expr | None:
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg in ("seed", "bit_generator"):
+            return keyword.value
+    return None
+
+
+def _in_scope(module: str) -> bool:
+    return any(
+        module == package or module.startswith(package + ".")
+        for package in SEEDFLOW_PACKAGES
+    )
+
+
+def check_seedflow(
+    graph: ModuleGraph, callgraph: CallGraph
+) -> list[Diagnostic]:
+    """Run S701-S703 over every in-scope module of the program graph."""
+    resolver = OriginResolver(graph, callgraph)
+    out: list[Diagnostic] = []
+    for module_name in sorted(graph.modules):
+        if not _in_scope(module_name):
+            continue
+        info = graph.modules[module_name]
+        out.extend(_check_module_scope(graph, info))
+        for qualname in sorted(info.functions):
+            function = info.functions[qualname]
+            out.extend(_check_function(graph, resolver, function))
+    return out
+
+
+def _constructor_calls(
+    graph: ModuleGraph, module: str, node: ast.AST
+) -> list[ast.Call]:
+    found: list[ast.Call] = []
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        name = dotted(child.func)
+        if name is None:
+            continue
+        resolved = graph.resolve_name(module, name) or name
+        if resolved in GENERATOR_CONSTRUCTORS:
+            found.append(child)
+    return found
+
+
+def _check_module_scope(
+    graph: ModuleGraph, info
+) -> list[Diagnostic]:
+    """S703: generator constructions outside any function body."""
+    out: list[Diagnostic] = []
+    # Collect statements at module scope and directly in class bodies,
+    # without descending into function bodies.
+    stack: list[ast.stmt] = list(info.tree.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(stmt, ast.ClassDef):
+            stack.extend(stmt.body)
+            continue
+        for call in _constructor_calls(graph, info.name, stmt):
+            out.append(
+                Diagnostic(
+                    rule=rules.MODULE_SCOPE_RNG,
+                    path=info.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        "generator constructed at module scope is ambient "
+                        "state shared by every caller (and across worker "
+                        "forks); construct it inside a seeded call chain"
+                    ),
+                )
+            )
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+    return out
+
+
+def _check_function(
+    graph: ModuleGraph,
+    resolver: OriginResolver,
+    function: FunctionInfo,
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    # Only calls in this function's own scope (nested defs are visited
+    # as their own FunctionInfo).
+    nested_ids = {
+        id(call)
+        for stmt in function.node.body
+        for node in ast.walk(stmt)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node is not function.node
+        for call in ast.walk(node)
+        if isinstance(call, ast.Call)
+    }
+    for call in _constructor_calls(graph, function.module, function.node):
+        if id(call) in nested_ids:
+            continue
+        seed_expr = _seed_argument(call)
+        if seed_expr is None:
+            continue  # unseeded construction is D103's finding
+        origins = resolver.origins(function, seed_expr)
+        ambient = sorted(o.detail for o in origins if _is_ambient(o))
+        if ambient:
+            out.append(
+                Diagnostic(
+                    rule=rules.AMBIENT_SEED,
+                    path=function.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        "generator seed traces to ambient source(s) "
+                        f"{', '.join(ambient)}; derive it from a "
+                        "SeedSequence/seeded_configs lineage instead"
+                    ),
+                )
+            )
+            continue
+        has_lineage = any(_is_seed_lineage(o) for o in origins)
+        literals = [o for o in origins if o.kind == "literal"]
+        if has_lineage or not literals:
+            continue
+        # D104 owns the intra-function case.
+        if function.param_names() & RNG_PARAM_NAMES:
+            continue
+        caller = resolver.callers_with_param(function, RNG_PARAM_NAMES)
+        if caller is not None:
+            out.append(
+                Diagnostic(
+                    rule=rules.LITERAL_RESEED,
+                    path=function.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        "generator re-seeded from a literal inside a call "
+                        f"chain that already carries a seed ({caller.key} "
+                        "accepts one); thread the existing rng/seed down, "
+                        "or hoist an intentional pinned seed to a named "
+                        "module constant"
+                    ),
+                )
+            )
+    return out

@@ -1,6 +1,6 @@
 """Inline suppression comments for repro.lint.
 
-Two forms, both matched anywhere in a physical line:
+Two forms, matched inside real ``#`` comments:
 
 * ``# lint: disable=D101`` (or a comma list, ``disable=D101,O401``) —
   suppresses those rules on that line only;
@@ -11,11 +11,19 @@ Two forms, both matched anywhere in a physical line:
 are intentionally line-scoped (no block/push-pop syntax): a finding
 should be silenced exactly where it occurs, next to the comment that
 justifies it.
+
+The index keeps every comment as a :class:`Suppression` entry so the
+runner can enforce hygiene on the comments themselves: ids that name no
+known rule (``E998``) and entries that silenced nothing all run
+(``E997`` under ``--strict``).
 """
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
+from dataclasses import dataclass
 
 _PATTERN = re.compile(
     r"#\s*lint:\s*disable(?P<scope>-file)?\s*=\s*"
@@ -23,47 +31,87 @@ _PATTERN = re.compile(
 )
 
 
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# lint: disable`` comment: where it is and what it names."""
+
+    line: int
+    ids: frozenset[str]
+    file_wide: bool
+
+
 class SuppressionIndex:
     """Which rule ids are suppressed on which lines of one file."""
 
-    def __init__(
-        self,
-        by_line: dict[int, frozenset[str]],
-        file_wide: frozenset[str],
-    ):
-        self._by_line = by_line
-        self._file_wide = file_wide
+    def __init__(self, entries: list[Suppression]):
+        self.entries = entries
+        self._by_line: dict[int, list[Suppression]] = {}
+        self._file_wide: list[Suppression] = []
+        for entry in entries:
+            if entry.file_wide:
+                self._file_wide.append(entry)
+            else:
+                self._by_line.setdefault(entry.line, []).append(entry)
 
     @classmethod
     def from_source(cls, source: str) -> "SuppressionIndex":
-        """Scan raw source text for suppression comments.
+        """Scan source text for suppression comments.
 
-        A plain regex over physical lines is deliberate: it sees
-        comments (which the AST drops) and never fails on code that
-        does not parse.  False positives would require the literal
-        marker inside a string on the same line as a finding — accepted.
+        Tokenizes so only genuine ``#`` comments count — docstrings that
+        *quote* the syntax (this module's own, the rule catalogue's) are
+        not suppressions and must not trip the hygiene rules
+        (E997/E998).  When tokenization fails (the runner still indexes
+        files that do not parse), falls back to a plain regex over
+        physical lines, which sees comments but also string contents —
+        the pre-hygiene behavior, accepted for broken files.
         """
-        by_line: dict[int, frozenset[str]] = {}
-        file_wide: set[str] = set()
-        for lineno, text in enumerate(source.splitlines(), start=1):
-            if "lint:" not in text:
-                continue
-            for match in _PATTERN.finditer(text):
-                ids = frozenset(
-                    part.strip().upper()
-                    for part in match.group("ids").split(",")
-                    if part.strip()
+        entries: list[Suppression] = []
+        try:
+            for token in tokenize.generate_tokens(
+                io.StringIO(source).readline
+            ):
+                if token.type != tokenize.COMMENT:
+                    continue
+                entries.extend(cls._parse(token.start[0], token.string))
+        except (tokenize.TokenError, SyntaxError, ValueError):
+            entries = []
+            for lineno, text in enumerate(source.splitlines(), start=1):
+                entries.extend(cls._parse(lineno, text))
+        return cls(entries)
+
+    @staticmethod
+    def _parse(lineno: int, text: str) -> list[Suppression]:
+        """Every suppression entry spelled in one comment/line."""
+        if "lint:" not in text:
+            return []
+        found: list[Suppression] = []
+        for match in _PATTERN.finditer(text):
+            ids = frozenset(
+                part.strip().upper()
+                for part in match.group("ids").split(",")
+                if part.strip()
+            )
+            if ids:
+                found.append(
+                    Suppression(
+                        line=lineno,
+                        ids=ids,
+                        file_wide=bool(match.group("scope")),
+                    )
                 )
-                if match.group("scope"):
-                    file_wide |= ids
-                else:
-                    by_line[lineno] = by_line.get(lineno, frozenset()) | ids
-        return cls(by_line, frozenset(file_wide))
+        return found
+
+    def match(self, rule_id: str, line: int) -> Suppression | None:
+        """The entry silencing ``rule_id`` at ``line``, if any."""
+        rule_id = rule_id.upper()
+        for entry in self._file_wide:
+            if rule_id in entry.ids or "ALL" in entry.ids:
+                return entry
+        for entry in self._by_line.get(line, ()):
+            if rule_id in entry.ids or "ALL" in entry.ids:
+                return entry
+        return None
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         """Whether ``rule_id`` is silenced at ``line``."""
-        rule_id = rule_id.upper()
-        if rule_id in self._file_wide or "ALL" in self._file_wide:
-            return True
-        ids = self._by_line.get(line)
-        return ids is not None and (rule_id in ids or "ALL" in ids)
+        return self.match(rule_id, line) is not None

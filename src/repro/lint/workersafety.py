@@ -1,0 +1,363 @@
+"""Worker-safety rules (W8xx): a static race detector for the sweep.
+
+``run_sweep`` fans chunks out over a ``ProcessPoolExecutor``; anything
+it submits is pickled into a worker process and runs concurrently with
+its siblings.  Three properties keep that safe, and all three are
+invisible to per-file rules because they span the whole call graph:
+
+* ``W801`` — every callable handed to worker dispatch (``pool.submit``
+  and the ``runner`` parameter default) must be a picklable module-level
+  function: no lambdas, no nested closures, no bound methods.
+* ``W802`` — no function reachable from worker dispatch may write
+  module-level state: mutating a module dict/list, storing through a
+  class attribute, or rebinding via ``global``.  In a fork each worker
+  mutates its own copy (silent divergence); under spawn/threads it is a
+  data race.
+* ``W803`` — no reachable function may capture process-global file
+  handles or synchronization primitives (module-level ``open(...)`` /
+  ``Lock()`` values, or such calls as parameter defaults); they do not
+  survive pickling and serialize workers against each other when they
+  appear to work.
+
+Reachability is the call-graph closure from the dispatch roots found in
+``repro.core.sweep``; when that module is absent from the program graph
+the family is skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import rules
+from .astutil import dotted
+from .diagnostics import Diagnostic
+from .graph import CallGraph, FunctionInfo, ModuleGraph
+
+#: The module whose worker dispatch anchors this family.
+SWEEP_MODULE = "repro.core.sweep"
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "setdefault",
+        "clear",
+        "remove",
+        "discard",
+        "appendleft",
+        "popleft",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Call suffixes that produce file handles or synchronization primitives.
+HANDLE_SUFFIXES = (
+    "open",
+    "Lock",
+    "RLock",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Condition",
+    "Event",
+    "Barrier",
+    "socket",
+)
+
+
+def check_workersafety(
+    graph: ModuleGraph, callgraph: CallGraph
+) -> list[Diagnostic]:
+    """Run W801-W803 from the sweep module's worker-dispatch roots."""
+    sweep = graph.modules.get(SWEEP_MODULE)
+    if sweep is None:
+        return []
+    out: list[Diagnostic] = []
+    roots: list[FunctionInfo] = []
+    for dispatched, path, node in _dispatch_sites(graph, sweep):
+        if dispatched is None:
+            out.append(
+                Diagnostic(
+                    rule=rules.WORKER_NOT_TOPLEVEL,
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "worker dispatch submits a callable that is not a "
+                        "module-level function (lambda, bound method, or "
+                        "unresolvable); workers need picklable top-level "
+                        "functions"
+                    ),
+                )
+            )
+            continue
+        if not dispatched.is_toplevel:
+            out.append(
+                Diagnostic(
+                    rule=rules.WORKER_NOT_TOPLEVEL,
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"worker dispatch submits `{dispatched.qualname}`, "
+                        "which is not a module-level function and cannot be "
+                        "pickled into a worker process"
+                    ),
+                )
+            )
+        roots.append(dispatched)
+    for function in callgraph.reachable_from(roots):
+        out.extend(_check_global_writes(graph, function))
+        out.extend(_check_captured_handles(graph, function))
+    return out
+
+
+def _dispatch_sites(
+    graph: ModuleGraph, sweep
+) -> list[tuple[FunctionInfo | None, str, ast.AST]]:
+    """(resolved callable | None, path, site node) per dispatch point.
+
+    Dispatch points are the first argument of every ``*.submit(...)``
+    call in the sweep module and the declared default of a ``runner``
+    parameter on any top-level sweep function.  Plain name references
+    are resolved through the module graph; a lambda or bound method
+    yields ``None`` (W801 fires at the site).
+    """
+    found: list[tuple[FunctionInfo | None, str, ast.AST]] = []
+    for node in ast.walk(sweep.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "submit"
+            and node.args
+        ):
+            target = node.args[0]
+            found.append((_resolve_callable(graph, sweep, target), sweep.path, target))
+    for function in sweep.functions.values():
+        if not function.is_toplevel:
+            continue
+        default = function.default_for("runner")
+        if default is None:
+            continue
+        found.append(
+            (_resolve_callable(graph, sweep, default), sweep.path, default)
+        )
+    return found
+
+
+def _resolve_callable(
+    graph: ModuleGraph, sweep, expr: ast.expr
+) -> FunctionInfo | None:
+    name = dotted(expr)
+    if name is None:
+        return None
+    resolved = graph.resolve_name(sweep.name, name)
+    if resolved is None:
+        return None
+    return graph.function_at(resolved)
+
+
+def _binding_names(target: ast.expr) -> list[str]:
+    """Names a target *rebinds* (subscript/attribute stores excluded).
+
+    ``SEEN[c] = ...`` mutates the object ``SEEN`` refers to, it does not
+    bind a local ``SEEN`` — treating it as a binding would hide exactly
+    the indirect stores W802 exists to catch.
+    """
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Starred):
+        return _binding_names(target.value)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for element in target.elts:
+            out.extend(_binding_names(element))
+        return out
+    return []
+
+
+def _local_bindings(function: FunctionInfo) -> set[str]:
+    """Names bound locally anywhere in the function (scope-approximate)."""
+    bound = set(function.param_names())
+    for node in ast.walk(function.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                bound.update(_binding_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            bound.update(_binding_names(node.target))
+        elif isinstance(node, ast.For):
+            bound.update(_binding_names(node.target))
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            bound.update(_binding_names(node.optional_vars))
+        elif isinstance(node, ast.NamedExpr):
+            bound.update(_binding_names(node.target))
+        elif isinstance(node, ast.comprehension):
+            bound.update(_binding_names(node.target))
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not function.node:
+                bound.add(node.name)
+    return bound
+
+
+def _module_bindings(graph: ModuleGraph, function: FunctionInfo) -> set[str]:
+    info = graph.modules.get(function.module)
+    if info is None:
+        return set()
+    top_level_functions = {
+        qualname for qualname, f in info.functions.items() if f.is_toplevel
+    }
+    return (
+        set(info.constants)
+        | set(info.classes)
+        | top_level_functions
+        | set(info.imports)
+    )
+
+
+def _store_base(target: ast.expr) -> tuple[str, bool] | None:
+    """(base name, is-indirect) for a store target, if name-rooted.
+
+    Indirect means the store goes *through* the name — a subscript or
+    attribute store that mutates the referenced object rather than
+    rebinding the local.
+    """
+    indirect = False
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        indirect = True
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id, indirect
+    return None
+
+
+def _check_global_writes(
+    graph: ModuleGraph, function: FunctionInfo
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    local = _local_bindings(function)
+    module_level = _module_bindings(graph, function)
+    shared = module_level - local
+
+    def flag(node: ast.AST, what: str) -> None:
+        out.append(
+            Diagnostic(
+                rule=rules.WORKER_GLOBAL_WRITE,
+                path=function.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"`{function.qualname}` is reachable from sweep worker "
+                    f"dispatch but {what}; workers must not write state "
+                    "shared across the fork"
+                ),
+            )
+        )
+
+    for node in ast.walk(function.node):
+        if isinstance(node, ast.Global):
+            flag(node, f"declares `global {', '.join(node.names)}`")
+            continue
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in targets:
+            base = _store_base(target)
+            if base is None:
+                continue
+            name, indirect = base
+            if not indirect or name in ("self", "cls"):
+                continue
+            if name in shared:
+                flag(target, f"writes module-level `{name}`")
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATOR_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in shared
+        ):
+            flag(
+                node,
+                f"mutates module-level `{node.func.value.id}` via "
+                f".{node.func.attr}()",
+            )
+    return out
+
+
+def _handle_call(graph: ModuleGraph, module: str, expr: ast.expr) -> str | None:
+    """The dotted name of a handle/lock-producing call, if this is one."""
+    if not isinstance(expr, ast.Call):
+        return None
+    name = dotted(expr.func)
+    if name is None:
+        return None
+    resolved = graph.resolve_name(module, name) or name
+    last = resolved.rsplit(".", 1)[-1]
+    if last in HANDLE_SUFFIXES:
+        return resolved
+    return None
+
+
+def _check_captured_handles(
+    graph: ModuleGraph, function: FunctionInfo
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    info = graph.modules.get(function.module)
+    local = _local_bindings(function)
+
+    def flag(node: ast.AST, what: str) -> None:
+        out.append(
+            Diagnostic(
+                rule=rules.WORKER_CAPTURED_HANDLE,
+                path=function.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"`{function.qualname}` is reachable from sweep worker "
+                    f"dispatch but {what}; open handles and locks do not "
+                    "survive pickling into a worker"
+                ),
+            )
+        )
+
+    # Parameter defaults that are handle-producing calls.
+    args = function.node.args
+    defaults = list(args.defaults) + [
+        d for d in args.kw_defaults if d is not None
+    ]
+    for default in defaults:
+        handle = _handle_call(graph, function.module, default)
+        if handle is not None:
+            flag(default, f"defaults a parameter to `{handle}(...)`")
+    # References to module-level names bound to handle-producing calls.
+    if info is None:
+        return out
+    handle_constants = {
+        name
+        for name, value in info.constants.items()
+        if _handle_call(graph, function.module, value) is not None
+    }
+    if not handle_constants:
+        return out
+    for node in ast.walk(function.node):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id in handle_constants
+            and node.id not in local
+        ):
+            flag(node, f"captures module-level handle `{node.id}`")
+    return out

@@ -93,6 +93,72 @@ class TestStrictMode:
         assert main([str(tmp_path / "src"), "--strict"]) == 1
 
 
+class TestGithubOutput:
+    def test_error_annotation_shape(self, tmp_path, capsys):
+        _write_d101(tmp_path)
+        code = main([str(tmp_path / "src"), "--format", "github"])
+        out = capsys.readouterr().out
+        assert code == 1
+        annotation, summary = out.strip().splitlines()
+        assert annotation.startswith("::error file=")
+        assert "line=1" in annotation
+        assert "col=1" in annotation  # annotation columns are 1-based
+        assert "title=D101" in annotation
+        _, properties, message = annotation.split("::")
+        assert properties.startswith("error ")
+        assert message  # the finding text rides after the second `::`
+        assert summary.endswith("1 error(s), 0 warning(s), 0 suppressed")
+
+    def test_warning_level_and_message_escaping(self, tmp_path, capsys):
+        write_tree(
+            tmp_path,
+            {
+                "src/repro/core/mod.py": (
+                    "import time\n\n\ndef wait():\n    time.sleep(1)\n"
+                )
+            },
+        )
+        main([str(tmp_path / "src"), "--format", "github"])
+        out = capsys.readouterr().out
+        assert "::warning file=" in out
+        assert "%0A" not in out.splitlines()[0].split("::")[0]
+
+    def test_clean_run_emits_summary_only(self, tmp_path, capsys):
+        write_tree(tmp_path, {"src/repro/core/ok.py": "X = 1\n"})
+        code = main([str(tmp_path / "src"), "--format", "github"])
+        out = capsys.readouterr().out.strip()
+        assert code == 0
+        assert "::" not in out
+
+
+class TestUnparseableFiles:
+    def test_null_byte_file_is_structured_error_not_crash(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "src" / "repro" / "core" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_bytes(b"x = 1\x00\n")
+        code = main([str(tmp_path / "src"), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        (diag,) = payload["diagnostics"]
+        assert diag["rule"] == "E999"
+        # Null bytes raise SyntaxError on 3.11+, ValueError before; the
+        # runner turns both into one structured E999 row.
+        assert "null bytes" in diag["message"]
+        assert diag["path"].endswith("bad.py")
+
+    def test_syntax_error_is_reported_with_line(self, tmp_path, capsys):
+        write_tree(
+            tmp_path, {"src/repro/core/bad.py": "def broken(:\n    pass\n"}
+        )
+        code = main([str(tmp_path / "src")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "E999" in out
+        assert "syntax error" in out
+
+
 class TestListRules:
     def test_catalogue_is_complete(self, capsys):
         assert main(["--list-rules"]) == 0

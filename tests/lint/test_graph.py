@@ -1,0 +1,206 @@
+"""Whole-program model: module graph, symbol resolution, call graph."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint.graph import CallGraph, ModuleGraph
+
+
+def build_graph(modules: dict[str, str]) -> ModuleGraph:
+    """ModuleGraph from ``{dotted_name: source}`` (dedented)."""
+    parsed = {
+        name: (f"{name.replace('.', '/')}.py", ast.parse(textwrap.dedent(src)))
+        for name, src in modules.items()
+    }
+    return ModuleGraph(parsed)
+
+
+def edges(callgraph: CallGraph) -> set[tuple[str, str]]:
+    """Every resolved (caller key, callee key) pair."""
+    return {
+        (site.caller.key, site.callee.key)
+        for sites in callgraph.callees.values()
+        for site in sites
+    }
+
+
+class TestSymbolResolution:
+    def test_aliased_import_resolves_to_target(self):
+        graph = build_graph(
+            {
+                "repro.core.a": """\
+                from repro.core.b import helper as h
+
+                def go():
+                    return h()
+                """,
+                "repro.core.b": """\
+                def helper():
+                    return 1
+                """,
+            }
+        )
+        assert (
+            graph.resolve_name("repro.core.a", "h") == "repro.core.b.helper"
+        )
+        callgraph = CallGraph(graph)
+        assert ("repro.core.a:go", "repro.core.b:helper") in edges(callgraph)
+
+    def test_relative_import_resolves_against_package(self):
+        graph = build_graph(
+            {
+                "repro.idicn.faults": "from .simnet import SimNet\n",
+                "repro.idicn.simnet": "class SimNet:\n    pass\n",
+            }
+        )
+        assert (
+            graph.resolve_name("repro.idicn.faults", "SimNet")
+            == "repro.idicn.simnet.SimNet"
+        )
+        found = graph.class_at("repro.idicn.simnet.SimNet")
+        assert found is not None and found[0] == "repro.idicn.simnet"
+
+    def test_reexport_chases_package_init(self):
+        graph = build_graph(
+            {
+                "repro.cache": "from .lru import LRUCache\n",
+                "repro.cache.lru": """\
+                class LRUCache:
+                    def __init__(self, budget):
+                        self.budget = budget
+                """,
+                "repro.core.user": """\
+                from repro.cache import LRUCache
+
+                def build():
+                    return LRUCache(4)
+                """,
+            }
+        )
+        init = graph.function_at("repro.cache.LRUCache.__init__")
+        assert init is not None
+        assert init.module == "repro.cache.lru"
+        callgraph = CallGraph(graph)
+        assert (
+            "repro.core.user:build",
+            "repro.cache.lru:LRUCache.__init__",
+        ) in edges(callgraph)
+
+    def test_constant_value_through_imports(self):
+        graph = build_graph(
+            {
+                "repro.core.a": 'SEED = 7\nNAMES = frozenset({"x", "y"})\n',
+                "repro.core.b": "from repro.core.a import SEED, NAMES\n",
+            }
+        )
+        assert graph.constant_value("repro.core.b", "SEED") == 7
+        assert graph.constant_value("repro.core.b", "NAMES") == frozenset(
+            {"x", "y"}
+        )
+
+
+class TestCallGraph:
+    def test_cycle_resolves_and_closure_terminates(self):
+        graph = build_graph(
+            {
+                "repro.core.a": """\
+                from repro.core.b import pong
+
+                def ping(n):
+                    return pong(n - 1)
+                """,
+                "repro.core.b": """\
+                from repro.core.a import ping
+
+                def pong(n):
+                    if n > 0:
+                        return ping(n)
+                    return 0
+                """,
+            }
+        )
+        callgraph = CallGraph(graph)
+        found = edges(callgraph)
+        assert ("repro.core.a:ping", "repro.core.b:pong") in found
+        assert ("repro.core.b:pong", "repro.core.a:ping") in found
+        ping = graph.functions["repro.core.a:ping"]
+        closure = {f.key for f in callgraph.reachable_from([ping])}
+        assert closure == {"repro.core.a:ping", "repro.core.b:pong"}
+
+    def test_self_method_and_inferred_local_type(self):
+        graph = build_graph(
+            {
+                "repro.core.engine": """\
+                class Simulator:
+                    def __init__(self, seed):
+                        self.seed = seed
+
+                    def run(self):
+                        return self._step()
+
+                    def _step(self):
+                        return self.seed
+                """,
+                "repro.core.driver": """\
+                from repro.core.engine import Simulator
+
+                def drive(seed):
+                    sim = Simulator(seed)
+                    return sim.run()
+                """,
+            }
+        )
+        found = edges(CallGraph(graph))
+        assert (
+            "repro.core.engine:Simulator.run",
+            "repro.core.engine:Simulator._step",
+        ) in found
+        assert (
+            "repro.core.driver:drive",
+            "repro.core.engine:Simulator.run",
+        ) in found
+        assert (
+            "repro.core.driver:drive",
+            "repro.core.engine:Simulator.__init__",
+        ) in found
+
+    def test_partial_binding_preserves_bound_args(self):
+        graph = build_graph(
+            {
+                "repro.core.a": """\
+                import functools
+
+                def work(seed, scale):
+                    return seed * scale
+
+                def launch():
+                    bound = functools.partial(work, 9)
+                    return bound(2)
+                """,
+            }
+        )
+        callgraph = CallGraph(graph)
+        sites = callgraph.callers.get("repro.core.a:work", [])
+        assert len(sites) == 1
+        (site,) = sites
+        assert site.caller.key == "repro.core.a:launch"
+        assert len(site.bound_args) == 1
+        assert isinstance(site.bound_args[0], ast.Constant)
+        assert site.bound_args[0].value == 9
+
+    def test_unresolved_call_recorded_as_external(self):
+        graph = build_graph(
+            {
+                "repro.core.a": """\
+                import os
+
+                def here():
+                    return os.getpid()
+                """,
+            }
+        )
+        callgraph = CallGraph(graph)
+        externals = callgraph.external_calls.get("repro.core.a:here", [])
+        assert [name for name, _ in externals] == ["os.getpid"]

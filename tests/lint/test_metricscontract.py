@@ -1,0 +1,187 @@
+"""Metrics-contract rules M901-M903: the registry schema stays mergeable."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+
+class TestUnregisteredFamily:
+    def test_observed_but_never_registered_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/idicn/plane.py": """\
+                def record(registry):
+                    registry.counter("repro_widget_total").inc()
+                """
+            }
+        )
+        ids = rule_ids(report)
+        assert "M901" in ids
+        assert report.exit_code() == 1
+        (diag,) = [d for d in report.diagnostics if d.rule.id == "M901"]
+        assert "repro_widget_total" in diag.message
+
+    def test_register_at_observe_with_help_is_clean(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/idicn/plane.py": """\
+                def record(registry):
+                    registry.counter(
+                        "repro_widget_total", help="widgets seen"
+                    ).inc()
+                """
+            }
+        )
+        assert "M901" not in rule_ids(report)
+
+    def test_registration_in_another_module_is_clean(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/idicn/plane.py": """\
+                def record(registry):
+                    registry.counter("repro_widget_total").inc()
+                """,
+                "src/repro/obs/families.py": """\
+                def preregister(registry):
+                    registry.counter("repro_widget_total", help="widgets")
+                """,
+            }
+        )
+        assert "M901" not in rule_ids(report)
+
+    def test_inc_shortcut_counts_as_observation(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/idicn/plane.py": """\
+                def record(registry):
+                    registry.inc("repro_widget_total")
+                """
+            }
+        )
+        assert "M901" in rule_ids(report)
+
+
+class TestLabelDrift:
+    def test_differing_label_names_are_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/idicn/plane.py": """\
+                def register(registry):
+                    registry.counter(
+                        "repro_widget_total", help="widgets", kind="a"
+                    ).inc()
+
+
+                def observe(registry):
+                    registry.counter("repro_widget_total", phase="b").inc()
+                """
+            }
+        )
+        ids = rule_ids(report)
+        assert "M902" in ids
+        (diag,) = [d for d in report.diagnostics if d.rule.id == "M902"]
+        assert "{phase}" in diag.message and "{kind}" in diag.message
+
+    def test_consistent_labels_are_clean(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/idicn/plane.py": """\
+                def register(registry):
+                    registry.counter(
+                        "repro_widget_total", help="widgets", kind="a"
+                    ).inc()
+
+
+                def observe(registry):
+                    registry.counter("repro_widget_total", kind="b").inc()
+                """
+            }
+        )
+        assert "M902" not in rule_ids(report)
+
+    def test_dynamic_label_splat_is_skipped(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/idicn/plane.py": """\
+                def register(registry):
+                    registry.counter(
+                        "repro_widget_total", help="widgets", kind="a"
+                    ).inc()
+
+
+                def observe(registry, labels):
+                    registry.counter("repro_widget_total", **labels).inc()
+                """
+            }
+        )
+        assert "M902" not in rule_ids(report)
+
+
+class TestSemanticsContract:
+    def test_wallclock_value_outside_allowlist_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                WALLCLOCK_METRICS = frozenset({"repro_phase_seconds"})
+                """,
+                "src/repro/obs/timing.py": """\
+                import time
+
+
+                def record(registry):
+                    elapsed = time.perf_counter()
+                    registry.gauge(
+                        "repro_elapsed_seconds", help="elapsed"
+                    ).set(elapsed)
+                """,
+            }
+        )
+        ids = rule_ids(report)
+        assert "M903" in ids
+        (diag,) = [d for d in report.diagnostics if d.rule.id == "M903"]
+        assert "repro_elapsed_seconds" in diag.message
+        assert "WALLCLOCK_METRICS" in diag.message
+
+    def test_allowlisted_wallclock_family_is_clean(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                WALLCLOCK_METRICS = frozenset({"repro_phase_seconds"})
+                """,
+                "src/repro/obs/timing.py": """\
+                import time
+
+
+                def record(registry):
+                    elapsed = time.perf_counter()
+                    registry.gauge(
+                        "repro_phase_seconds", help="elapsed"
+                    ).set(elapsed)
+                """,
+            }
+        )
+        assert "M903" not in rule_ids(report)
+
+    def test_inline_schema_literal_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/exporter.py": """\
+                def header():
+                    return {"schema": "repro.obs/registry/v1"}
+                """
+            }
+        )
+        ids = rule_ids(report)
+        assert "M903" in ids
+        (diag,) = [d for d in report.diagnostics if d.rule.id == "M903"]
+        assert "repro.obs/registry/v1" in diag.message
+
+    def test_schema_constant_in_obs_module_is_exempt(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/obs/constants.py": """\
+                SCHEMA_VERSION = "repro.obs/registry/v1"
+                """
+            }
+        )
+        assert "M903" not in rule_ids(report)

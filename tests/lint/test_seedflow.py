@@ -1,0 +1,206 @@
+"""Seed-flow rules S701-S703: generator seeds must keep their lineage."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+
+class TestAmbientSeed:
+    def test_wall_clock_seed_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/workload/gen.py": """\
+                import time
+
+                import numpy as np
+
+
+                def make():
+                    seed = int(time.time())
+                    return np.random.default_rng(seed)
+                """
+            }
+        )
+        ids = rule_ids(report)
+        assert "S701" in ids
+        assert report.exit_code() == 1
+        (diag,) = [d for d in report.diagnostics if d.rule.id == "S701"]
+        assert "time.time" in diag.message
+
+    def test_os_entropy_through_helper_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/workload/gen.py": """\
+                import os
+
+                import numpy as np
+
+
+                def entropy():
+                    return int.from_bytes(os.urandom(8), "little")
+
+
+                def make():
+                    return np.random.default_rng(entropy())
+                """
+            }
+        )
+        assert "S701" in rule_ids(report)
+
+    def test_seed_sequence_lineage_is_clean(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/workload/gen.py": """\
+                import numpy as np
+
+
+                def make(seed_sequence):
+                    child = seed_sequence.spawn(1)[0]
+                    return np.random.default_rng(child)
+                """
+            }
+        )
+        assert "S701" not in rule_ids(report)
+        assert "S702" not in rule_ids(report)
+
+
+class TestLiteralReseed:
+    def test_literal_deep_in_seeded_chain_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/run.py": """\
+                import numpy as np
+
+
+                def run_experiment(data, rng):
+                    return _inner(data)
+
+
+                def _inner(data):
+                    gen = np.random.default_rng(42)
+                    return gen.random()
+                """
+            }
+        )
+        ids = rule_ids(report)
+        assert "S702" in ids
+        assert report.exit_code() == 1
+        (diag,) = [d for d in report.diagnostics if d.rule.id == "S702"]
+        assert "run_experiment" in diag.message
+
+    def test_named_module_constant_is_exempt(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/run.py": """\
+                import numpy as np
+
+                _PINNED_SEED = 0xC0FFEE
+
+
+                def run_experiment(data, rng):
+                    return _inner(data)
+
+
+                def _inner(data):
+                    gen = np.random.default_rng(_PINNED_SEED)
+                    return gen.random()
+                """
+            }
+        )
+        assert "S702" not in rule_ids(report)
+
+    def test_no_seeded_caller_means_no_finding(self, lint_tree):
+        # An isolated literal seed with no rng-carrying caller anywhere
+        # is a pinned entry point, not a chain-splitting re-seed.
+        report = lint_tree(
+            {
+                "src/repro/core/run.py": """\
+                import numpy as np
+
+
+                def demo(data):
+                    gen = np.random.default_rng(42)
+                    return gen.random()
+                """
+            }
+        )
+        assert "S702" not in rule_ids(report)
+
+    def test_threaded_seed_param_stays_d104_territory(self, lint_tree):
+        # The enclosing function accepts a seed itself: the intra-function
+        # family (D104) owns that case, S702 must not double-report.
+        report = lint_tree(
+            {
+                "src/repro/core/run.py": """\
+                import numpy as np
+
+
+                def run_experiment(data, rng):
+                    return _inner(data, 3)
+
+
+                def _inner(data, seed):
+                    gen = np.random.default_rng(seed)
+                    return gen.random()
+                """
+            }
+        )
+        assert "S702" not in rule_ids(report)
+
+
+class TestModuleScopeGenerator:
+    def test_module_scope_generator_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/cache/policy.py": """\
+                import numpy as np
+
+                _RNG = np.random.default_rng(0)
+                """
+            }
+        )
+        ids = rule_ids(report)
+        assert "S703" in ids
+        assert report.exit_code() == 1
+
+    def test_class_attribute_generator_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/idicn/node.py": """\
+                import numpy as np
+
+
+                class Node:
+                    rng = np.random.default_rng(7)
+                """
+            }
+        )
+        assert "S703" in rule_ids(report)
+
+    def test_function_scope_construction_is_clean(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/cache/policy.py": """\
+                import numpy as np
+
+
+                def build(seed):
+                    return np.random.default_rng(seed)
+                """
+            }
+        )
+        assert "S703" not in rule_ids(report)
+
+    def test_out_of_scope_package_is_ignored(self, lint_tree):
+        # The family is scoped to core/cache/workload/idicn; obs helpers
+        # may build generators at module scope without S703.
+        report = lint_tree(
+            {
+                "src/repro/obs/demo.py": """\
+                import numpy as np
+
+                _RNG = np.random.default_rng(0)
+                """
+            }
+        )
+        assert "S703" not in rule_ids(report)

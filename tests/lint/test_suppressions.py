@@ -107,3 +107,88 @@ class TestSuppressionIndex:
             "# we should lint: disable nothing here\n"
         )
         assert not index.is_suppressed("D101", 1)
+
+    def test_docstring_mention_is_not_a_suppression(self):
+        # Prose that *quotes* the syntax (rule docs, this very module's
+        # docstring) must not register as an entry.
+        index = SuppressionIndex.from_source(
+            '"""Use ``# lint: disable=D101`` to silence imports."""\n'
+            "x = 1\n"
+        )
+        assert index.entries == []
+
+    def test_unparseable_source_falls_back_to_line_scan(self):
+        index = SuppressionIndex.from_source(
+            "def broken(:\n" "x = 1  # lint: disable=D101\n"
+        )
+        assert index.is_suppressed("D101", 2)
+
+
+class TestSuppressionHygiene:
+    def test_unknown_rule_id_is_e998_error(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/mod.py": """\
+                import random  # lint: disable=D999
+                """
+            }
+        )
+        ids = rule_ids(report)
+        assert "E998" in ids
+        assert "D101" in ids  # the typo'd suppression silenced nothing
+        (diag,) = [d for d in report.diagnostics if d.rule.id == "E998"]
+        assert "D999" in diag.message
+        assert report.exit_code() == 1
+
+    def test_unused_suppression_is_e997_under_strict_only(self, lint_tree):
+        files = {
+            "src/repro/core/mod.py": """\
+            X = 1  # lint: disable=D101
+            """
+        }
+        assert rule_ids(lint_tree(files)) == []
+        report = lint_tree(files, strict=True)
+        assert rule_ids(report) == ["E997"]
+        (diag,) = report.diagnostics
+        assert "D101" in diag.message
+        assert report.exit_code(strict=True) == 1
+
+    def test_used_suppression_is_not_reported_under_strict(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/mod.py": """\
+                import random  # lint: disable=D101
+                """
+            },
+            strict=True,
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+    def test_file_wide_unused_suppression_names_its_scope(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/mod.py": """\
+                # lint: disable-file=D105
+                X = 1
+                """
+            },
+            strict=True,
+        )
+        (diag,) = report.diagnostics
+        assert diag.rule.id == "E997"
+        assert "file-wide" in diag.message
+
+    def test_deselected_rule_suppression_is_not_unused(self, lint_tree):
+        # Under --select the suppressed family never ran, so the entry
+        # is irrelevant rather than stale.
+        report = lint_tree(
+            {
+                "src/repro/core/mod.py": """\
+                X = 1  # lint: disable=D101
+                """
+            },
+            select=["O401"],
+            strict=True,
+        )
+        assert rule_ids(report) == []

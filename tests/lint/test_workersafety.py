@@ -1,0 +1,225 @@
+"""Worker-safety rules W801-W803: what the sweep may hand to workers."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+
+class TestWorkerNotToplevel:
+    def test_lambda_submit_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                def run_sweep(configs, pool):
+                    futures = [pool.submit(lambda c: c, c) for c in configs]
+                    return [f.result() for f in futures]
+                """
+            }
+        )
+        ids = rule_ids(report)
+        assert "W801" in ids
+        assert report.exit_code() == 1
+
+    def test_nested_function_submit_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                def run_sweep(configs, pool):
+                    def worker(c):
+                        return c
+
+                    return [pool.submit(worker, c) for c in configs]
+                """
+            }
+        )
+        assert "W801" in rule_ids(report)
+
+    def test_toplevel_function_submit_is_clean(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                def _work(c):
+                    return c
+
+
+                def run_sweep(configs, pool):
+                    return [pool.submit(_work, c) for c in configs]
+                """
+            }
+        )
+        assert "W801" not in rule_ids(report)
+
+
+class TestWorkerGlobalWrite:
+    def test_mutator_call_on_module_global_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                RESULTS = []
+
+
+                def _work(c):
+                    RESULTS.append(c)
+                    return c
+
+
+                def run_sweep(configs, pool):
+                    return [pool.submit(_work, c) for c in configs]
+                """
+            }
+        )
+        ids = rule_ids(report)
+        assert "W802" in ids
+        assert report.exit_code() == 1
+        (diag,) = [d for d in report.diagnostics if d.rule.id == "W802"]
+        assert "RESULTS" in diag.message
+
+    def test_global_declaration_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                COUNT = 0
+
+
+                def _work(c):
+                    global COUNT
+                    COUNT += 1
+                    return c
+
+
+                def run_sweep(configs, pool):
+                    return [pool.submit(_work, c) for c in configs]
+                """
+            }
+        )
+        assert "W802" in rule_ids(report)
+
+    def test_write_reached_through_helper_module_is_flagged(self, lint_tree):
+        # The write sits one call away, in a different module: only the
+        # cross-module closure sees it.
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                from repro.core.state import record
+
+
+                def _work(c):
+                    record(c)
+                    return c
+
+
+                def run_sweep(configs, pool):
+                    return [pool.submit(_work, c) for c in configs]
+                """,
+                "src/repro/core/state.py": """\
+                SEEN = {}
+
+
+                def record(c):
+                    SEEN[c] = True
+                """,
+            }
+        )
+        ids = rule_ids(report)
+        assert "W802" in ids
+        (diag,) = [d for d in report.diagnostics if d.rule.id == "W802"]
+        assert diag.path.endswith("state.py")
+
+    def test_local_mutation_is_clean(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                def _work(c):
+                    out = []
+                    out.append(c)
+                    return out
+
+
+                def run_sweep(configs, pool):
+                    return [pool.submit(_work, c) for c in configs]
+                """
+            }
+        )
+        assert "W802" not in rule_ids(report)
+
+
+class TestWorkerCapturedHandle:
+    def test_module_level_handle_capture_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                _LOG = open("sweep.log", "a")
+
+
+                def _work(c):
+                    _LOG.write(str(c))
+                    return c
+
+
+                def run_sweep(configs, pool):
+                    return [pool.submit(_work, c) for c in configs]
+                """
+            }
+        )
+        ids = rule_ids(report)
+        assert "W803" in ids
+        assert report.exit_code() == 1
+
+    def test_lock_parameter_default_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                import threading
+
+
+                def _work(c, lock=threading.Lock()):
+                    with lock:
+                        return c
+
+
+                def run_sweep(configs, pool):
+                    return [pool.submit(_work, c) for c in configs]
+                """
+            }
+        )
+        assert "W803" in rule_ids(report)
+
+    def test_unreachable_function_is_not_checked(self, lint_tree):
+        # The hazard exists but nothing dispatches it to a worker.
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                _LOG = open("sweep.log", "a")
+
+
+                def _unrelated(c):
+                    _LOG.write(str(c))
+
+
+                def run_sweep(configs):
+                    return list(configs)
+                """
+            }
+        )
+        assert "W803" not in rule_ids(report)
+
+    def test_runner_param_default_is_a_dispatch_root(self, lint_tree):
+        # The declared `runner=` default is dispatched even without a
+        # literal submit call in view.
+        report = lint_tree(
+            {
+                "src/repro/core/sweep.py": """\
+                RESULTS = []
+
+
+                def _run_point(c):
+                    RESULTS.append(c)
+                    return c
+
+
+                def run_sweep(configs, runner=_run_point):
+                    return [runner(c) for c in configs]
+                """
+            }
+        )
+        assert "W802" in rule_ids(report)
