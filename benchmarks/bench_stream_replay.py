@@ -1,0 +1,225 @@
+"""End-to-end streamed replay of a synthetic CDN log: 100M requests, O(1) RSS.
+
+The streaming contract the tentpole sells — replay a trace of *any*
+length in constant memory — is only credible if something actually
+replays a huge trace and watches the memory.  This bench does exactly
+that: it generates a 100M-request synthetic CDN workload (Zipf over a
+fixed catalog, population-weighted arrivals) as a chunked stream and
+replays it end to end through the fast engine — the no-cache baseline
+pass plus a full ICN-SP cache simulation — without ever materializing
+a request column.
+
+Each replay runs in a child process so ``ru_maxrss`` measures that
+replay alone, not the parent's pytest/history.  Two trace lengths 10x
+apart share one fixed catalog and network; peak RSS must agree within
+10% (plus a small allocator-noise floor), which is what "independent
+of trace length" means operationally.  An absolute ceiling
+(``REPRO_STREAM_RSS_CEILING_MB``, default 4096 MB) backstops the ratio
+against both runs bloating together.
+
+Throughput and peak RSS land in the ``stream_replay`` section of
+``BENCH_core.json`` (merged into the existing report; the section
+carries its own ``scale``).  The ``*_seconds`` /
+``*_requests_per_second`` entries are gated by ``bench-diff`` in CI;
+the RSS numbers are reported there but asserted here.
+
+Scale with ``REPRO_BENCH_SCALE`` as usual: 1.0 replays the full 100M
+requests (the committed numbers), 0.2 is the CI smoke run (20M).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+#: The full-scale trace length (requests) at SCALE = 1.
+BASE_REQUESTS = 100_000_000
+
+#: Catalog size — deliberately *not* scaled with the trace: per-object
+#: tables (sizes, origins, cache state) are the legitimate O(catalog)
+#: memory, so holding the catalog fixed isolates the O(trace) leaks the
+#: RSS ratio is hunting.
+NUM_OBJECTS = 50_000
+
+#: Absolute peak-RSS backstop for the *long* replay (MB).
+RSS_CEILING_MB = float(os.environ.get("REPRO_STREAM_RSS_CEILING_MB", "4096"))
+
+#: Long-vs-short RSS tolerance: ratio plus an allocator-noise floor.
+RSS_RATIO_LIMIT = 1.10
+RSS_SLACK_MB = 32.0
+
+
+def _child(num_requests: int, seed: int, chunk_size: int) -> None:
+    """Replay ``num_requests`` streamed requests and report on stdout."""
+    import numpy as np
+
+    from repro.cache.budget import node_budgets
+    from repro.core import ICN_SP, Simulator, simulate_no_cache
+    from repro.topology import AccessTree, Network, topology
+    from repro.workload.stream import stream_workload
+
+    network = Network(topology("abilene"), AccessTree(arity=2, depth=3))
+    workload = stream_workload(
+        network, NUM_OBJECTS, num_requests, 1.04,
+        np.random.default_rng(seed), chunk_size=chunk_size,
+    )
+    budgets = node_budgets(network, 0.05, NUM_OBJECTS, "proportional")
+
+    start = time.perf_counter()
+    baseline = simulate_no_cache(network, workload, engine="fast")
+    no_cache_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cached = Simulator(
+        network, ICN_SP, workload, budgets, engine="fast"
+    ).run()
+    icn_sp_seconds = time.perf_counter() - start
+
+    assert baseline.num_requests == num_requests
+    assert cached.num_requests == num_requests
+    assert cached.total_latency < baseline.total_latency
+
+    # Linux reports ru_maxrss in kilobytes.
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    json.dump(
+        {
+            "requests": num_requests,
+            "no_cache_seconds": no_cache_seconds,
+            "icn_sp_seconds": icn_sp_seconds,
+            "peak_rss_mb": peak_rss_kb / 1024.0,
+        },
+        sys.stdout,
+    )
+
+
+def _replay_in_child(num_requests: int, seed: int, chunk_size: int) -> dict:
+    """Run one replay in a fresh interpreter; return its JSON report."""
+    proc = subprocess.run(
+        [
+            sys.executable, __file__, "--child",
+            str(num_requests), str(seed), str(chunk_size),
+        ],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def _merge_into_report(section: dict, scale: float, seed: int) -> None:
+    """Attach ``section`` to BENCH_core.json, preserving other sections.
+
+    The stream section records its own ``scale``, so merging into a
+    report produced at a different scale never lies about either.  A
+    missing or unreadable report is rebuilt fresh (this is how the CI
+    stream-smoke job isolates its gate to the stream metrics).
+    """
+    report: dict = {}
+    if BENCH_JSON.exists():
+        try:
+            loaded = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            loaded = None
+        if isinstance(loaded, dict) and loaded.get("schema") == "bench_core/v1":
+            report = loaded
+    if not report:
+        report = {
+            "schema": "bench_core/v1",
+            "scale": scale,
+            "seed": seed,
+            "workers": 0,
+        }
+    report["stream_replay"] = section
+    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def test_stream_replay_constant_memory(once):
+    from conftest import SCALE, SEED, emit
+
+    long_requests = max(1_000_000, int(BASE_REQUESTS * SCALE))
+    short_requests = long_requests // 10
+    # Both runs must sit in the steady-state regime (trace >> chunk),
+    # or the short run's peak never reaches the per-chunk footprint and
+    # the ratio measures chunk fill, not trace-length dependence.
+    chunk_size = max(65_536, min(1 << 20, short_requests // 4))
+
+    def run():
+        return (
+            _replay_in_child(short_requests, SEED, chunk_size),
+            _replay_in_child(long_requests, SEED, chunk_size),
+        )
+
+    short, long = once(run)
+
+    def totals(report):
+        seconds = report["no_cache_seconds"] + report["icn_sp_seconds"]
+        # Two full passes over the stream (baseline + ICN-SP).
+        return seconds, 2 * report["requests"] / seconds
+
+    short_seconds, short_rps = totals(short)
+    long_seconds, long_rps = totals(long)
+    section = {
+        "scale": SCALE,
+        "seed": SEED,
+        "network": "abilene",
+        "tree_depth": 3,
+        "num_objects": NUM_OBJECTS,
+        "chunk_size": chunk_size,
+        "requests": long_requests,
+        "replay_seconds": round(long_seconds, 3),
+        "replay_requests_per_second": round(long_rps),
+        "no_cache_seconds": round(long["no_cache_seconds"], 3),
+        "icn_sp_seconds": round(long["icn_sp_seconds"], 3),
+        "peak_rss_mb": round(long["peak_rss_mb"], 1),
+        "short_requests": short_requests,
+        "short_replay_seconds": round(short_seconds, 3),
+        "short_replay_requests_per_second": round(short_rps),
+        "short_peak_rss_mb": round(short["peak_rss_mb"], 1),
+        "rss_ratio": round(long["peak_rss_mb"] / short["peak_rss_mb"], 3),
+    }
+    _merge_into_report(section, SCALE, SEED)
+
+    emit(
+        "stream_replay",
+        "\n".join(
+            [
+                "Streamed CDN-log replay (fast engine, no-cache + ICN-SP)",
+                f"  scale {SCALE}, seed {SEED}, catalog {NUM_OBJECTS} objects",
+                f"  long:  {long_requests:>12,} requests  "
+                f"{long_seconds:8.1f}s  {long_rps:>9,.0f} req/s  "
+                f"peak RSS {long['peak_rss_mb']:7.1f} MB",
+                f"  short: {short_requests:>12,} requests  "
+                f"{short_seconds:8.1f}s  {short_rps:>9,.0f} req/s  "
+                f"peak RSS {short['peak_rss_mb']:7.1f} MB",
+                f"  RSS ratio (long/short): {section['rss_ratio']}",
+                f"  written to {BENCH_JSON.name} (stream_replay)",
+            ]
+        ),
+    )
+
+    # The contract: a 10x longer trace must not cost more memory.
+    assert long["peak_rss_mb"] <= (
+        RSS_RATIO_LIMIT * short["peak_rss_mb"] + RSS_SLACK_MB
+    ), (
+        f"peak RSS grew with trace length: {long['peak_rss_mb']:.1f} MB "
+        f"at {long_requests:,} requests vs {short['peak_rss_mb']:.1f} MB "
+        f"at {short_requests:,}"
+    )
+    assert long["peak_rss_mb"] <= RSS_CEILING_MB, (
+        f"peak RSS {long['peak_rss_mb']:.1f} MB exceeds the "
+        f"{RSS_CEILING_MB:.0f} MB ceiling"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 5 and sys.argv[1] == "--child":
+        _child(int(sys.argv[2]), int(sys.argv[3]), int(sys.argv[4]))
+    else:  # pragma: no cover - manual invocation guard
+        raise SystemExit("run via pytest, or with --child N SEED CHUNK")

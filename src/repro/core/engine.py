@@ -27,6 +27,7 @@ import numpy as np
 from ..cache import Cache, InfiniteCache, make_cache
 from ..topology.network import HopCosts, Network
 from ..workload.generator import Workload
+from ..workload.stream import StreamingWorkload
 from .architectures import Architecture
 from .capacity import CapacityModel, CapacityTracker
 from .metrics import MetricsCollector, SimulationResult
@@ -49,6 +50,28 @@ ENGINES = ("reference", "fast")
 _INSERT_SEED = 0xC0FFEE
 
 
+def _stream_bounds(
+    workload: Workload | StreamingWorkload, warmup_fraction: float
+) -> tuple[int, int]:
+    """Resolve ``(num_requests, first_measured)`` for a request stream.
+
+    A :class:`StreamingWorkload` may not know its length up front
+    (``num_requests is None``); that is only workable with no warmup,
+    because the warmup boundary is an absolute request index.  The
+    resolved length is then reported as 0 (e.g. in observer run
+    headers) and every request is measured.
+    """
+    num_requests = workload.num_requests
+    if num_requests is None:
+        if warmup_fraction != 0.0:
+            raise ValueError(
+                "warmup_fraction > 0 requires a stream of known length; "
+                "this StreamingWorkload has num_requests=None"
+            )
+        return 0, 0
+    return num_requests, int(warmup_fraction * num_requests)
+
+
 class Simulator:
     """Runs one architecture over one workload on one network."""
 
@@ -56,7 +79,7 @@ class Simulator:
         self,
         network: Network,
         architecture: Architecture,
-        workload: Workload,
+        workload: Workload | StreamingWorkload,
         budgets: list[float],
         policy: str = "lru",
         hop_costs: HopCosts | None = None,
@@ -178,14 +201,12 @@ class Simulator:
         network = self.network
         workload = self.workload
         tree_size = self._tree_size
-        pops = workload.pops
-        leaves = workload.leaves
-        objects = workload.objects
         sizes = workload.sizes
         origins = workload.origins
         costs = self.costs
-        num_requests = len(objects)
-        first_measured = int(self.warmup_fraction * num_requests)
+        num_requests, first_measured = _stream_bounds(
+            workload, self.warmup_fraction
+        )
         collector = MetricsCollector(network.num_links, network.num_pops)
         if self.architecture.routing == "nr-global":
             route = self._route_nr_global
@@ -234,76 +255,83 @@ class Simulator:
                 return evicted
 
             insert = counting_insert
-        for i in range(num_requests):
-            pop = int(pops[i])
-            leaf_local = int(leaves[i])
-            obj = int(objects[i])
-            origin_pop = int(origins[obj])
-            serving, served_origin_pop, coop, fallback = route(
-                pop, leaf_local, obj, origin_pop, i
-            )
-            leaf_gid = pop * tree_size + leaf_local
-            if i >= first_measured:
-                if serving == leaf_gid:
-                    collector.record(
-                        0.0, [], sizes[obj], served_origin_pop, coop, fallback
-                    )
-                else:
-                    collector.record(
-                        path_cost(serving, leaf_gid, costs),
-                        path_links(serving, leaf_gid),
-                        sizes[obj],
-                        served_origin_pop,
-                        coop,
-                        fallback,
-                    )
-            if rec is not None:
+        # The request stream arrives in chunks (a materialized workload
+        # yields exactly one); `i` is the running global request index,
+        # so warmup and trace sampling are chunk-boundary agnostic.
+        i = 0
+        for req_chunk in workload.chunks():
+            for pop, leaf_local, obj in zip(
+                req_chunk.pops.tolist(),
+                req_chunk.leaves.tolist(),
+                req_chunk.objects.tolist(),
+            ):
+                origin_pop = int(origins[obj])
+                serving, served_origin_pop, coop, fallback = route(
+                    pop, leaf_local, obj, origin_pop, i
+                )
+                leaf_gid = pop * tree_size + leaf_local
                 if i >= first_measured:
-                    rec.serves[serving] += 1
-                if trace_wants is not None and trace_wants(i):
-                    assert trace_emit is not None
-                    trace_emit(
-                        i,
-                        pop,
-                        leaf_local,
-                        obj,
-                        serving,
-                        served_origin_pop,
-                        0.0
-                        if serving == leaf_gid
-                        else path_cost(serving, leaf_gid, costs),
-                        float(sizes[obj]),
-                        coop,
-                        fallback,
-                    )
-            if serving != leaf_gid and not self.frozen_caches:
-                size = sizes[obj]
-                if insertion == "everywhere":
-                    for node in path_nodes(serving, leaf_gid)[1:]:
-                        if (
-                            node % tree_size in cache_local_set
-                            and node not in failed
-                        ):
-                            insert(node, obj, size)
-                elif insertion == "lcd":
-                    # Leave-copy-down: only the first cache below the
-                    # serving node takes a copy, so popular objects
-                    # migrate toward the edge one level per request.
-                    for node in path_nodes(serving, leaf_gid)[1:]:
-                        if (
-                            node % tree_size in cache_local_set
-                            and node not in failed
-                        ):
-                            insert(node, obj, size)
-                            break
-                else:  # probabilistic
-                    for node in path_nodes(serving, leaf_gid)[1:]:
-                        if (
-                            node % tree_size in cache_local_set
-                            and node not in failed
-                            and insert_rng.random() < insert_probability
-                        ):
-                            insert(node, obj, size)
+                    if serving == leaf_gid:
+                        collector.record(
+                            0.0, [], sizes[obj], served_origin_pop, coop, fallback
+                        )
+                    else:
+                        collector.record(
+                            path_cost(serving, leaf_gid, costs),
+                            path_links(serving, leaf_gid),
+                            sizes[obj],
+                            served_origin_pop,
+                            coop,
+                            fallback,
+                        )
+                if rec is not None:
+                    if i >= first_measured:
+                        rec.serves[serving] += 1
+                    if trace_wants is not None and trace_wants(i):
+                        assert trace_emit is not None
+                        trace_emit(
+                            i,
+                            pop,
+                            leaf_local,
+                            obj,
+                            serving,
+                            served_origin_pop,
+                            0.0
+                            if serving == leaf_gid
+                            else path_cost(serving, leaf_gid, costs),
+                            float(sizes[obj]),
+                            coop,
+                            fallback,
+                        )
+                if serving != leaf_gid and not self.frozen_caches:
+                    size = sizes[obj]
+                    if insertion == "everywhere":
+                        for node in path_nodes(serving, leaf_gid)[1:]:
+                            if (
+                                node % tree_size in cache_local_set
+                                and node not in failed
+                            ):
+                                insert(node, obj, size)
+                    elif insertion == "lcd":
+                        # Leave-copy-down: only the first cache below the
+                        # serving node takes a copy, so popular objects
+                        # migrate toward the edge one level per request.
+                        for node in path_nodes(serving, leaf_gid)[1:]:
+                            if (
+                                node % tree_size in cache_local_set
+                                and node not in failed
+                            ):
+                                insert(node, obj, size)
+                                break
+                    else:  # probabilistic
+                        for node in path_nodes(serving, leaf_gid)[1:]:
+                            if (
+                                node % tree_size in cache_local_set
+                                and node not in failed
+                                and insert_rng.random() < insert_probability
+                            ):
+                                insert(node, obj, size)
+                i += 1
         result = collector.result(self.architecture.name)
         if observer is not None and rec is not None:
             observer.finish_run(rec, result)
@@ -486,7 +514,7 @@ class Simulator:
 
 def simulate_no_cache(
     network: Network,
-    workload: Workload,
+    workload: Workload | StreamingWorkload,
     hop_costs: HopCosts | None = None,
     warmup_fraction: float = 0.0,
     engine: str = "reference",
@@ -506,13 +534,9 @@ def simulate_no_cache(
         )
     tree_size = network.tree_size
     collector = MetricsCollector(network.num_links, network.num_pops)
-    pops = workload.pops
-    leaves = workload.leaves
-    objects = workload.objects
     sizes = workload.sizes
     origins = workload.origins
-    num_requests = len(objects)
-    first_measured = int(warmup_fraction * num_requests)
+    num_requests, first_measured = _stream_bounds(workload, warmup_fraction)
     rec = None
     trace_wants: Callable[[int], bool] | None = None
     trace_emit = None
@@ -523,37 +547,48 @@ def simulate_no_cache(
         if observer.tracer is not None:
             trace_wants = observer.tracer.wants
             trace_emit = observer.tracer.emit_request
-    for i in range(first_measured, num_requests):
-        pop = int(pops[i])
-        obj = int(objects[i])
-        origin_pop = int(origins[obj])
-        leaf_local = int(leaves[i])
-        leaf_gid = pop * tree_size + leaf_local
-        origin_root = origin_pop * tree_size
-        cost = network.path_cost(origin_root, leaf_gid, costs)
-        collector.record(
-            cost,
-            network.path_links(origin_root, leaf_gid),
-            sizes[obj],
-            origin_pop,
-            False,
-        )
-        if rec is not None:
-            rec.serves[origin_root] += 1
-            if trace_wants is not None and trace_wants(i):
-                assert trace_emit is not None
-                trace_emit(
-                    i,
-                    pop,
-                    leaf_local,
-                    obj,
-                    origin_root,
-                    origin_pop,
-                    cost,
-                    float(sizes[obj]),
-                    False,
-                    False,
-                )
+    i = 0
+    for req_chunk in workload.chunks():
+        n = len(req_chunk)
+        if i + n <= first_measured:
+            i += n  # the whole chunk is warmup: skip it wholesale
+            continue
+        for pop, leaf_local, obj in zip(
+            req_chunk.pops.tolist(),
+            req_chunk.leaves.tolist(),
+            req_chunk.objects.tolist(),
+        ):
+            if i < first_measured:
+                i += 1
+                continue
+            origin_pop = int(origins[obj])
+            leaf_gid = pop * tree_size + leaf_local
+            origin_root = origin_pop * tree_size
+            cost = network.path_cost(origin_root, leaf_gid, costs)
+            collector.record(
+                cost,
+                network.path_links(origin_root, leaf_gid),
+                sizes[obj],
+                origin_pop,
+                False,
+            )
+            if rec is not None:
+                rec.serves[origin_root] += 1
+                if trace_wants is not None and trace_wants(i):
+                    assert trace_emit is not None
+                    trace_emit(
+                        i,
+                        pop,
+                        leaf_local,
+                        obj,
+                        origin_root,
+                        origin_pop,
+                        cost,
+                        float(sizes[obj]),
+                        False,
+                        False,
+                    )
+            i += 1
     result = collector.result("NO-CACHE")
     if observer is not None and rec is not None:
         observer.finish_run(rec, result)

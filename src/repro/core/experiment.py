@@ -26,6 +26,12 @@ from ..workload.generator import (
     workload_from_objects,
 )
 from ..workload.sizes import lognormal_sizes, normalized_sizes
+from ..workload.stream import (
+    DEFAULT_CHUNK_SIZE,
+    StreamingWorkload,
+    pop_shard,
+    stream_workload,
+)
 from .architectures import Architecture, BASELINE_ARCHITECTURES
 from .capacity import CapacityModel
 from .engine import Simulator, simulate_no_cache
@@ -124,24 +130,48 @@ def build_workload(
     )
 
 
-def run_experiment(
+def build_streaming_workload(
     config: ExperimentConfig,
-    architectures: Iterable[Architecture] = BASELINE_ARCHITECTURES,
-    objects: np.ndarray | None = None,
-    pop_topology: PopTopology | None = None,
-    engine: str = "reference",
-    observer: "Observer | None" = None,
-) -> ExperimentResult:
-    """Run the baseline and every architecture over one shared workload.
+    network: Network,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> StreamingWorkload:
+    """Streaming twin of :func:`build_workload` (generated workloads).
 
-    ``engine`` selects the simulation engine ("reference" or "fast");
-    both produce identical results, so it only changes wall-clock time.
-    ``observer`` attaches an optional :class:`repro.obs.Observer` to the
-    baseline and every architecture run (observation never changes
-    simulated numbers).
+    Consumes ``config.seed`` exactly as :func:`build_workload` does, so
+    the chunked stream is bit-identical to the materialized workload's
+    request columns while peak memory stays O(catalog + chunk).
     """
-    network = build_network(config, pop_topology)
-    workload = build_workload(config, network, objects=objects)
+    rng = np.random.default_rng(config.seed)
+    sizes = None
+    if config.heterogeneous_sizes:
+        sizes = normalized_sizes(lognormal_sizes(config.num_objects, rng))
+    return stream_workload(
+        network,
+        config.num_objects,
+        config.num_requests,
+        config.alpha,
+        rng,
+        spatial_skew=config.spatial_skew,
+        sizes=sizes,
+        origin_mode=config.origin_mode,
+        chunk_size=chunk_size,
+    )
+
+
+def _run_architectures(
+    config: ExperimentConfig,
+    network: Network,
+    workload: "Workload | StreamingWorkload",
+    architectures: Iterable[Architecture],
+    engine: str,
+    observer: "Observer | None",
+) -> ExperimentResult:
+    """Shared experiment body: no-cache baseline plus each architecture.
+
+    Both the materialized (:func:`run_experiment`) and streamed
+    (:func:`run_streamed_experiment`) fronts funnel through here, so
+    the two paths cannot drift apart in how runs are wired.
+    """
     costs = build_hop_costs(
         network, config.latency_model, config.core_latency_factor
     )
@@ -176,6 +206,66 @@ def run_experiment(
         improved[architecture.name] = improvements(result, baseline)
     return ExperimentResult(
         config=config, baseline=baseline, results=results, improvements=improved
+    )
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    architectures: Iterable[Architecture] = BASELINE_ARCHITECTURES,
+    objects: np.ndarray | None = None,
+    pop_topology: PopTopology | None = None,
+    engine: str = "reference",
+    observer: "Observer | None" = None,
+) -> ExperimentResult:
+    """Run the baseline and every architecture over one shared workload.
+
+    ``engine`` selects the simulation engine ("reference" or "fast");
+    both produce identical results, so it only changes wall-clock time.
+    ``observer`` attaches an optional :class:`repro.obs.Observer` to the
+    baseline and every architecture run (observation never changes
+    simulated numbers).
+    """
+    network = build_network(config, pop_topology)
+    workload = build_workload(config, network, objects=objects)
+    return _run_architectures(
+        config, network, workload, architectures, engine, observer
+    )
+
+
+def run_streamed_experiment(
+    config: ExperimentConfig,
+    architectures: Iterable[Architecture] = BASELINE_ARCHITECTURES,
+    shard: tuple[int, int] | None = None,
+    pop_topology: PopTopology | None = None,
+    engine: str = "fast",
+    observer: "Observer | None" = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> ExperimentResult:
+    """Streamed twin of :func:`run_experiment`: same numbers, O(chunk) memory.
+
+    The request stream is regenerated chunk by chunk from
+    ``config.seed`` instead of materialized, so results are
+    field-for-field identical to :func:`run_experiment` on the same
+    config while the request columns never exist in full.
+
+    ``shard=(i, n)`` restricts the run to the sub-stream of requests
+    arriving at PoPs with ``pop % n == i`` — the unit :func:`repro.core.sweep.shard_points`
+    distributes across sweep workers.  Each worker regenerates the
+    seed-derived stream and filters it locally, so no request arrays
+    ever cross a process boundary; the shards partition the stream
+    exactly, and at ``warmup_fraction=0`` their merged no-cache
+    baselines (:func:`repro.core.metrics.merge_results`) equal the
+    whole-stream baseline bit for bit.
+    """
+    network = build_network(config, pop_topology)
+    workload: StreamingWorkload = build_streaming_workload(
+        config, network, chunk_size=chunk_size
+    )
+    if shard is not None:
+        index, num_shards = shard
+        workload = pop_shard(workload, index, num_shards)
+    return _run_architectures(
+        config, network, workload, architectures, engine, observer
     )
 
 

@@ -7,9 +7,11 @@ reference per-request loop — the differential suite
 equal :class:`SimulationResult` objects — but restructures the work so
 CPython spends its time on arithmetic instead of attribute lookups:
 
-* the workload's NumPy columns are converted to flat Python lists once
-  (per-request ``int(arr[i])`` extraction is the reference loop's
-  single biggest cost);
+* the workload's NumPy request columns are converted to flat Python
+  lists one chunk at a time as the stream arrives (per-request
+  ``int(arr[i])`` extraction is the reference loop's single biggest
+  cost, and per-chunk conversion keeps peak memory O(chunk) for
+  streamed workloads);
 * per-``(serving node, leaf)`` latency, response-path link ids, and
   insertable cache nodes are computed once through the reference
   :class:`~repro.topology.network.Network` oracles and memoized — so
@@ -37,6 +39,8 @@ from ..cache import InfiniteCache
 from ..cache.fast import FastInfinite, make_fast_cache
 from ..topology.network import HopCosts, Network
 from ..workload.generator import Workload
+from ..workload.stream import StreamingWorkload
+from .engine import _stream_bounds
 from .metrics import SimulationResult
 from .routing import ReplicaDirectory
 
@@ -78,10 +82,9 @@ class FastEngine:
         self._ts = ts
         num_objects = workload.num_objects
 
-        # Workload columns as flat Python lists (one-time conversion).
-        self._pops = workload.pops.tolist()
-        self._leaves = workload.leaves.tolist()
-        self._objects = workload.objects.tolist()
+        # Per-object tables as flat Python lists (one-time conversion).
+        # Request columns are NOT materialized here: run() converts them
+        # chunk by chunk as the workload streams through.
         self._sizes = workload.sizes.tolist()
         self._origins = workload.origins.tolist()
 
@@ -202,9 +205,7 @@ class FastEngine:
         routing = arch.routing
         ts = self._ts
         num_nodes = network.num_nodes
-        pops = self._pops
-        leaves = self._leaves
-        objects = self._objects
+        workload = sim.workload
         sizes = self._sizes
         origins = self._origins
         depth = self._depth
@@ -246,8 +247,9 @@ class FastEngine:
         inline_lru_insert = lru_mode and ins_everywhere and directory is None
         inline_inf_insert = arch.infinite and ins_everywhere and directory is None
 
-        num_requests = len(objects)
-        first_measured = int(sim.warmup_fraction * num_requests)
+        num_requests, first_measured = _stream_bounds(
+            workload, sim.warmup_fraction
+        )
 
         # Observability: everything below is gated on ``observing`` (a
         # plain local bool), so the disabled default costs one predicted
@@ -282,156 +284,237 @@ class FastEngine:
         sp_mode = routing == "sp"
         nr_mode = routing == "nr"
 
-        for i, (pop, leaf_local, obj) in enumerate(zip(pops, leaves, objects)):
-            origin_pop = origins[obj]
-            base = pop * ts
-            leaf_gid = base + leaf_local
-            fallback = False
-            coop = False
-            serving = -1
-            served_origin = None
+        i = -1  # running global request index across chunks
+        for req_chunk in workload.chunks():
+            cpops = req_chunk.pops.tolist()
+            cleaves = req_chunk.leaves.tolist()
+            cobjects = req_chunk.objects.tolist()
+            for i, (pop, leaf_local, obj) in enumerate(
+                zip(cpops, cleaves, cobjects), start=i + 1
+            ):
+                origin_pop = origins[obj]
+                base = pop * ts
+                leaf_gid = base + leaf_local
+                fallback = False
+                coop = False
+                serving = -1
+                served_origin = None
 
-            if sp_mode:
-                for local in chains[leaf_local]:
-                    if local == 0 and origin_pop == pop:
-                        break  # reached the origin store
-                    if is_cache[local]:
-                        node = base + local
-                        if any_failed and node in failed:
-                            fallback = True  # walk past the dead cache
-                            continue
-                        if members[node][obj]:
-                            if lru_mode:
-                                order = orders[node]
-                                del order[obj]
-                                order[obj] = None
-                            elif lfu_mode:
-                                caches[node].lookup(obj)
-                            if cap is None or cap.try_serve(node, i):
-                                serving = node
+                if sp_mode:
+                    for local in chains[leaf_local]:
+                        if local == 0 and origin_pop == pop:
+                            break  # reached the origin store
+                        if is_cache[local]:
+                            node = base + local
+                            if any_failed and node in failed:
+                                fallback = True  # walk past the dead cache
+                                continue
+                            if members[node][obj]:
+                                if lru_mode:
+                                    order = orders[node]
+                                    del order[obj]
+                                    order[obj] = None
+                                elif lfu_mode:
+                                    caches[node].lookup(obj)
+                                if cap is None or cap.try_serve(node, i):
+                                    serving = node
+                                    break
+                            elif cooperation:
+                                for sib_local in coop_siblings[local]:
+                                    sib = base + sib_local
+                                    if any_failed and sib in failed:
+                                        continue
+                                    if members[sib][obj]:
+                                        if lru_mode:
+                                            order = orders[sib]
+                                            del order[obj]
+                                            order[obj] = None
+                                        elif lfu_mode:
+                                            caches[sib].lookup(obj)
+                                        if cap is None or cap.try_serve(sib, i):
+                                            serving = sib
+                                            coop = True
+                                            break
+                                if serving >= 0:
+                                    break
+                    if serving < 0 and origin_pop != pop and root_cached:
+                        for transit_pop in core_paths[pop][origin_pop][1:]:
+                            if transit_pop == origin_pop:
                                 break
-                        elif cooperation:
-                            for sib_local in coop_siblings[local]:
-                                sib = base + sib_local
-                                if any_failed and sib in failed:
-                                    continue
-                                if members[sib][obj]:
-                                    if lru_mode:
-                                        order = orders[sib]
-                                        del order[obj]
-                                        order[obj] = None
-                                    elif lfu_mode:
-                                        caches[sib].lookup(obj)
-                                    if cap is None or cap.try_serve(sib, i):
-                                        serving = sib
-                                        coop = True
-                                        break
-                            if serving >= 0:
+                            node = transit_pop * ts
+                            if any_failed and node in failed:
+                                fallback = True
+                                continue
+                            if members[node][obj]:
+                                if lru_mode:
+                                    order = orders[node]
+                                    del order[obj]
+                                    order[obj] = None
+                                elif lfu_mode:
+                                    caches[node].lookup(obj)
+                                if cap is None or cap.try_serve(node, i):
+                                    serving = node
+                                    break
+                elif nr_mode:
+                    own_origin = origin_pop == pop
+                    origin_tree_dist = depth[leaf_local]
+                    for dist, local in nr_scope[leaf_local]:
+                        if own_origin and dist >= origin_tree_dist:
+                            break  # the origin store is at least as close
+                        if is_cache[local]:
+                            node = base + local
+                            if any_failed and node in failed:
+                                fallback = True
+                                continue
+                            if members[node][obj]:
+                                if lru_mode:
+                                    order = orders[node]
+                                    del order[obj]
+                                    order[obj] = None
+                                elif lfu_mode:
+                                    caches[node].lookup(obj)
+                                if cap is None or cap.try_serve(node, i):
+                                    serving = node
+                                    break
+                    if serving < 0 and not own_origin and root_cached:
+                        for transit_pop in core_paths[pop][origin_pop][1:]:
+                            if transit_pop == origin_pop:
                                 break
-                if serving < 0 and origin_pop != pop and root_cached:
-                    for transit_pop in core_paths[pop][origin_pop][1:]:
-                        if transit_pop == origin_pop:
-                            break
-                        node = transit_pop * ts
-                        if any_failed and node in failed:
-                            fallback = True
-                            continue
-                        if members[node][obj]:
-                            if lru_mode:
-                                order = orders[node]
-                                del order[obj]
-                                order[obj] = None
-                            elif lfu_mode:
-                                caches[node].lookup(obj)
-                            if cap is None or cap.try_serve(node, i):
-                                serving = node
-                                break
-            elif nr_mode:
-                own_origin = origin_pop == pop
-                origin_tree_dist = depth[leaf_local]
-                for dist, local in nr_scope[leaf_local]:
-                    if own_origin and dist >= origin_tree_dist:
-                        break  # the origin store is at least as close
-                    if is_cache[local]:
-                        node = base + local
-                        if any_failed and node in failed:
-                            fallback = True
-                            continue
-                        if members[node][obj]:
-                            if lru_mode:
-                                order = orders[node]
-                                del order[obj]
-                                order[obj] = None
-                            elif lfu_mode:
-                                caches[node].lookup(obj)
-                            if cap is None or cap.try_serve(node, i):
-                                serving = node
-                                break
-                if serving < 0 and not own_origin and root_cached:
-                    for transit_pop in core_paths[pop][origin_pop][1:]:
-                        if transit_pop == origin_pop:
-                            break
-                        node = transit_pop * ts
-                        if any_failed and node in failed:
-                            fallback = True
-                            continue
-                        if members[node][obj]:
-                            if lru_mode:
-                                order = orders[node]
-                                del order[obj]
-                                order[obj] = None
-                            elif lfu_mode:
-                                caches[node].lookup(obj)
-                            if cap is None or cap.try_serve(node, i):
-                                serving = node
-                                break
-            else:  # nr-global oracle
-                origin_root = origin_pop * ts
-                origin_dist = depth[leaf_local] + core_dist[pop][origin_pop]
-                # Replicas beyond the origin can never serve (ties
-                # prefer the replica: same latency, less origin load),
-                # so the bounded query prunes PoPs nearest() would
-                # still scan while picking the identical winner.
-                found = nearest_within(obj, leaf_gid, origin_dist)
-                if found is not None:
-                    node = found[0]
-                    caches[node].lookup(obj)
-                    if cap is None or cap.try_serve(node, i):
-                        serving = node
+                            node = transit_pop * ts
+                            if any_failed and node in failed:
+                                fallback = True
+                                continue
+                            if members[node][obj]:
+                                if lru_mode:
+                                    order = orders[node]
+                                    del order[obj]
+                                    order[obj] = None
+                                elif lfu_mode:
+                                    caches[node].lookup(obj)
+                                if cap is None or cap.try_serve(node, i):
+                                    serving = node
+                                    break
+                else:  # nr-global oracle
+                    origin_root = origin_pop * ts
+                    origin_dist = depth[leaf_local] + core_dist[pop][origin_pop]
+                    # Replicas beyond the origin can never serve (ties
+                    # prefer the replica: same latency, less origin load),
+                    # so the bounded query prunes PoPs nearest() would
+                    # still scan while picking the identical winner.
+                    found = nearest_within(obj, leaf_gid, origin_dist)
+                    if found is not None:
+                        node = found[0]
+                        caches[node].lookup(obj)
+                        if cap is None or cap.try_serve(node, i):
+                            serving = node
 
-            if serving < 0:
-                serving = origin_pop * ts
-                served_origin = origin_pop
-                if cap is not None:
-                    cap.force_serve(serving, i)
+                if serving < 0:
+                    serving = origin_pop * ts
+                    served_origin = origin_pop
+                    if cap is not None:
+                        cap.force_serve(serving, i)
 
-            size = sizes[obj]
-            if serving != leaf_gid:
-                entry = path_entries.get(serving * num_nodes + leaf_gid)
-                if entry is None:
-                    entry = entry_of(serving, leaf_gid)
-                cost, links, inserts = entry
-                if observing:
+                size = sizes[obj]
+                if serving != leaf_gid:
+                    entry = path_entries.get(serving * num_nodes + leaf_gid)
+                    if entry is None:
+                        entry = entry_of(serving, leaf_gid)
+                    cost, links, inserts = entry
+                    if observing:
+                        if i >= first_measured:
+                            rec_serves[serving] += 1
+                        if trace_wants is not None and trace_wants(i):
+                            trace_emit(
+                                i,
+                                pop,
+                                leaf_local,
+                                obj,
+                                serving,
+                                served_origin,
+                                cost,
+                                float(size),
+                                coop,
+                                fallback,
+                            )
                     if i >= first_measured:
-                        rec_serves[serving] += 1
-                    if trace_wants is not None and trace_wants(i):
-                        trace_emit(
-                            i,
-                            pop,
-                            leaf_local,
-                            obj,
-                            serving,
-                            served_origin,
-                            cost,
-                            float(size),
-                            coop,
-                            fallback,
-                        )
-                if i >= first_measured:
+                        measured += 1
+                        total_latency += cost
+                        for link in links:
+                            link_transfers[link] += size
+                        if fallback:
+                            fallback_served += 1
+                        if served_origin is None:
+                            if coop:
+                                coop_served += 1
+                            else:
+                                cache_served += 1
+                        else:
+                            origin_serves[served_origin] += 1
+                    if not frozen:
+                        if inline_lru_insert:
+                            for node in inserts:
+                                if observing:
+                                    rec_copies[node] += 1
+                                member = members[node]
+                                if member[obj]:
+                                    order = orders[node]
+                                    del order[obj]
+                                    order[obj] = None
+                                else:
+                                    node_cap = capacities[node]
+                                    if size <= node_cap:
+                                        used = useds[node]
+                                        order = orders[node]
+                                        while used + size > node_cap:
+                                            victim = next(iter(order))
+                                            del order[victim]
+                                            member[victim] = 0
+                                            used -= sizes[victim]
+                                            if observing:
+                                                rec_evicts[node] += 1
+                                        order[obj] = None
+                                        member[obj] = 1
+                                        useds[node] = used + size
+                        elif inline_inf_insert:
+                            for node in inserts:
+                                members[node][obj] = 1
+                                if observing:
+                                    rec_copies[node] += 1
+                        elif directory is None:
+                            if ins_everywhere:
+                                for node in inserts:
+                                    evicted = caches[node].insert(obj)
+                                    if observing:
+                                        rec_copies[node] += 1
+                                        rec_evicts[node] += len(evicted)
+                            elif ins_lcd:
+                                # Leave-copy-down: only the first cache below
+                                # the serving node takes a copy.
+                                if inserts:
+                                    evicted = caches[inserts[0]].insert(obj)
+                                    if observing:
+                                        rec_copies[inserts[0]] += 1
+                                        rec_evicts[inserts[0]] += len(evicted)
+                            else:  # probabilistic
+                                for node in inserts:
+                                    if insert_random() < insert_probability:
+                                        evicted = caches[node].insert(obj)
+                                        if observing:
+                                            rec_copies[node] += 1
+                                            rec_evicts[node] += len(evicted)
+                        else:
+                            if ins_everywhere:
+                                for node in inserts:
+                                    self._insert_directory_aware(node, obj)
+                            elif ins_lcd:
+                                if inserts:
+                                    self._insert_directory_aware(inserts[0], obj)
+                            else:  # probabilistic
+                                for node in inserts:
+                                    if insert_random() < insert_probability:
+                                        self._insert_directory_aware(node, obj)
+                elif i >= first_measured:
                     measured += 1
-                    total_latency += cost
-                    for link in links:
-                        link_transfers[link] += size
                     if fallback:
                         fallback_served += 1
                     if served_origin is None:
@@ -441,111 +524,37 @@ class FastEngine:
                             cache_served += 1
                     else:
                         origin_serves[served_origin] += 1
-                if not frozen:
-                    if inline_lru_insert:
-                        for node in inserts:
-                            if observing:
-                                rec_copies[node] += 1
-                            member = members[node]
-                            if member[obj]:
-                                order = orders[node]
-                                del order[obj]
-                                order[obj] = None
-                            else:
-                                node_cap = capacities[node]
-                                if size <= node_cap:
-                                    used = useds[node]
-                                    order = orders[node]
-                                    while used + size > node_cap:
-                                        victim = next(iter(order))
-                                        del order[victim]
-                                        member[victim] = 0
-                                        used -= sizes[victim]
-                                        if observing:
-                                            rec_evicts[node] += 1
-                                    order[obj] = None
-                                    member[obj] = 1
-                                    useds[node] = used + size
-                    elif inline_inf_insert:
-                        for node in inserts:
-                            members[node][obj] = 1
-                            if observing:
-                                rec_copies[node] += 1
-                    elif directory is None:
-                        if ins_everywhere:
-                            for node in inserts:
-                                evicted = caches[node].insert(obj)
-                                if observing:
-                                    rec_copies[node] += 1
-                                    rec_evicts[node] += len(evicted)
-                        elif ins_lcd:
-                            # Leave-copy-down: only the first cache below
-                            # the serving node takes a copy.
-                            if inserts:
-                                evicted = caches[inserts[0]].insert(obj)
-                                if observing:
-                                    rec_copies[inserts[0]] += 1
-                                    rec_evicts[inserts[0]] += len(evicted)
-                        else:  # probabilistic
-                            for node in inserts:
-                                if insert_random() < insert_probability:
-                                    evicted = caches[node].insert(obj)
-                                    if observing:
-                                        rec_copies[node] += 1
-                                        rec_evicts[node] += len(evicted)
-                    else:
-                        if ins_everywhere:
-                            for node in inserts:
-                                self._insert_directory_aware(node, obj)
-                        elif ins_lcd:
-                            if inserts:
-                                self._insert_directory_aware(inserts[0], obj)
-                        else:  # probabilistic
-                            for node in inserts:
-                                if insert_random() < insert_probability:
-                                    self._insert_directory_aware(node, obj)
-            elif i >= first_measured:
-                measured += 1
-                if fallback:
-                    fallback_served += 1
-                if served_origin is None:
-                    if coop:
-                        coop_served += 1
-                    else:
-                        cache_served += 1
-                else:
-                    origin_serves[served_origin] += 1
-                if observing:
-                    rec_serves[serving] += 1
-                    if trace_wants is not None and trace_wants(i):
-                        trace_emit(
-                            i,
-                            pop,
-                            leaf_local,
-                            obj,
-                            serving,
-                            served_origin,
-                            0.0,
-                            float(size),
-                            coop,
-                            fallback,
-                        )
-            elif observing and trace_wants is not None and trace_wants(i):
-                # Warmup request served at its own leaf: nothing is
-                # measured, but the trace still records it (the
-                # reference engine traces every sampled request).
-                trace_emit(
-                    i,
-                    pop,
-                    leaf_local,
-                    obj,
-                    serving,
-                    served_origin,
-                    0.0,
-                    float(size),
-                    coop,
-                    fallback,
-                )
+                    if observing:
+                        rec_serves[serving] += 1
+                        if trace_wants is not None and trace_wants(i):
+                            trace_emit(
+                                i,
+                                pop,
+                                leaf_local,
+                                obj,
+                                serving,
+                                served_origin,
+                                0.0,
+                                float(size),
+                                coop,
+                                fallback,
+                            )
+                elif observing and trace_wants is not None and trace_wants(i):
+                    # Warmup request served at its own leaf: nothing is
+                    # measured, but the trace still records it (the
+                    # reference engine traces every sampled request).
+                    trace_emit(
+                        i,
+                        pop,
+                        leaf_local,
+                        obj,
+                        serving,
+                        served_origin,
+                        0.0,
+                        float(size),
+                        coop,
+                        fallback,
+                    )
 
         result = SimulationResult.from_counters(
             architecture=arch.name,
@@ -564,7 +573,7 @@ class FastEngine:
 
 def fast_no_cache(
     network: Network,
-    workload: Workload,
+    workload: Workload | StreamingWorkload,
     costs: HopCosts,
     warmup_fraction: float,
     observer: "Observer | None" = None,
@@ -572,13 +581,9 @@ def fast_no_cache(
     """Flat-state twin of :func:`repro.core.engine.simulate_no_cache`."""
     ts = network.tree_size
     num_nodes = network.num_nodes
-    pops = workload.pops.tolist()
-    leaves = workload.leaves.tolist()
-    objects = workload.objects.tolist()
     sizes = workload.sizes.tolist()
     origins = workload.origins.tolist()
-    num_requests = len(objects)
-    first_measured = int(warmup_fraction * num_requests)
+    num_requests, first_measured = _stream_bounds(workload, warmup_fraction)
 
     measured = 0
     total_latency = 0.0
@@ -603,42 +608,54 @@ def fast_no_cache(
             trace_wants = observer.tracer.wants
             trace_emit = observer.tracer.emit_request
 
-    for i in range(first_measured, num_requests):
-        pop = pops[i]
-        obj = objects[i]
-        origin_pop = origins[obj]
-        leaf_gid = pop * ts + leaves[i]
-        origin_root = origin_pop * ts
-        key = origin_root * num_nodes + leaf_gid
-        entry = path_entries.get(key)
-        if entry is None:
-            entry = (
-                path_cost(origin_root, leaf_gid, costs),
-                tuple(path_links(origin_root, leaf_gid)),
-            )
-            path_entries[key] = entry
-        cost, links = entry
-        measured += 1
-        total_latency += cost
-        size = sizes[obj]
-        for link in links:
-            link_transfers[link] += size
-        origin_serves[origin_pop] += 1
-        if observing:
-            rec_serves[origin_root] += 1
-            if trace_wants is not None and trace_wants(i):
-                trace_emit(
-                    i,
-                    pop,
-                    leaves[i],
-                    obj,
-                    origin_root,
-                    origin_pop,
-                    cost,
-                    float(size),
-                    False,
-                    False,
+    i = 0
+    for req_chunk in workload.chunks():
+        n = len(req_chunk)
+        if i + n <= first_measured:
+            i += n  # the whole chunk is warmup: skip it wholesale
+            continue
+        for pop, leaf_local, obj in zip(
+            req_chunk.pops.tolist(),
+            req_chunk.leaves.tolist(),
+            req_chunk.objects.tolist(),
+        ):
+            if i < first_measured:
+                i += 1
+                continue
+            origin_pop = origins[obj]
+            leaf_gid = pop * ts + leaf_local
+            origin_root = origin_pop * ts
+            key = origin_root * num_nodes + leaf_gid
+            entry = path_entries.get(key)
+            if entry is None:
+                entry = (
+                    path_cost(origin_root, leaf_gid, costs),
+                    tuple(path_links(origin_root, leaf_gid)),
                 )
+                path_entries[key] = entry
+            cost, links = entry
+            measured += 1
+            total_latency += cost
+            size = sizes[obj]
+            for link in links:
+                link_transfers[link] += size
+            origin_serves[origin_pop] += 1
+            if observing:
+                rec_serves[origin_root] += 1
+                if trace_wants is not None and trace_wants(i):
+                    trace_emit(
+                        i,
+                        pop,
+                        leaf_local,
+                        obj,
+                        origin_root,
+                        origin_pop,
+                        cost,
+                        float(size),
+                        False,
+                        False,
+                    )
+            i += 1
 
     result = SimulationResult.from_counters(
         architecture="NO-CACHE",

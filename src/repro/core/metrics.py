@@ -189,6 +189,49 @@ def improvements(result: SimulationResult, baseline: SimulationResult) -> Improv
     )
 
 
+def merge_results(results: Sequence[SimulationResult]) -> SimulationResult:
+    """Sum per-shard results into the whole-stream result.
+
+    Every counter in a :class:`SimulationResult` is additive over a
+    partition of the request stream (the maxima are *derived* from the
+    summed per-link / per-origin arrays, not maxed across shards), so
+    the merge loses nothing the shards measured; whether the merged
+    result equals the unsharded run depends only on whether each
+    request saw the same outcome in its shard (exact for the stateless
+    no-cache baseline — see
+    :func:`~repro.core.sweep.merge_sharded_results`).  All inputs must
+    agree on the architecture name and array shapes.
+    """
+    if not results:
+        raise ValueError("cannot merge zero results")
+    first = results[0]
+    for other in results[1:]:
+        if other.architecture != first.architecture:
+            raise ValueError(
+                "cannot merge results for different architectures: "
+                f"{first.architecture!r} vs {other.architecture!r}"
+            )
+        if len(other.link_transfers) != len(first.link_transfers) or len(
+            other.origin_serves
+        ) != len(first.origin_serves):
+            raise ValueError("cannot merge results over different networks")
+    link_transfers = np.zeros_like(first.link_transfers)
+    origin_serves = np.zeros_like(first.origin_serves)
+    for result in results:
+        link_transfers += result.link_transfers
+        origin_serves += result.origin_serves
+    return SimulationResult.from_counters(
+        architecture=first.architecture,
+        num_requests=sum(r.num_requests for r in results),
+        total_latency=float(sum(r.total_latency for r in results)),
+        link_transfers=link_transfers,
+        origin_serves=origin_serves,
+        cache_served=sum(r.cache_served for r in results),
+        coop_served=sum(r.coop_served for r in results),
+        fallback_served=sum(r.fallback_served for r in results),
+    )
+
+
 def gap(a: Improvements, b: Improvements) -> Improvements:
     """Per-metric difference ``a - b`` (e.g. ICN-NR minus EDGE).
 

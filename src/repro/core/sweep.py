@@ -63,7 +63,13 @@ import numpy as np
 
 from ..idicn.retry import RetryPolicy
 from .architectures import Architecture, BASELINE_ARCHITECTURES
-from .experiment import ExperimentConfig, ExperimentResult, run_experiment
+from .experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+    run_streamed_experiment,
+)
+from .metrics import Improvements, improvements, merge_results
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.progress import ProgressReporter
@@ -77,8 +83,10 @@ __all__ = [
     "SweepOutcome",
     "SweepPoint",
     "deterministic_snapshot",
+    "merge_sharded_results",
     "run_sweep",
     "seeded_configs",
+    "shard_points",
     "spawn_seeds",
 ]
 
@@ -115,6 +123,13 @@ class SweepPoint:
     architectures: tuple[Architecture, ...] = BASELINE_ARCHITECTURES
     #: Optional trace-driven object sequence (see ``run_experiment``).
     objects: np.ndarray | None = None
+    #: Optional ``(index, num_shards)`` PoP shard: the point executes
+    #: :func:`~repro.core.experiment.run_streamed_experiment` on the
+    #: sub-stream of requests arriving at PoPs with
+    #: ``pop % num_shards == index``.  The worker regenerates the
+    #: seed-derived stream locally, so no request arrays ride in the
+    #: pickled point.  Mutually exclusive with ``objects``.
+    shard: tuple[int, int] | None = None
 
 
 @dataclass
@@ -206,13 +221,90 @@ def deterministic_snapshot(
 def _run_point(
     point: SweepPoint, engine: str, observer: "Observer | None" = None
 ) -> ExperimentResult:
-    """Execute one grid point (also the worker-side entry)."""
+    """Execute one grid point (also the worker-side entry).
+
+    A sharded point runs the streamed engine path on its PoP
+    sub-stream; everything else takes the materialized path.
+    """
+    if point.shard is not None:
+        if point.objects is not None:
+            raise ValueError(
+                "a sweep point cannot set both shard and objects"
+            )
+        return run_streamed_experiment(
+            point.config,
+            point.architectures,
+            shard=point.shard,
+            engine=engine,
+            observer=observer,
+        )
     return run_experiment(
         point.config,
         point.architectures,
         objects=point.objects,
         engine=engine,
         observer=observer,
+    )
+
+
+def shard_points(point: SweepPoint, num_shards: int) -> tuple[SweepPoint, ...]:
+    """Split one streamed point into ``num_shards`` PoP-shard points.
+
+    Each shard point replays only the requests arriving at its PoPs
+    (``pop % num_shards == shard``), regenerated worker-side from the
+    point's seed, so a single huge streamed trace spreads across
+    :func:`run_sweep` workers — with per-shard progress heartbeats for
+    free — without any request arrays crossing process boundaries.
+    Recombine with :func:`merge_sharded_results`.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if point.objects is not None:
+        raise ValueError("cannot shard a point with trace objects attached")
+    return tuple(
+        SweepPoint(
+            key=f"{point.key}/shard-{index}-of-{num_shards}",
+            config=point.config,
+            architectures=point.architectures,
+            shard=(index, num_shards),
+        )
+        for index in range(num_shards)
+    )
+
+
+def merge_sharded_results(
+    point: SweepPoint, shard_results: Sequence[ExperimentResult]
+) -> ExperimentResult:
+    """Merge the per-shard results of one :func:`shard_points` split.
+
+    Counters are additive over the PoP partition of the stream
+    (:func:`~repro.core.metrics.merge_results`), and improvements are
+    recomputed from the merged aggregates.  At ``warmup_fraction=0``
+    the *no-cache baseline* merge is exact: the shards partition the
+    request stream and no state couples them, so the merged baseline
+    equals the unsharded run bit for bit.  Cached architectures are an
+    approximation — each shard replays against its own cache state, so
+    a backbone cache warmed by one shard's requests never serves
+    another shard's — and with warmup each shard additionally warms up
+    on its own prefix instead of the global one.
+    """
+    if not shard_results:
+        raise ValueError("cannot merge zero shard results")
+    baseline = merge_results([shard.baseline for shard in shard_results])
+    arch_names = list(shard_results[0].results)
+    results = {
+        name: merge_results([shard.results[name] for shard in shard_results])
+        for name in arch_names
+    }
+    improved: dict[str, Improvements] = {
+        name: improvements(result, baseline)
+        for name, result in results.items()
+    }
+    return ExperimentResult(
+        config=point.config,
+        baseline=baseline,
+        results=results,
+        improvements=improved,
     )
 
 

@@ -1,6 +1,7 @@
 """Workload substrate: Zipf popularity, spatial skew, traces, CDN logs."""
 
 from .cdn import (
+    CONTENT_TYPES,
     OBJECTS_PER_REQUEST,
     REGIONS,
     RegionProfile,
@@ -27,6 +28,17 @@ from .sizes import (
     unit_sizes,
 )
 from .spatial import measured_skew, ranks_from_rankings, skewed_rankings
+from .stream import (
+    DEFAULT_CHUNK_SIZE,
+    RequestChunk,
+    StreamingWorkload,
+    pop_shard,
+    region_object_chunks,
+    stream_synthetic_cdn_trace,
+    stream_trace_objects,
+    stream_workload,
+    stream_workload_from_objects,
+)
 from .temporal import (
     FlashCrowdProfile,
     flash_crowd_profile,
@@ -42,16 +54,21 @@ from .trace import (
     read_trace,
     write_trace,
 )
-from .zipf import ZipfDistribution
+from .zipf import SAMPLE_CHUNK, ZipfDistribution
 
 __all__ = [
+    "CONTENT_TYPES",
+    "DEFAULT_CHUNK_SIZE",
     "DEFAULT_MEDIAN_BYTES",
     "OBJECTS_PER_REQUEST",
     "REGIONS",
+    "SAMPLE_CHUNK",
     "FlashCrowdProfile",
     "RegionProfile",
     "RegressionFit",
+    "RequestChunk",
     "SKIPPED_LINES_METRIC",
+    "StreamingWorkload",
     "TraceRecord",
     "Workload",
     "ZipfDistribution",
@@ -66,13 +83,19 @@ __all__ = [
     "measured_skew",
     "normalized_sizes",
     "object_ids_by_popularity",
+    "pop_shard",
     "rank_frequency",
     "ranks_from_rankings",
     "read_trace",
     "repeat_distance_profile",
+    "region_object_chunks",
     "region_object_stream",
     "region_profile",
     "skewed_rankings",
+    "stream_synthetic_cdn_trace",
+    "stream_trace_objects",
+    "stream_workload",
+    "stream_workload_from_objects",
     "synthetic_cdn_trace",
     "temporal_objects",
     "unit_sizes",

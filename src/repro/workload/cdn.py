@@ -25,7 +25,9 @@ from .zipf import ZipfDistribution
 #: Ratio of distinct objects to requests in the generated catalogs.
 OBJECTS_PER_REQUEST = 0.05
 
-_CONTENT_TYPES = ("text", "image", "video", "software", "misc")
+#: Content-type labels baked into generated URLs (shared with the
+#: chunked log producers in :mod:`repro.workload.stream`).
+CONTENT_TYPES = ("text", "image", "video", "software", "misc")
 
 
 @dataclass(frozen=True)
@@ -93,7 +95,7 @@ def synthetic_cdn_trace(
     )
     num_requests = len(objects)
     sizes = np.maximum(1, lognormal_sizes(num_objects, rng)).astype(np.int64)
-    content_type = rng.integers(0, len(_CONTENT_TYPES), size=num_objects)
+    content_type = rng.integers(0, len(CONTENT_TYPES), size=num_objects)
     num_clients = max(1, num_requests // 50)
     clients = rng.integers(0, num_clients, size=num_requests)
     gaps = rng.exponential(1.0 / requests_per_second, size=num_requests)
@@ -106,7 +108,7 @@ def synthetic_cdn_trace(
         if not served_locally:
             cluster_cache.insert(obj)
         url = (
-            f"https://cdn.example/{_CONTENT_TYPES[content_type[obj]]}/"
+            f"https://cdn.example/{CONTENT_TYPES[content_type[obj]]}/"
             f"{anonymize(f'{region}-object-{obj}')}"
         )
         records.append(

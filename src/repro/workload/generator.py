@@ -11,6 +11,7 @@ optional spatial skew.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -18,6 +19,9 @@ from ..topology.network import Network
 from .sizes import unit_sizes
 from .spatial import skewed_rankings
 from .zipf import ZipfDistribution
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .stream import RequestChunk
 
 
 @dataclass(frozen=True)
@@ -50,6 +54,32 @@ class Workload:
     def num_requests(self) -> int:
         """Number of requests in the stream."""
         return len(self.objects)
+
+    def chunks(self, chunk_size: int | None = None) -> "Iterator[RequestChunk]":
+        """Iterate the request columns as :class:`~repro.workload.stream.RequestChunk` blocks.
+
+        This is the shared engine-facing protocol with
+        :class:`~repro.workload.stream.StreamingWorkload`: the engines
+        only ever see chunks, and a materialized workload is simply the
+        degenerate one-chunk stream (zero-copy views when
+        ``chunk_size`` is ``None``).
+        """
+        from .stream import RequestChunk  # deferred: stream imports us
+
+        if chunk_size is None:
+            yield RequestChunk(
+                pops=self.pops, leaves=self.leaves, objects=self.objects
+            )
+            return
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        for start in range(0, self.num_requests, chunk_size):
+            stop = min(start + chunk_size, self.num_requests)
+            yield RequestChunk(
+                pops=self.pops[start:stop],
+                leaves=self.leaves[start:stop],
+                objects=self.objects[start:stop],
+            )
 
 
 def assign_origins(

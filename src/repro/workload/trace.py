@@ -9,7 +9,8 @@ line as tab-separated values with a ``#``-comment header.
 from __future__ import annotations
 
 import hashlib
-from collections import Counter
+import math
+import os
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
@@ -52,16 +53,30 @@ class TraceRecord:
 
     @classmethod
     def from_line(cls, line: str) -> TraceRecord:
-        """Parse one TSV line (raises ``ValueError`` on malformed input)."""
+        """Parse one TSV line (raises ``ValueError`` on malformed input).
+
+        Field *values* are validated, not just parsed: ``float("nan")``
+        and ``int("-5")`` both succeed, but a non-finite timestamp or a
+        negative size is corrupt log data that would later poison
+        size-weighted budgets and inter-arrival math, so both are
+        rejected here (and therefore skip-counted by :func:`read_trace`
+        under ``reason="malformed"``).
+        """
         parts = line.rstrip("\n").split("\t")
         if len(parts) != len(_FIELDS):
             raise ValueError(f"expected {len(_FIELDS)} fields, got {len(parts)}")
         timestamp, client, url, size, served = parts
+        parsed_timestamp = float(timestamp)
+        if not math.isfinite(parsed_timestamp):
+            raise ValueError(f"non-finite timestamp {timestamp!r}")
+        parsed_size = int(size)
+        if parsed_size < 0:
+            raise ValueError(f"negative size {size!r}")
         return cls(
-            timestamp=float(timestamp),
+            timestamp=parsed_timestamp,
             client=client,
             url=url,
-            size=int(size),
+            size=parsed_size,
             served_locally=served == "1",
         )
 
@@ -72,13 +87,27 @@ def anonymize(value: str, salt: str = "repro") -> str:
 
 
 def write_trace(path: str | Path, records: Iterable[TraceRecord]) -> int:
-    """Write records to ``path``; returns the number written."""
+    """Write records to ``path``; returns the number written.
+
+    The write is atomic (tmp file + ``os.replace``, the same pattern as
+    :class:`repro.obs.progress.ProgressReporter`): a crash mid-write —
+    including one raised by the ``records`` iterable itself — leaves any
+    existing file at ``path`` untouched instead of a header-only stub
+    that would later read back as a valid empty trace.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
     count = 0
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write("# " + "\t".join(_FIELDS) + "\n")
-        for record in records:
-            fh.write(record.to_line() + "\n")
-            count += 1
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write("# " + "\t".join(_FIELDS) + "\n")
+            for record in records:
+                fh.write(record.to_line() + "\n")
+                count += 1
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     return count
 
 
@@ -112,7 +141,10 @@ def read_trace(
             )
     with open(path, encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
-            if not line.strip() or line.startswith("#"):
+            # Strip before the comment test: an indented "  # comment"
+            # is a comment, not a truncated record to skip-count.
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
                 continue
             try:
                 record = TraceRecord.from_line(line)
@@ -129,6 +161,12 @@ def read_trace(
             yield record
 
 
+#: Per-request ids accumulate in int64 blocks of this many entries, so
+#: :func:`object_ids_by_popularity` holds at most one partially-filled
+#: block of Python overhead at a time.
+_ID_CHUNK = 1 << 16
+
+
 def object_ids_by_popularity(
     records: Iterable[TraceRecord],
 ) -> tuple[np.ndarray, dict[str, int], np.ndarray]:
@@ -139,17 +177,45 @@ def object_ids_by_popularity(
     :func:`repro.workload.generator.workload_from_objects`), ``objects``
     is the per-request id sequence in log order, and ``sizes`` holds the
     last observed size per object.
+
+    The input is consumed in a single pass and records are never
+    retained: each record updates per-URL tallies and appends a
+    provisional (first-appearance) id to a flat int64 buffer, and the
+    popularity ranking is applied to the buffered ids at the end.
+    Memory is O(catalog + output), never O(records); a generator input
+    works and each record is released as soon as it is processed.
+    Ranking ties keep first-appearance order — the same stable order
+    ``Counter.most_common`` produced when this function materialized
+    the stream.
     """
-    records = list(records)
-    counts = Counter(record.url for record in records)
-    ordered = [url for url, _ in counts.most_common()]
-    url_to_id = {url: i for i, url in enumerate(ordered)}
-    objects = np.fromiter(
-        (url_to_id[record.url] for record in records),
-        dtype=np.int64,
-        count=len(records),
-    )
-    sizes = np.ones(len(ordered), dtype=np.float64)
+    first_seen: dict[str, int] = {}
+    counts: list[int] = []
+    last_size: list[float] = []
+    id_chunks: list[np.ndarray] = []
+    buf = np.empty(_ID_CHUNK, dtype=np.int64)
+    fill = 0
     for record in records:
-        sizes[url_to_id[record.url]] = record.size
+        pid = first_seen.setdefault(record.url, len(first_seen))
+        if pid == len(counts):
+            counts.append(0)
+            last_size.append(1.0)
+        counts[pid] += 1
+        last_size[pid] = float(record.size)
+        if fill == _ID_CHUNK:
+            id_chunks.append(buf)
+            buf = np.empty(_ID_CHUNK, dtype=np.int64)
+            fill = 0
+        buf[fill] = pid
+        fill += 1
+    id_chunks.append(buf[:fill])
+    # Stable descending sort over first-appearance ids == most_common.
+    order = sorted(range(len(counts)), key=counts.__getitem__, reverse=True)
+    rank_of = np.empty(len(counts), dtype=np.int64)
+    rank_of[np.asarray(order, dtype=np.int64)] = np.arange(
+        len(counts), dtype=np.int64
+    )
+    urls = list(first_seen)
+    url_to_id = {urls[pid]: rank for rank, pid in enumerate(order)}
+    objects = np.concatenate([rank_of[chunk] for chunk in id_chunks])
+    sizes = np.asarray(last_size, dtype=np.float64)[order]
     return objects, url_to_id, sizes

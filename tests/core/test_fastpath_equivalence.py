@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+import numpy as np
 import pytest
 
 from repro.core import (
@@ -32,9 +33,11 @@ from repro.core import (
     ExperimentConfig,
     Simulator,
     run_experiment,
+    run_streamed_experiment,
     simulate_no_cache,
 )
 from repro.core.latency import hop_costs as build_hop_costs
+from repro.workload import generate_workload, stream_workload
 
 pytestmark = pytest.mark.fastpath
 
@@ -230,6 +233,75 @@ def test_kitchen_sink(small_network, random_workload, results_identical):
             warmup_fraction=0.3,
         )
         results_identical(ref, fast)
+
+
+def _twin_workloads(small_network, chunk_size):
+    """One seed, two deliveries: materialized arrays vs streamed chunks."""
+    materialized = generate_workload(
+        small_network, 30, 600, 1.0, np.random.default_rng(41)
+    )
+    streamed = stream_workload(
+        small_network, 30, 600, 1.0, np.random.default_rng(41),
+        chunk_size=chunk_size,
+    )
+    return materialized, streamed
+
+
+@pytest.mark.parametrize("chunk_size", [113, 600, 10_000])
+@pytest.mark.parametrize(
+    "arch", [ICN_SP, ICN_NR_GLOBAL, EDGE_COOP], ids=lambda a: a.name
+)
+def test_streamed_equals_materialized(
+    small_network, results_identical, arch, chunk_size
+):
+    """A chunked stream replays bit-identically on both engines.
+
+    The streamed column of the matrix: the same seeded workload is fed
+    once as full arrays and once as a chunk iterator (with a ragged
+    final chunk, an exact fit, and a single oversized chunk), and all
+    four engine x delivery combinations must agree field-for-field.
+    """
+    materialized, streamed = _twin_workloads(small_network, chunk_size)
+    budgets = [3.0] * small_network.num_nodes
+    ref_m, fast_m = _both(
+        small_network, arch, materialized, budgets, warmup_fraction=0.25
+    )
+    ref_s, fast_s = _both(
+        small_network, arch, streamed, budgets, warmup_fraction=0.25
+    )
+    results_identical(ref_m, fast_m)
+    results_identical(ref_m, ref_s)
+    results_identical(ref_m, fast_s)
+
+
+@pytest.mark.parametrize("warmup", [0.0, 0.4])
+def test_streamed_no_cache_baseline(small_network, results_identical, warmup):
+    """The no-cache fast path consumes chunks identically, warmup included."""
+    materialized, streamed = _twin_workloads(small_network, chunk_size=97)
+    for engine in ("reference", "fast"):
+        from_arrays = simulate_no_cache(
+            small_network, materialized, warmup_fraction=warmup, engine=engine
+        )
+        from_chunks = simulate_no_cache(
+            small_network, streamed, warmup_fraction=warmup, engine=engine
+        )
+        results_identical(from_arrays, from_chunks)
+
+
+def test_run_streamed_experiment_matches_materialized(results_identical):
+    """Orchestration parity: the streamed front end changes nothing."""
+    config = ExperimentConfig(
+        num_requests=3_000, num_objects=150, tree_depth=2, seed=55
+    )
+    materialized = run_experiment(config, engine="fast")
+    for engine in ("reference", "fast"):
+        streamed = run_streamed_experiment(config, engine=engine, chunk_size=499)
+        results_identical(materialized.baseline, streamed.baseline)
+        for name in materialized.results:
+            results_identical(
+                materialized.results[name], streamed.results[name]
+            )
+            assert materialized.improvements[name] == streamed.improvements[name]
 
 
 def test_run_experiment_end_to_end(results_identical):

@@ -14,17 +14,23 @@ The contracts under test:
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core import (
     ICN_SP,
     ExperimentConfig,
     SweepPoint,
+    improvements,
+    merge_sharded_results,
+    run_experiment,
     run_sweep,
     seeded_configs,
+    shard_points,
     spawn_seeds,
 )
 from repro.idicn.retry import RetryPolicy
+from repro.obs.progress import ProgressReporter
 
 SMALL = ExperimentConfig(
     num_requests=2_000, num_objects=100, tree_depth=2, seed=7
@@ -175,6 +181,92 @@ def test_seeded_configs_gives_every_point_its_own_stream():
     # Same base seed -> same derived seeds (reproducible grids).
     again = seeded_configs(2013, [SMALL] * 8)
     assert [config.seed for config in again] == seeds
+
+
+STREAMED = SMALL.with_(warmup_fraction=0.0, seed=11)
+
+
+def _whole_point() -> SweepPoint:
+    return SweepPoint(key="big", config=STREAMED, architectures=(ICN_SP,))
+
+
+def test_shard_points_split_and_keys():
+    shards = shard_points(_whole_point(), 3)
+    assert [s.key for s in shards] == [
+        f"big/shard-{i}-of-3" for i in range(3)
+    ]
+    assert [s.shard for s in shards] == [(0, 3), (1, 3), (2, 3)]
+    with pytest.raises(ValueError, match="num_shards"):
+        shard_points(_whole_point(), 0)
+
+
+def test_shard_and_objects_are_mutually_exclusive():
+    trace_point = SweepPoint(
+        key="trace",
+        config=STREAMED,
+        architectures=(ICN_SP,),
+        objects=np.zeros(4, dtype=np.int64),
+    )
+    with pytest.raises(ValueError, match="trace objects"):
+        shard_points(trace_point, 2)
+    both = SweepPoint(
+        key="both",
+        config=STREAMED,
+        architectures=(ICN_SP,),
+        objects=np.zeros(4, dtype=np.int64),
+        shard=(0, 2),
+    )
+    outcome = run_sweep([both], workers=0, retry_policy=None)
+    assert "shard and objects" in outcome.failures["both"][-1]
+
+
+def test_sharded_parallel_equals_serial():
+    """PoP shards behave like any other grid points across workers."""
+    shards = shard_points(_whole_point(), 3)
+    serial = run_sweep(shards, workers=0)
+    parallel = run_sweep(shards, workers=2)
+    assert not serial.failures and not parallel.failures
+    assert _fingerprint(serial) == _fingerprint(parallel)
+
+
+def test_merged_shards_match_unsharded_run(results_identical):
+    """At warmup=0 the shards partition the stream: the baseline merge
+    is *exact* (no state couples the shards), while cached results are
+    additive approximations — each shard warms its own caches, so
+    cross-shard backbone hits are not reproduced."""
+    point = _whole_point()
+    shards = shard_points(point, 3)
+    outcome = run_sweep(shards, workers=2)
+    assert not outcome.failures
+    merged = merge_sharded_results(
+        point, [outcome.results[s.key] for s in shards]
+    )
+    whole = run_experiment(point.config, point.architectures, engine="fast")
+    results_identical(merged.baseline, whole.baseline)
+    sharded_sp = merged.results["ICN-SP"]
+    whole_sp = whole.results["ICN-SP"]
+    assert sharded_sp.num_requests == whole_sp.num_requests
+    # Seed-pinned sanity band, not a tolerance contract: losing the
+    # cross-shard cache hits can only cost a few percent of latency.
+    assert whole_sp.total_latency <= sharded_sp.total_latency
+    assert sharded_sp.total_latency <= 1.05 * whole_sp.total_latency
+    # Improvements are recomputed against the merged (exact) baseline.
+    assert merged.improvements["ICN-SP"] == improvements(
+        sharded_sp, merged.baseline
+    )
+    with pytest.raises(ValueError, match="zero shard"):
+        merge_sharded_results(point, [])
+
+
+def test_sharded_sweep_heartbeats_per_shard(tmp_path):
+    """Each finishing shard lands a progress heartbeat, not just the sweep."""
+    shards = shard_points(_whole_point(), 3)
+    progress = ProgressReporter(tmp_path / "heartbeat.json", every=1)
+    outcome = run_sweep(shards, workers=0, progress=progress)
+    assert not outcome.failures
+    assert progress.total == 3
+    assert progress.done == 3
+    assert progress.writes >= 4  # start() plus one write per shard
 
 
 def test_timeout_returns_partial_results():

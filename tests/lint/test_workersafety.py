@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import ast
+from pathlib import Path
+
 from .conftest import rule_ids
 
 
@@ -202,6 +205,50 @@ class TestWorkerCapturedHandle:
             }
         )
         assert "W803" not in rule_ids(report)
+
+    def test_stream_shard_path_is_inside_the_audited_closure(self):
+        """The real repo's PoP-shard dispatch is worker-audited.
+
+        ``_run_point`` (the ``runner=`` default, hence a dispatch root)
+        routes sharded points through ``run_streamed_experiment`` and
+        the chunked stream producers — all of which execute inside
+        worker processes, so W802/W803 must actually *see* them.  This
+        pins the call-graph resolution: if a refactor breaks the edge
+        (say, by dispatching through an unresolvable indirection), the
+        shard path silently falls out of the audit.
+        """
+        import repro
+        from repro.lint.graph import CallGraph, ModuleGraph
+        from repro.lint.workersafety import SWEEP_MODULE, _dispatch_sites
+
+        src = Path(repro.__file__).resolve().parent
+        program = {}
+        for path in sorted(src.rglob("*.py")):
+            parts = path.relative_to(src.parent).with_suffix("").parts
+            if parts[-1] == "__init__":
+                parts = parts[:-1]
+            program[".".join(parts)] = (
+                str(path),
+                ast.parse(path.read_text(encoding="utf-8")),
+            )
+        graph = ModuleGraph(program)
+        callgraph = CallGraph(graph)
+        roots = [
+            function
+            for function, _, _ in _dispatch_sites(
+                graph, graph.modules[SWEEP_MODULE]
+            )
+            if function is not None
+        ]
+        assert any(f.qualname == "_run_point" for f in roots)
+        reachable = {f.key for f in callgraph.reachable_from(roots)}
+        for expected in (
+            "repro.core.experiment:run_streamed_experiment",
+            "repro.core.experiment:build_streaming_workload",
+            "repro.workload.stream:pop_shard",
+            "repro.workload.stream:stream_workload",
+        ):
+            assert expected in reachable
 
     def test_runner_param_default_is_a_dispatch_root(self, lint_tree):
         # The declared `runner=` default is dispatched even without a

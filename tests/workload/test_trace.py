@@ -1,5 +1,7 @@
 """Tests for the CDN log format."""
 
+import weakref
+
 import numpy as np
 import pytest
 
@@ -32,6 +34,21 @@ class TestSerialization:
         with pytest.raises(ValueError):
             TraceRecord.from_line("x\tc\tu\tnotanint\t0")
 
+    @pytest.mark.parametrize("timestamp", ["nan", "inf", "-inf"])
+    def test_non_finite_timestamp_rejected(self, timestamp):
+        # float("nan") parses fine, so the *value* must be validated:
+        # a NaN timestamp would silently poison inter-arrival math.
+        with pytest.raises(ValueError, match="non-finite timestamp"):
+            TraceRecord.from_line(f"{timestamp}\tc\tu\t10\t0")
+
+    def test_negative_size_rejected(self):
+        # int("-5") parses fine; a negative size is corrupt log data.
+        with pytest.raises(ValueError, match="negative size"):
+            TraceRecord.from_line("1.0\tc\tu\t-5\t0")
+
+    def test_zero_size_still_accepted(self):
+        assert TraceRecord.from_line("1.0\tc\tu\t0\t1").size == 0
+
 
 class TestFileIo:
     def test_write_then_read(self, tmp_path):
@@ -54,6 +71,45 @@ class TestFileIo:
         write_trace(path, [record()])
         iterator = read_trace(path)
         assert next(iter(iterator)) == record()
+
+    def test_indented_comment_is_a_comment(self, tmp_path):
+        # Regression: the comment test used to run before stripping, so
+        # "  # note" fell through to the parser and was skip-counted as
+        # a truncated record.
+        from repro.obs import MetricsRegistry
+        from repro.workload import SKIPPED_LINES_METRIC
+
+        path = tmp_path / "trace.tsv"
+        path.write_text(
+            "# header\n  # indented comment\n\t# tab-indented\n"
+            + record().to_line() + "\n"
+        )
+        registry = MetricsRegistry()
+        assert list(read_trace(path, registry=registry)) == [record()]
+        assert registry.value(SKIPPED_LINES_METRIC, reason="truncated") == 0
+        assert registry.value(SKIPPED_LINES_METRIC, reason="malformed") == 0
+
+    def test_atomic_write_preserves_existing_file_on_crash(self, tmp_path):
+        # Regression: write_trace used to stream straight into the
+        # destination, so a crash mid-write left a truncated file (which
+        # reads back as a valid, shorter trace) in place of the old one.
+        path = tmp_path / "trace.tsv"
+        good = [record(url=f"u{i}") for i in range(3)]
+        write_trace(path, good)
+
+        def exploding():
+            yield record(url="new")
+            raise RuntimeError("disk full")
+
+        with pytest.raises(RuntimeError, match="disk full"):
+            write_trace(path, exploding())
+        assert list(read_trace(path)) == good
+        assert list(tmp_path.iterdir()) == [path]  # no tmp file left
+
+    def test_write_is_atomic_via_rename(self, tmp_path):
+        path = tmp_path / "trace.tsv"
+        assert write_trace(path, [record(url=f"u{i}") for i in range(5)]) == 5
+        assert list(tmp_path.iterdir()) == [path]
 
 
 class TestMalformedLines:
@@ -147,3 +203,42 @@ class TestObjectIds:
         records = [record(url=f"u{i % 4}") for i in range(40)]
         objects, _, _ = object_ids_by_popularity(records)
         assert np.bincount(objects).tolist() == [10, 10, 10, 10]
+
+    def test_generator_input_matches_list_input(self):
+        records = [record(url=f"u{i % 9}", size=i + 1) for i in range(200)]
+        from_list = object_ids_by_popularity(records)
+        from_gen = object_ids_by_popularity(iter(records))
+        assert np.array_equal(from_list[0], from_gen[0])
+        assert from_list[1] == from_gen[1]
+        assert np.array_equal(from_list[2], from_gen[2])
+
+    def test_tie_order_is_first_appearance(self):
+        # Equal counts must rank in first-appearance order (the stable
+        # order Counter.most_common produced before the rewrite).
+        records = [record(url=u) for u in ("b", "a", "c", "b", "a", "c")]
+        _, url_to_id, _ = object_ids_by_popularity(records)
+        assert url_to_id == {"b": 0, "a": 1, "c": 2}
+
+    def test_single_pass_never_materializes_the_stream(self):
+        # Regression: the old implementation did list(records) and then
+        # iterated three times, holding every record alive at once.  The
+        # generator checks liveness at exhaustion: only the consumer's
+        # current record may still be referenced.
+        refs = []
+        alive_at_end = []
+
+        def stream():
+            for i in range(500):
+                rec = record(url=f"u{i % 7}", size=i)
+                refs.append(weakref.ref(rec))
+                yield rec
+                rec = None  # noqa: F841 - drop the generator's reference
+                if i == 499:
+                    alive_at_end.append(
+                        sum(1 for ref in refs if ref() is not None)
+                    )
+
+        objects, url_to_id, _ = object_ids_by_popularity(stream())
+        assert len(objects) == 500
+        assert len(url_to_id) == 7
+        assert alive_at_end and alive_at_end[0] <= 2

@@ -87,6 +87,45 @@ class TestSampling:
         assert np.array_equal(a, b)
 
 
+class TestChunkedSampling:
+    """sample() draws bounded blocks; the draws must stay bit-identical."""
+
+    def test_chunked_sample_matches_one_shot(self, monkeypatch):
+        import repro.workload.zipf as zipf_module
+
+        zipf = ZipfDistribution(alpha=1.04, num_objects=50)
+        one_shot = zipf.sample(np.random.default_rng(7), 10_000)
+        # Force many internal blocks (including a ragged final one).
+        monkeypatch.setattr(zipf_module, "SAMPLE_CHUNK", 257)
+        rng = np.random.default_rng(7)
+        chunked = zipf.sample(rng, 10_000)
+        assert np.array_equal(one_shot, chunked)
+        # The generator must also land in the one-shot end state, so
+        # downstream draws never shift.
+        reference = np.random.default_rng(7)
+        reference.random(10_000)
+        assert rng.bit_generator.state == reference.bit_generator.state
+
+    def test_sample_chunks_concatenates_to_one_shot(self):
+        zipf = ZipfDistribution(alpha=0.9, num_objects=30)
+        one_shot = zipf.sample(np.random.default_rng(3), 5_000)
+        rng = np.random.default_rng(3)
+        blocks = list(zipf.sample_chunks(rng, 5_000, chunk_size=311))
+        assert max(len(block) for block in blocks) <= 311
+        assert np.array_equal(np.concatenate(blocks), one_shot)
+        reference = np.random.default_rng(3)
+        reference.random(5_000)
+        assert rng.bit_generator.state == reference.bit_generator.state
+
+    def test_sample_chunks_validates_arguments(self, rng):
+        zipf = ZipfDistribution(alpha=1.0, num_objects=10)
+        with pytest.raises(ValueError):
+            list(zipf.sample_chunks(rng, -1))
+        with pytest.raises(ValueError):
+            list(zipf.sample_chunks(rng, 10, chunk_size=0))
+        assert list(zipf.sample_chunks(rng, 0)) == []
+
+
 class TestExpectedUnique:
     def test_bounds(self):
         zipf = ZipfDistribution(alpha=1.0, num_objects=100)
